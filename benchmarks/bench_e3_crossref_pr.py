@@ -1,0 +1,59 @@
+"""E3 — precision/recall of explicit cross-reference discovery.
+
+Sweeps cross-reference corruption (dropped and dangling references) and
+reports object-level P/R/F1 of the crossref channel vs. gold. Shape:
+high precision throughout; recall bounded by the scop anchor error and
+dangling pointers.
+"""
+
+from repro.eval import evaluate_crossref_links, format_table, integrate_scenario
+from benchmarks.conftest import build_noisy_scenario
+
+
+def test_e3_crossref_pr(benchmark):
+    sweeps = [
+        ("clean", 0.0, 0.0),
+        ("drop 20%", 0.2, 0.0),
+        ("dangling 20%", 0.0, 0.2),
+    ]
+    scenarios = [
+        (label, build_noisy_scenario(seed=420 + i, drop=drop, dangle=dangle))
+        for i, (label, drop, dangle) in enumerate(sweeps)
+    ]
+
+    def run_clean():
+        return integrate_scenario(scenarios[0][1])
+
+    benchmark.pedantic(run_clean, iterations=1, rounds=1)
+
+    rows = []
+    clean_f1 = None
+    for label, scenario in scenarios:
+        aladin = integrate_scenario(scenario)
+        prf = evaluate_crossref_links(scenario, aladin).metric("object_links")
+        attr = evaluate_crossref_links(scenario, aladin).metric("attribute_links")
+        rows.append(
+            [
+                label,
+                len(scenario.gold.xref_links()),
+                prf.true_positives,
+                f"{prf.precision:.2f}",
+                f"{prf.recall:.2f}",
+                f"{prf.f1:.2f}",
+                f"{attr.recall:.2f}",
+            ]
+        )
+        if label == "clean":
+            clean_f1 = prf.f1
+            assert prf.precision >= 0.85
+            assert prf.recall >= 0.8
+    print()
+    print("E3: explicit cross-reference discovery under corruption")
+    print(
+        format_table(
+            ["corruption", "gold links", "tp", "precision", "recall", "f1",
+             "attr recall"],
+            rows,
+        )
+    )
+    assert clean_f1 is not None and clean_f1 >= 0.8

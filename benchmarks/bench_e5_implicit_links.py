@@ -1,0 +1,110 @@
+"""E5 — implicit links: the BLAST-like search vs. exact Smith-Waterman.
+
+The engineering claim inherited from [AMS+97]: the seeded heuristic must
+be much faster than all-pairs exact alignment at a small recall cost.
+Also reports the text/name/ontology channels' yield.
+"""
+
+import random
+import time
+
+from repro.linking import BlastIndex, smith_waterman
+from repro.eval import format_table, integrate_scenario
+from repro.synth import mutate_sequence, random_protein
+from benchmarks.conftest import build_noisy_scenario
+
+
+def _family_benchmark_data(families=8, members=3, length=200, seed=440):
+    rng = random.Random(seed)
+    sequences = []
+    labels = []
+    for family in range(families):
+        ancestor = random_protein(rng, length)
+        for _ in range(members):
+            sequences.append(mutate_sequence(rng, ancestor, 0.12))
+            labels.append(family)
+    return sequences, labels
+
+
+def test_e5_blast_vs_exact(benchmark):
+    sequences, labels = _family_benchmark_data()
+    truth = {
+        (i, j)
+        for i in range(len(sequences))
+        for j in range(len(sequences))
+        if i < j and labels[i] == labels[j]
+    }
+
+    def blast_all_pairs():
+        index = BlastIndex(k=4)
+        for seq in sequences:
+            index.add(seq)
+        found = set()
+        for i, seq in enumerate(sequences):
+            for hit in index.search(seq):
+                if hit.target_id != i:
+                    found.add((min(i, hit.target_id), max(i, hit.target_id)))
+        return found
+
+    found_fast = benchmark.pedantic(blast_all_pairs, iterations=1, rounds=3)
+
+    started = time.perf_counter()
+    found_exact = set()
+    for i in range(len(sequences)):
+        for j in range(i + 1, len(sequences)):
+            result = smith_waterman(sequences[i], sequences[j])
+            if result.identity >= 0.5 and result.aligned_length >= 50:
+                found_exact.add((i, j))
+    exact_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    blast_all_pairs()
+    fast_seconds = time.perf_counter() - started
+
+    recall_vs_truth = len(found_fast & truth) / len(truth)
+    recall_vs_exact = (
+        len(found_fast & found_exact) / len(found_exact) if found_exact else 1.0
+    )
+    speedup = exact_seconds / max(fast_seconds, 1e-9)
+    print()
+    print("E5: BLAST-like heuristic vs exact Smith-Waterman (all pairs)")
+    print(
+        format_table(
+            ["method", "seconds", "homolog recall", "precision"],
+            [
+                [
+                    "Smith-Waterman (exact)",
+                    f"{exact_seconds:.2f}",
+                    f"{len(found_exact & truth) / len(truth):.2f}",
+                    f"{len(found_exact & truth) / max(len(found_exact), 1):.2f}",
+                ],
+                [
+                    "BLAST-like (seeded)",
+                    f"{fast_seconds:.2f}",
+                    f"{recall_vs_truth:.2f}",
+                    f"{len(found_fast & truth) / max(len(found_fast), 1):.2f}",
+                ],
+            ],
+        )
+    )
+    print(f"\nspeedup: {speedup:.1f}x; recall vs exact baseline: {recall_vs_exact:.2f}")
+    # Shape: who wins and by what factor.
+    assert speedup >= 5.0
+    assert recall_vs_exact >= 0.8
+    assert recall_vs_truth >= 0.75
+
+
+def test_e5_other_channels_yield(benchmark):
+    scenario = build_noisy_scenario(seed=441)
+    aladin = benchmark.pedantic(
+        lambda: integrate_scenario(scenario), iterations=1, rounds=1
+    )
+    counts = aladin.repository.link_counts_by_kind()
+    rows = [[kind, counts.get(kind, 0)] for kind in
+            ("crossref", "sequence", "text", "name", "ontology", "duplicate")]
+    print()
+    print("E5b: links discovered per channel (full scenario)")
+    print(format_table(["channel", "object links"], rows))
+    assert counts.get("sequence", 0) > 0
+    assert counts.get("text", 0) > 0
+    assert counts.get("ontology", 0) > 0

@@ -1,0 +1,134 @@
+"""E6 — performance of incremental addition and the pruning ablation.
+
+Section 6.2: adding a source involves heavy computation, but statistics
+are per-source and reusable, so the cost of adding the k-th source must
+not explode with k; pruning and sampling keep the pair comparisons down.
+Reports: per-source addition time vs. k, source-size scaling, and the
+pruning on/off ablation (comparisons + link quality).
+"""
+
+import time
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import evaluate_crossref_links, format_table, integrate_scenario
+from repro.linking.model import LinkConfig
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def test_e6_incremental_addition(benchmark):
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=450,
+            universe=UniverseConfig(
+                n_families=8, members_per_family=3, n_go_terms=24,
+                n_diseases=10, n_interactions=15, seed=450,
+            ),
+        )
+    )
+
+    def integrate_with_timings():
+        aladin = Aladin(AladinConfig())
+        timings = []
+        for k, source in enumerate(scenario.sources, start=1):
+            started = time.perf_counter()
+            aladin.add_source(
+                source.name,
+                source.facts.format_name,
+                source.text,
+                **source.facts.import_options,
+            )
+            timings.append((k, source.name, time.perf_counter() - started))
+        return aladin, timings
+
+    aladin, timings = benchmark.pedantic(integrate_with_timings, iterations=1, rounds=1)
+    rows = [[k, name, f"{seconds * 1000:.0f}"] for k, name, seconds in timings]
+    print()
+    print("E6a: cost of adding the k-th source")
+    print(format_table(["k", "source", "ms"], rows))
+    assert len(timings) == len(scenario.sources)
+
+
+def test_e6_source_size_scaling(benchmark):
+    sizes = [(4, 2), (8, 3), (12, 4)]
+    rows = []
+    for families, members in sizes:
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=451,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(
+                    n_families=families, members_per_family=members, seed=451
+                ),
+            )
+        )
+        started = time.perf_counter()
+        aladin = integrate_scenario(scenario)
+        seconds = time.perf_counter() - started
+        rows.append(
+            [
+                families * members,
+                aladin.database("swissprot").total_rows(),
+                f"{seconds * 1000:.0f}",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: integrate_scenario(
+            build_scenario(
+                ScenarioConfig(
+                    seed=451,
+                    include=("swissprot", "pdb"),
+                    universe=UniverseConfig(n_families=8, members_per_family=3, seed=451),
+                )
+            )
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print("E6b: integration time vs source size")
+    print(format_table(["proteins", "swissprot rows", "ms"], rows))
+
+
+def test_e6_pruning_ablation(benchmark):
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=452,
+            include=("swissprot", "pdb", "go"),
+            universe=UniverseConfig(n_families=6, members_per_family=3, seed=452),
+        )
+    )
+    configs = [
+        ("pruning on (default)", LinkConfig()),
+        (
+            "pruning off",
+            LinkConfig(min_distinct_values=0, exclude_numeric_sources=False,
+                       min_match_fraction=0.0, min_absolute_matches=1),
+        ),
+    ]
+    rows = []
+    f1_scores = {}
+    for label, link_config in configs:
+        config = AladinConfig()
+        config.linking = link_config
+        started = time.perf_counter()
+        aladin = integrate_scenario(scenario, config)
+        seconds = time.perf_counter() - started
+        prf = evaluate_crossref_links(scenario, aladin).metric("object_links")
+        f1_scores[label] = prf.f1
+        rows.append(
+            [
+                label,
+                f"{seconds * 1000:.0f}",
+                len(aladin.repository.object_links(kind='crossref')),
+                f"{prf.precision:.2f}",
+                f"{prf.recall:.2f}",
+            ]
+        )
+    benchmark.pedantic(
+        lambda: integrate_scenario(scenario, AladinConfig()), iterations=1, rounds=1
+    )
+    print()
+    print("E6c: statistics-based pruning ablation (crossref channel)")
+    print(format_table(["configuration", "ms", "crossref links", "precision", "recall"], rows))
+    # Pruning must not cost recall on clean data, and must not lower precision.
+    assert f1_scores["pruning on (default)"] >= f1_scores["pruning off"] - 0.05

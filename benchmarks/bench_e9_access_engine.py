@@ -1,0 +1,106 @@
+"""E9 — the access engine: search quality/latency, cross-source queries,
+and the microarray browsing scenario (Sections 4.6 and 6.2).
+
+"Typical microarray experiments produce a set of 50-100 genes. Biologists
+then manually browse a large number of web sites following hyper links for
+each gene. Such browsing, enriched with many more links, reduced
+redundancy due to duplicate detection, and the full capability of SQL
+queries would be perfectly supported by ALADIN."
+"""
+
+import random
+
+from repro.eval import format_table
+from benchmarks.conftest import bench_world  # noqa: F401  (fixture)
+
+
+def test_e9_search_known_item(benchmark, bench_world):
+    scenario, aladin = bench_world
+    engine = aladin.search_engine()
+    proteins = scenario.universe.proteins
+    sp_facts = scenario.gold.sources["swissprot"]
+    uid_to_acc = sp_facts.uid_to_accession()
+
+    queries = []
+    for protein in proteins:
+        accession = uid_to_acc.get(protein.uid)
+        if accession is not None:
+            queries.append((protein.symbol, accession))
+    queries = queries[:25]
+
+    def run_queries():
+        return [engine.search(symbol, top_k=10, sources=["swissprot"])
+                for symbol, _ in queries]
+
+    all_hits = benchmark.pedantic(run_queries, iterations=1, rounds=3)
+
+    hit_at_1 = hit_at_10 = 0
+    for (symbol, accession), hits in zip(queries, all_hits):
+        found = [h.accession for h in hits]
+        if found and found[0] == accession:
+            hit_at_1 += 1
+        if accession in found:
+            hit_at_10 += 1
+    print()
+    print("E9a: known-item search (query = gene symbol, target = its entry)")
+    print(
+        format_table(
+            ["queries", "hit@1", "hit@10"],
+            [[len(queries), f"{hit_at_1 / len(queries):.2f}",
+              f"{hit_at_10 / len(queries):.2f}"]],
+        )
+    )
+    assert hit_at_10 / len(queries) >= 0.8
+
+
+def test_e9_cross_source_query(benchmark, bench_world):
+    scenario, aladin = bench_world
+    engine = aladin.query_engine()
+
+    def gene_to_structures():
+        proteins = engine.select_objects("swissprot", "SELECT * FROM entry")
+        return engine.link_join(proteins, "pdb", kinds=["crossref"])
+
+    structures = benchmark.pedantic(gene_to_structures, iterations=1, rounds=3)
+    print()
+    print(f"E9b: protein->structure link join: {len(structures)} ranked rows")
+    assert structures
+    certainties = [r.certainty for r in structures]
+    assert certainties == sorted(certainties, reverse=True)
+
+
+def test_e9_microarray_browsing(benchmark, bench_world):
+    scenario, aladin = bench_world
+    rng = random.Random(480)
+    accessions = aladin.web.accessions("swissprot")
+    gene_set = rng.sample(accessions, min(18, len(accessions)))
+    browser = aladin.browser()
+
+    def browse_gene_set():
+        followed = 0
+        duplicates_seen = 0
+        for accession in gene_set:
+            view = browser.visit("swissprot", accession)
+            duplicates_seen += len(view.duplicates)
+            for link in view.linked[:3]:
+                browser.follow(view, link)
+                followed += 1
+        return followed, duplicates_seen
+
+    followed, duplicates_seen = benchmark.pedantic(browse_gene_set, iterations=1, rounds=2)
+    engine = aladin.query_engine()
+    rows = engine.select_objects("swissprot", "SELECT * FROM entry")
+    pir_rows = engine.select_objects("pir", "SELECT * FROM entry")
+    collapsed = engine.collapse_duplicates(rows + pir_rows)
+    print()
+    print("E9c: microarray browsing scenario")
+    print(
+        format_table(
+            ["genes", "links followed", "duplicates flagged",
+             "objects before collapse", "after collapse"],
+            [[len(gene_set), followed, duplicates_seen,
+              len(rows) + len(pir_rows), len(collapsed)]],
+        )
+    )
+    assert followed > 0
+    assert len(collapsed) < len(rows) + len(pir_rows)

@@ -1,0 +1,56 @@
+"""Shared scenario fixtures for the benchmark harness.
+
+Each bench regenerates one table/figure/experiment of DESIGN.md's index
+and prints the corresponding rows, so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the paper-shaped results end to end.
+"""
+
+import pytest
+
+from repro.core import AladinConfig
+from repro.eval import integrate_scenario
+from repro.synth import CorruptionConfig, ScenarioConfig, UniverseConfig, build_scenario
+
+
+def small_universe(seed: int) -> UniverseConfig:
+    return UniverseConfig(
+        n_families=5,
+        members_per_family=3,
+        n_go_terms=16,
+        n_diseases=6,
+        n_interactions=10,
+        seed=seed,
+    )
+
+
+def medium_universe(seed: int) -> UniverseConfig:
+    return UniverseConfig(
+        n_families=10,
+        members_per_family=4,
+        n_go_terms=30,
+        n_diseases=12,
+        n_interactions=25,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """One integrated scenario shared by several benches."""
+    scenario = build_scenario(ScenarioConfig(seed=300, universe=small_universe(300)))
+    aladin = integrate_scenario(scenario)
+    return scenario, aladin
+
+
+def build_noisy_scenario(seed: int, drop: float = 0.0, dangle: float = 0.0,
+                         typo: float = 0.0, include=None):
+    config = ScenarioConfig(
+        seed=seed,
+        universe=small_universe(seed),
+        corruption=CorruptionConfig(
+            xref_drop_rate=drop, xref_dangling_rate=dangle, text_typo_rate=typo
+        ),
+    )
+    if include is not None:
+        config.include = include
+    return build_scenario(config)

@@ -1,0 +1,47 @@
+"""Table 1 live: hands-off integration vs the manual alternatives.
+
+Integrates one scenario with ALADIN, then prints the quantified Table 1
+comparing the manual effort and delivered capabilities of data-focused
+curation, a schema-focused mediator, SRS-like indexing, GenMapper-like
+mapping, and ALADIN.
+
+    python examples/hands_off_vs_manual.py
+"""
+
+from repro.eval import format_table, integrate_scenario, run_baselines
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=13,
+            universe=UniverseConfig(n_families=7, members_per_family=3, seed=13),
+        )
+    )
+    print(f"scenario: {len(scenario.sources)} sources, "
+          f"{sum(len(s.facts.accession_to_uid) for s in scenario.sources)} primary objects")
+
+    aladin = integrate_scenario(scenario)
+    print(f"ALADIN integration: {aladin.summary()}")
+    total_ms = sum(r.total_seconds for r in aladin.reports) * 1000
+    print(f"total integration time: {total_ms:.0f} ms, zero schema mappings written")
+
+    outcomes = run_baselines(scenario, aladin)
+    print()
+    print("Table 1 (quantified):")
+    print(
+        format_table(
+            ["approach", "manual actions", "explicit-link recall",
+             "implicit links", "duplicates", "structured queries"],
+            [o.row() for o in outcomes],
+        )
+    )
+    print()
+    print("Reading: ALADIN reaches near-SRS explicit-link coverage plus")
+    print("implicit links and duplicate flagging at GenMapper-level cost —")
+    print("the 'minimal cost' cell of the paper's Table 1.")
+
+
+if __name__ == "__main__":
+    main()

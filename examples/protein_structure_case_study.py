@@ -1,0 +1,90 @@
+"""The Section 5 case study: protein structure annotation (COLUMBA-style).
+
+Integrates the full protein-annotation constellation — Swiss-Prot-like,
+PIR-like, PDB-like, SCOP-like, GO-like, taxonomy, interactions, OMIM-like
+— and then walks through the paper's Section 5 talking points:
+
+* the BioSQL Figure 3 discovery (bioentry wins, accession found),
+* missing links (annotation backlog) visible as recall < 1,
+* duplicates between the overlapping protein databases, flagged not
+  merged, with conflicts surfaced,
+* evidence ranking over multiple link sets.
+
+    python examples/protein_structure_case_study.py
+"""
+
+from repro.core import Aladin, AladinConfig
+from repro.dataimport import load_biosql, parse_flatfile
+from repro.discovery import discover_structure
+from repro.eval import (
+    evaluate_crossref_links,
+    evaluate_duplicates,
+    evaluate_primary_discovery,
+    format_table,
+)
+from repro.synth import CorruptionConfig, ScenarioConfig, UniverseConfig, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=42,
+            universe=UniverseConfig(n_families=8, members_per_family=3, seed=42),
+            corruption=CorruptionConfig(text_typo_rate=0.15, xref_drop_rate=0.1),
+        )
+    )
+
+    # --- Figure 3: run discovery on the BioSQL representation. ---------
+    records = parse_flatfile(scenario.source("swissprot").text)
+    biosql = load_biosql(records, declare_constraints=False).database
+    structure = discover_structure(biosql)
+    print("BioSQL case study (Figure 3):")
+    print(f"  primary relation: {structure.primary_relation}")
+    print(f"  accession column: {structure.accession_candidates['bioentry'].column}")
+    print(f"  relationships mined: {len(structure.relationships)}")
+
+    # --- Full integration. ---------------------------------------------
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    print(f"\nwarehouse: {aladin.summary()}")
+
+    # --- The paper's P/R methodology against the gold standard. --------
+    rows = []
+    primary = evaluate_primary_discovery(scenario, aladin).metric("primary")
+    crossref = evaluate_crossref_links(scenario, aladin).metric("object_links")
+    duplicates = evaluate_duplicates(scenario, aladin).metric("duplicates")
+    for label, prf in (
+        ("primary relations", primary),
+        ("cross-references", crossref),
+        ("duplicates", duplicates),
+    ):
+        rows.append([label, f"{prf.precision:.2f}", f"{prf.recall:.2f}", f"{prf.f1:.2f}"])
+    print()
+    print(format_table(["task", "precision", "recall", "f1"], rows))
+    print("(missing cross-references mirror the annotation backlog of Section 5)")
+
+    # --- Duplicates flagged, never merged; conflicts shown. ------------
+    browser = aladin.browser()
+    for link in aladin.repository.object_links(kind="duplicate"):
+        view = browser.visit(link.source_a, link.accession_a)
+        if view.conflicts:
+            print("\nexample duplicate with conflicting annotation:")
+            print(view.render())
+            break
+
+    # --- Evidence ranking over multiple link sets. ----------------------
+    ranker = aladin.ranker(max_length=2)
+    link = aladin.repository.object_links(kind="duplicate")[0]
+    a = (link.source_a, link.accession_a)
+    b = (link.source_b, link.accession_b)
+    print(f"\nevidence score for duplicate pair {a} ~ {b}: {ranker.score(a, b):.3f}")
+
+
+if __name__ == "__main__":
+    main()

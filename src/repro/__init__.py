@@ -1,0 +1,17 @@
+"""ALADIN — (Almost) Hands-Off Information Integration for the Life Sciences.
+
+Reproduction of Leser & Naumann, CIDR 2005. The top-level package exposes
+the :class:`repro.core.Aladin` system; subpackages hold the substrates:
+
+* :mod:`repro.relational` — in-memory relational database substrate
+* :mod:`repro.dataimport` — flat-file / XML / dump parsers (step 1)
+* :mod:`repro.discovery` — primary & secondary relation discovery (steps 2-3)
+* :mod:`repro.linking` — cross-reference and implicit link discovery (step 4)
+* :mod:`repro.duplicates` — duplicate flagging (step 5)
+* :mod:`repro.access` — browse / search / query engine
+* :mod:`repro.metadata` — the metadata repository
+* :mod:`repro.synth` — synthetic life-science data universe with gold standard
+* :mod:`repro.eval` — precision/recall harness and Table-1 baselines
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,43 @@
+"""The data access engine: browse, search, query (Section 4.6).
+
+The integrated result "is best explained in analogy to the Web: The
+discovered objects correspond to Web pages, and the discovered links
+correspond to HTML links" (Section 1). Accordingly:
+
+* :mod:`objects`/:mod:`browser` — the object web with the four link types
+  (same relation, dependency, duplicate, linked) and a browser that
+  renders pages with lineage and highlighted conflicts;
+* :mod:`crawler` + :mod:`index` + :mod:`search` — a crawler feeding an
+  inverted index, BM25-ranked full-text search with vertical and
+  horizontal partitions;
+* :mod:`queries` — SQL over the imported schemata plus cross-source link
+  joins with certainty-ordered results and optional duplicate-cluster
+  collapsing;
+* :mod:`ranking` — path-based result ordering between objects ("query
+  results can be ordered based on the number, consistency, and length of
+  different paths between two objects", Section 6, citing BLM+04).
+"""
+
+from repro.access.objects import ObjectPage, ObjectWeb
+from repro.access.browser import Browser, BrowseView
+from repro.access.crawler import Crawler
+from repro.access.index import InvertedIndex, PostingField
+from repro.access.search import SearchEngine, SearchHit
+from repro.access.queries import QueryEngine, RankedRow
+from repro.access.ranking import PathRanker, LinkPath
+
+__all__ = [
+    "Browser",
+    "BrowseView",
+    "Crawler",
+    "InvertedIndex",
+    "LinkPath",
+    "ObjectPage",
+    "ObjectWeb",
+    "PathRanker",
+    "PostingField",
+    "QueryEngine",
+    "RankedRow",
+    "SearchEngine",
+    "SearchHit",
+]

@@ -1,0 +1,97 @@
+"""Inverted full-text index over object pages.
+
+Stands in for the "commercial vendor software" (DB2 Search Extender /
+Oracle text search) the paper delegates search to. Postings remember the
+source and the field (table.column) each token came from, so searches can
+be restricted to vertical partitions (fields) and horizontal partitions
+(sources, primary objects only) — Section 4.6.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.access.objects import ObjectPage
+from repro.linking.textlinks import tokenize
+
+
+@dataclass(frozen=True)
+class PostingField:
+    """Where a token occurrence came from."""
+
+    doc_id: int
+    field: str  # "table.column" or "accession"
+    frequency: int
+
+
+class InvertedIndex:
+    """Token -> postings, with per-document metadata."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, List[PostingField]] = defaultdict(list)
+        self._documents: List[Tuple[str, str]] = []  # (source, accession)
+        self._doc_lengths: List[int] = []
+        self._primary_flags: List[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    @property
+    def average_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths) / len(self._doc_lengths)
+
+    def document(self, doc_id: int) -> Tuple[str, str]:
+        return self._documents[doc_id]
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id]
+
+    def document_count(self) -> int:
+        return len(self._documents)
+
+    def document_frequency(self, token: str) -> int:
+        return len({p.doc_id for p in self._postings.get(token, ())})
+
+    def postings(self, token: str) -> List[PostingField]:
+        return list(self._postings.get(token, ()))
+
+    def source_of(self, doc_id: int) -> str:
+        return self._documents[doc_id][0]
+
+    # ------------------------------------------------------------------
+    def add_page(self, page: ObjectPage) -> int:
+        """Index one object page, field by field."""
+        doc_id = len(self._documents)
+        self._documents.append(page.identity)
+        field_tokens: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        total = 0
+        for token in tokenize(page.accession):
+            field_tokens["accession"][token] += 1
+            total += 1
+        for column, value in page.fields.items():
+            if isinstance(value, str):
+                for token in tokenize(value):
+                    field_tokens[column][token] += 1
+                    total += 1
+        for table, rows in page.annotations.items():
+            for row in rows:
+                for column, value in row.items():
+                    if isinstance(value, str):
+                        for token in tokenize(value):
+                            field_tokens[f"{table}.{column}"][token] += 1
+                            total += 1
+        for field_name, counts in field_tokens.items():
+            for token, frequency in counts.items():
+                self._postings[token].append(
+                    PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
+                )
+        self._doc_lengths.append(total)
+        self._primary_flags.append(True)
+        return doc_id
+
+    def vocabulary_size(self) -> int:
+        return len(self._postings)

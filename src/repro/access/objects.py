@@ -1,0 +1,143 @@
+"""The object web: pages and the four relationship types.
+
+Section 4.6 enumerates what a user can follow from an object:
+
+1. *Same relation* — other objects of the same primary relation;
+2. *Dependency* — secondary objects (annotations) of the object;
+3. *Duplicates* — objects of other sources describing the same
+   real-world object;
+4. *Linked* — cross-source links of any other discovered kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.linking.model import ObjectLink
+from repro.linking.resolve import ObjectResolver
+from repro.metadata.repository import MetadataRepository
+from repro.relational.database import Database
+
+
+@dataclass
+class ObjectPage:
+    """One primary object rendered as a page."""
+
+    source: str
+    accession: str
+    fields: Dict[str, object] = field(default_factory=dict)
+    annotations: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+
+    @property
+    def identity(self) -> Tuple[str, str]:
+        return (self.source, self.accession)
+
+    def text_content(self) -> str:
+        """All textual content of the page — what the search engine indexes."""
+        chunks: List[str] = [self.accession]
+        for value in self.fields.values():
+            if isinstance(value, str):
+                chunks.append(value)
+        for rows in self.annotations.values():
+            for row in rows:
+                for value in row.values():
+                    if isinstance(value, str):
+                        chunks.append(value)
+        return " ".join(chunks)
+
+
+class ObjectWeb:
+    """Materialized view of all integrated objects and their links."""
+
+    def __init__(self, repository: MetadataRepository):
+        self._repository = repository
+        self._databases: Dict[str, Database] = {}
+        self._resolvers: Dict[str, ObjectResolver] = {}
+        # (source, table) -> accession -> rows; built lazily, one scan per
+        # secondary table instead of one per page visit.
+        self._annotation_cache: Dict[Tuple[str, str], Dict[str, List[Dict[str, object]]]] = {}
+
+    def attach_database(self, name: str, database: Database) -> None:
+        if not self._repository.has_source(name):
+            raise KeyError(f"source {name!r} not in the metadata repository")
+        self._databases[name] = database
+        self._annotation_cache = {
+            key: value for key, value in self._annotation_cache.items()
+            if key[0] != name
+        }
+        try:
+            self._resolvers[name] = ObjectResolver(
+                database, self._repository.structure(name)
+            )
+        except ValueError:
+            self._resolvers.pop(name, None)  # no primary relation: no pages
+
+    @property
+    def repository(self) -> MetadataRepository:
+        return self._repository
+
+    def sources_with_pages(self) -> List[str]:
+        return sorted(self._resolvers)
+
+    # ------------------------------------------------------------------
+    def accessions(self, source: str) -> List[str]:
+        resolver = self._resolvers.get(source)
+        return resolver.primary_accessions() if resolver else []
+
+    def page(self, source: str, accession: str) -> Optional[ObjectPage]:
+        """Materialize one object page (own row + secondary annotations)."""
+        resolver = self._resolvers.get(source)
+        if resolver is None:
+            return None
+        database = self._databases[source]
+        primary = resolver.primary_relation
+        row = database.table(primary).lookup_unique(resolver.accession_column, accession)
+        if row is None:
+            return None
+        page = ObjectPage(source=source, accession=accession, fields=dict(row))
+        structure = self._repository.structure(source)
+        for table_name in structure.secondary_paths:
+            rows = self._annotation_rows(source, table_name, resolver).get(accession)
+            if rows:
+                page.annotations[table_name] = rows
+        return page
+
+    def _annotation_rows(
+        self, source: str, table_name: str, resolver: ObjectResolver
+    ) -> Dict[str, List[Dict[str, object]]]:
+        key = (source, table_name)
+        cached = self._annotation_cache.get(key)
+        if cached is None:
+            cached = {}
+            table = self._databases[source].table(table_name)
+            for candidate in table.rows():
+                for owner in resolver.owners_of_row(table_name, candidate):
+                    cached.setdefault(owner, []).append(dict(candidate))
+            self._annotation_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # the four link types
+    # ------------------------------------------------------------------
+    def same_relation(self, source: str, accession: str, limit: int = 10) -> List[str]:
+        """Type 1: sibling objects in the same primary relation."""
+        siblings = [a for a in self.accessions(source) if a != accession]
+        return siblings[:limit]
+
+    def dependencies(self, source: str, accession: str) -> Dict[str, List[Dict[str, object]]]:
+        """Type 2: the secondary objects of this object."""
+        page = self.page(source, accession)
+        return page.annotations if page else {}
+
+    def duplicates(self, source: str, accession: str) -> List[ObjectLink]:
+        """Type 3: duplicate links of this object."""
+        return self._repository.links_of(source, accession, kind="duplicate")
+
+    def linked(self, source: str, accession: str) -> List[ObjectLink]:
+        """Type 4: all non-duplicate cross-source links of this object."""
+        return [
+            link
+            for link in self._repository.links_of(source, accession)
+            if link.kind != "duplicate"
+        ]

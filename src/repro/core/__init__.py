@@ -1,0 +1,16 @@
+"""The ALADIN system: the five-step pipeline behind one class.
+
+:class:`Aladin` ties the substrates together: import (step 1), primary and
+secondary relation discovery (steps 2-3), link discovery (step 4),
+duplicate detection (step 5), and the access engine on top. Sources are
+added incrementally; per-source statistics are computed once and reused
+(Section 4.4); re-analysis after data changes is gated by a change
+threshold (Section 6.2); user feedback can remove wrong links
+(Section 6.2).
+"""
+
+from repro.core.config import AladinConfig
+from repro.core.report import IntegrationReport, StepTiming
+from repro.core.aladin import Aladin
+
+__all__ = ["Aladin", "AladinConfig", "IntegrationReport", "StepTiming"]

@@ -1,0 +1,256 @@
+"""The ALADIN integration system (Figure 1 / Figure 2).
+
+``add_source`` runs the five steps of Section 3 for one new source:
+
+1. data import — a registered parser shreds the raw text into relations;
+2. discovery of primary objects and 3. secondary objects — per-source,
+   no other source touched (cheap incremental addition);
+4. link discovery — the new source against all previously added sources,
+   reusing their cached statistics;
+5. duplicate detection — the new source's primary objects against every
+   existing source's primary objects; duplicates are flagged links.
+
+Everything discovered lands in the metadata repository; browsing,
+searching, and querying run on top of it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.access.browser import Browser
+from repro.access.crawler import Crawler
+from repro.access.index import InvertedIndex
+from repro.access.objects import ObjectWeb
+from repro.access.queries import QueryEngine
+from repro.access.ranking import PathRanker
+from repro.access.search import SearchEngine
+from repro.core.config import AladinConfig
+from repro.core.report import IntegrationReport, StepTiming
+from repro.dataimport.base import ImportResult
+from repro.dataimport import registry
+from repro.discovery.pipeline import discover_structure
+from repro.duplicates.detector import DuplicateDetector
+from repro.linking.engine import LinkDiscoveryEngine
+from repro.linking.model import ObjectLink
+from repro.metadata.repository import MetadataRepository
+from repro.relational.database import Database
+
+
+class Aladin:
+    """Almost automatic data integration."""
+
+    def __init__(self, config: Optional[AladinConfig] = None):
+        self.config = config or AladinConfig()
+        self.repository = MetadataRepository()
+        self.web = ObjectWeb(self.repository)
+        self._engine = LinkDiscoveryEngine(
+            config=self.config.linking, channels=self.config.channels
+        )
+        self._databases: Dict[str, Database] = {}
+        self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
+        self._index: Optional[InvertedIndex] = None
+        self.reports: List[IntegrationReport] = []
+
+    # ------------------------------------------------------------------
+    # the five-step pipeline
+    # ------------------------------------------------------------------
+    def add_source(
+        self, name: str, format_name: str, text: str, **import_options
+    ) -> IntegrationReport:
+        """Integrate one new source from raw text (steps 1-5)."""
+        report = IntegrationReport(source_name=name)
+        # Step 1: data import.
+        started = time.perf_counter()
+        importer = registry.create(
+            format_name, name, declare_constraints=self.config.declare_constraints
+        )
+        for key, value in import_options.items():
+            setattr(importer, key, value)
+        result: ImportResult = importer.import_text(text)
+        report.warnings.extend(result.warnings)
+        report.steps.append(
+            StepTiming(
+                "import",
+                time.perf_counter() - started,
+                {"tables": result.tables_created, "records": result.records_read},
+            )
+        )
+        self._raw_inputs[name] = (format_name, text, import_options)
+        self._integrate_database(result.database, report)
+        return report
+
+    def add_database(self, database: Database) -> IntegrationReport:
+        """Integrate a source already available as a relational database."""
+        report = IntegrationReport(source_name=database.name)
+        report.steps.append(
+            StepTiming(
+                "import",
+                0.0,
+                {"tables": len(database.table_names()), "records": database.total_rows()},
+            )
+        )
+        self._integrate_database(database, report)
+        return report
+
+    def _integrate_database(self, database: Database, report: IntegrationReport) -> None:
+        name = database.name
+        # Steps 2+3: primary and secondary discovery (single processing
+        # step, Section 3).
+        started = time.perf_counter()
+        structure = discover_structure(database, self.config.discovery)
+        report.primary_relation = structure.primary_relation
+        report.steps.append(
+            StepTiming(
+                "discover_structure",
+                time.perf_counter() - started,
+                {
+                    "unique_attributes": len(structure.unique_attributes),
+                    "accession_candidates": len(structure.accession_candidates),
+                    "relationships": len(structure.relationships),
+                    "paths": sum(len(p) for p in structure.secondary_paths.values()),
+                },
+            )
+        )
+        if structure.primary_relation is None:
+            report.warnings.append(
+                f"no primary relation found for {name!r}; objects of this "
+                "source cannot anchor links"
+            )
+        # Register: statistics are computed once here and reused for every
+        # later source addition (Section 4.4).
+        statistics = self._engine.register_source(database, structure)
+        samples = {
+            table: [database.table(table).row_at(i)
+                    for i in range(min(self.config.sample_rows_per_table,
+                                       len(database.table(table))))]
+            for table in database.table_names()
+        }
+        row_counts = {t: len(database.table(t)) for t in database.table_names()}
+        self.repository.register_source(
+            structure, statistics, samples, row_counts
+        )
+        self._databases[name] = database
+        self.web.attach_database(name, database)
+        # Step 4: link discovery against all existing sources.
+        started = time.perf_counter()
+        links = self._engine.discover_for(name)
+        for attribute_link in links.attribute_links:
+            self.repository.add_attribute_link(attribute_link)
+        stored = self.repository.add_object_links(links.object_links)
+        report.steps.append(
+            StepTiming(
+                "link_discovery",
+                time.perf_counter() - started,
+                {
+                    "attribute_links": len(links.attribute_links),
+                    "object_links": stored,
+                },
+            )
+        )
+        # Step 5: duplicate detection against every existing source.
+        started = time.perf_counter()
+        flagged = 0
+        if self.config.detect_duplicates:
+            detector = DuplicateDetector(self.config.duplicates)
+            for other_name in self.repository.source_names():
+                if other_name == name:
+                    continue
+                duplicates = detector.detect(
+                    database,
+                    self.repository.structure(name),
+                    self._databases[other_name],
+                    self.repository.structure(other_name),
+                )
+                flagged += self.repository.add_object_links(duplicates)
+        report.steps.append(
+            StepTiming(
+                "duplicate_detection",
+                time.perf_counter() - started,
+                {"duplicates_flagged": flagged},
+            )
+        )
+        self._index = None  # search index is stale
+        self.reports.append(report)
+
+    # ------------------------------------------------------------------
+    # data changes and feedback (Section 6.2)
+    # ------------------------------------------------------------------
+    def update_source(self, name: str, text: str) -> Optional[IntegrationReport]:
+        """Re-import a changed source; re-analyze only past the threshold.
+
+        "In principle, all links must be recomputed even if only a small
+        fraction of the data ... changes. This re-computation is clearly
+        infeasible. We envisage a threshold on the number of changes."
+        Below the threshold the raw data is swapped in place and existing
+        links are kept; above it the source is dropped and re-integrated.
+        """
+        if name not in self._raw_inputs:
+            raise KeyError(f"source {name!r} was not added from raw text")
+        format_name, _old_text, options = self._raw_inputs[name]
+        importer = registry.create(
+            format_name, name, declare_constraints=self.config.declare_constraints
+        )
+        for key, value in options.items():
+            setattr(importer, key, value)
+        new_result = importer.import_text(text)
+        old_rows = self._databases[name].total_rows()
+        new_rows = new_result.database.total_rows()
+        change_fraction = abs(new_rows - old_rows) / max(old_rows, 1)
+        if change_fraction <= self.config.reanalysis_change_threshold:
+            # Swap data, keep structure and links (documented approximation).
+            self._databases[name] = new_result.database
+            self.web.attach_database(name, new_result.database)
+            self._raw_inputs[name] = (format_name, text, options)
+            self._index = None
+            return None
+        self.remove_source(name)
+        return self.add_source(name, format_name, text, **options)
+
+    def remove_source(self, name: str) -> None:
+        self.repository.remove_source(name)
+        self._databases.pop(name, None)
+        self._raw_inputs.pop(name, None)
+        self._engine = LinkDiscoveryEngine(
+            config=self.config.linking, channels=self.config.channels
+        )
+        self.web = ObjectWeb(self.repository)
+        for other, database in self._databases.items():
+            self._engine.register_source(database, self.repository.structure(other))
+            self.web.attach_database(other, database)
+        self._index = None
+
+    def remove_link(self, link: ObjectLink) -> bool:
+        """User feedback: delete one wrong link (Section 6.2)."""
+        return self.repository.remove_object_link(link)
+
+    # ------------------------------------------------------------------
+    # access modes
+    # ------------------------------------------------------------------
+    def browser(self) -> Browser:
+        return Browser(self.web)
+
+    def search_engine(self) -> SearchEngine:
+        if self._index is None:
+            index = InvertedIndex()
+            for page in Crawler(self.web).crawl(follow_links=False):
+                index.add_page(page)
+            self._index = index
+        return SearchEngine(self._index)
+
+    def query_engine(self) -> QueryEngine:
+        return QueryEngine(self.web)
+
+    def ranker(self, max_length: int = 3) -> PathRanker:
+        return PathRanker(self.repository, max_length=max_length)
+
+    # ------------------------------------------------------------------
+    def source_names(self) -> List[str]:
+        return self.repository.source_names()
+
+    def database(self, name: str) -> Database:
+        return self._databases[name]
+
+    def summary(self) -> str:
+        return self.repository.summary()

@@ -1,0 +1,36 @@
+"""System-wide configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.model import DiscoveryConfig
+from repro.duplicates.detector import DuplicateConfig
+from repro.linking.engine import LinkChannels
+from repro.linking.model import LinkConfig
+
+
+@dataclass
+class AladinConfig:
+    """All knobs of the pipeline in one place.
+
+    Every threshold the paper leaves unspecified lives in one of the
+    sub-configs (DESIGN.md Section 6 records the calibration).
+    """
+
+    discovery: DiscoveryConfig = field(default_factory=DiscoveryConfig)
+    linking: LinkConfig = field(default_factory=LinkConfig)
+    channels: LinkChannels = field(default_factory=LinkChannels)
+    duplicates: DuplicateConfig = field(default_factory=DuplicateConfig)
+    # Step 5 runs between every source pair by default; it can be disabled
+    # for ablations.
+    detect_duplicates: bool = True
+    # Section 6.2: "We envisage a threshold on the number of changes to a
+    # data source before a new analysis is carried out." Fraction of rows
+    # that must change before update_source() triggers full re-analysis.
+    reanalysis_change_threshold: float = 0.1
+    # Declare importer constraints? False = the hard, realistic mode where
+    # all structure must be guessed from data (the paper's main setting).
+    declare_constraints: bool = False
+    # Samples stored in the metadata repository per table.
+    sample_rows_per_table: int = 3

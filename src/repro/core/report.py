@@ -1,0 +1,49 @@
+"""Per-source integration reports (the Figure 2 trace)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class StepTiming:
+    """Wall time and headline counts of one pipeline step."""
+
+    step: str
+    seconds: float
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"{self.step:<22s} {self.seconds * 1000:8.1f} ms  {rendered}"
+
+
+@dataclass
+class IntegrationReport:
+    """Outcome of adding one source (steps 1-5)."""
+
+    source_name: str
+    steps: List[StepTiming] = field(default_factory=list)
+    primary_relation: Optional[str] = None
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps)
+
+    def step(self, name: str) -> StepTiming:
+        for timing in self.steps:
+            if timing.step == name:
+                return timing
+        raise KeyError(f"no step {name!r} in report for {self.source_name!r}")
+
+    def render(self) -> str:
+        lines = [f"--- integration of {self.source_name!r} "
+                 f"({self.total_seconds * 1000:.1f} ms total) ---"]
+        lines.extend(step.describe() for step in self.steps)
+        if self.primary_relation is not None:
+            lines.append(f"primary relation: {self.primary_relation}")
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return "\n".join(lines)

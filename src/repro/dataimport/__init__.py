@@ -1,0 +1,63 @@
+"""Data import: step 1 of the ALADIN pipeline.
+
+Section 4.1: every source is read "into a relational database"; neither a
+standard schema nor integrity constraints are required, because the later
+discovery steps reconstruct structure from the data. Parsers here mirror
+the import channels the paper lists:
+
+* line-prefixed flat files (Swiss-Prot / EMBL style) — :mod:`flatfile`
+* FASTA sequence files — :mod:`fasta`
+* PDB-style structure summaries — :mod:`pdbfile`
+* SCOP/CATH-style classification hierarchies — :mod:`scopcath`
+* generic XML shredding — :mod:`xmlshredder`
+* delimited text — :mod:`delimited`
+* OBO-style ontologies — :mod:`obo`
+* direct relational dumps — :class:`RelationalDumpImporter`
+* the BioSQL target schema of Figure 3 — :mod:`biosql`
+
+All parsers generate integer surrogate keys; public accession numbers
+appear only as data values — the asymmetry ALADIN's accession heuristic
+feeds on.
+"""
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.dataimport.records import CrossReference, EntryRecord, Feature
+from repro.dataimport.flatfile import FlatFileImporter, parse_flatfile, write_flatfile
+from repro.dataimport.fasta import FastaImporter, parse_fasta, write_fasta
+from repro.dataimport.pdbfile import PdbImporter, parse_pdb_summaries, write_pdb_summaries
+from repro.dataimport.scopcath import ClassificationImporter, parse_classification, write_classification
+from repro.dataimport.xmlshredder import XmlShredder
+from repro.dataimport.delimited import DelimitedImporter
+from repro.dataimport.obo import OboImporter, parse_obo, write_obo
+from repro.dataimport.dump import RelationalDumpImporter
+from repro.dataimport.biosql import build_biosql_schema, load_biosql
+
+__all__ = [
+    "ClassificationImporter",
+    "CrossReference",
+    "DelimitedImporter",
+    "EntryRecord",
+    "FastaImporter",
+    "Feature",
+    "FlatFileImporter",
+    "ImportError_",
+    "ImportResult",
+    "Importer",
+    "OboImporter",
+    "PdbImporter",
+    "RelationalDumpImporter",
+    "XmlShredder",
+    "build_biosql_schema",
+    "load_biosql",
+    "parse_classification",
+    "parse_fasta",
+    "parse_flatfile",
+    "parse_obo",
+    "parse_pdb_summaries",
+    "registry",
+    "write_classification",
+    "write_fasta",
+    "write_flatfile",
+    "write_obo",
+    "write_pdb_summaries",
+]

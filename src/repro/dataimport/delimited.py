@@ -1,0 +1,64 @@
+"""Delimited text (CSV/TSV) with a header row.
+
+Covers sources distributed as simple tab-separated exports (many genome
+mapping and expression datasets). Column types are inferred from data.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Optional
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema, validate_identifier
+from repro.relational.types import infer_type
+
+
+class DelimitedImporter(Importer):
+    """Import one delimited file into one table named after the source."""
+
+    format_name = "delimited"
+
+    def __init__(
+        self,
+        source_name: str,
+        declare_constraints: bool = True,
+        delimiter: str = "\t",
+        table_name: Optional[str] = None,
+    ):
+        super().__init__(source_name, declare_constraints)
+        self.delimiter = delimiter
+        self.table_name = table_name or source_name
+
+    def import_text(self, text: str) -> ImportResult:
+        reader = csv.reader(io.StringIO(text), delimiter=self.delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ImportError_("delimited file is empty") from None
+        names = [validate_identifier(h.strip().lower().replace(" ", "_"), "column") for h in header]
+        if len(set(names)) != len(names):
+            raise ImportError_(f"duplicate column names in header: {names}")
+        records: List[List[Optional[str]]] = []
+        for line_no, record in enumerate(reader, start=2):
+            if not record:
+                continue
+            if len(record) != len(names):
+                raise ImportError_(
+                    f"line {line_no}: expected {len(names)} fields, got {len(record)}"
+                )
+            records.append([value if value != "" else None for value in record])
+        columns = []
+        for i, name in enumerate(names):
+            values = [record[i] for record in records]
+            columns.append(Column(name, infer_type(values)))
+        database = Database(self.source_name)
+        table = database.create_table(TableSchema(self.table_name, columns))
+        for record in records:
+            table.insert(dict(zip(names, record)))
+        return ImportResult(database, len(records), 1)
+
+
+registry.register("delimited", DelimitedImporter)

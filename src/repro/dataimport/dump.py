@@ -1,0 +1,45 @@
+"""Direct relational dump import.
+
+Section 4.1: "Some databases, such as Swiss-Prot, the GeneOntology, or
+EnsEmbl, provide direct relational dump files." Wraps
+:mod:`repro.relational.csvio`; constraint declarations can be kept (the
+DDL shipped with the dump) or dropped (only data files survived).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.dataimport.base import Importer, ImportResult, registry
+from repro.relational.csvio import load_database
+
+
+class RelationalDumpImporter(Importer):
+    """Import a dump directory written by :func:`repro.relational.csvio.dump_database`."""
+
+    format_name = "dump"
+
+    def import_text(self, text: str) -> ImportResult:
+        raise NotImplementedError("dump import reads a directory; use import_directory()")
+
+    def import_directory(self, directory: Union[str, Path]) -> ImportResult:
+        database = load_database(directory, include_constraints=self.declare_constraints)
+        # Rename to the requested source name by rebuilding the container.
+        if database.name != self.source_name:
+            from repro.relational.database import Database
+
+            renamed = Database(self.source_name)
+            for table in database.tables():
+                new_table = renamed.create_table(table.schema)
+                for row in table.rows():
+                    new_table.insert(row)
+            database = renamed
+        return ImportResult(
+            database=database,
+            records_read=database.total_rows(),
+            tables_created=len(database.table_names()),
+        )
+
+
+registry.register("dump", RelationalDumpImporter)

@@ -1,0 +1,101 @@
+"""FASTA sequence files.
+
+The simplest life-science exchange format: ``>accession description``
+header lines followed by wrapped sequence lines. The importer produces a
+single-table source — useful as a minimal source and as the degenerate
+case for primary-relation discovery (one table, trivially primary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+
+_WIDTH = 70
+
+FastaEntry = Tuple[str, str, str]  # (accession, description, sequence)
+
+
+def write_fasta(entries: Iterable[FastaEntry]) -> str:
+    lines: List[str] = []
+    for accession, description, sequence in entries:
+        header = f">{accession}"
+        if description:
+            header += f" {description}"
+        lines.append(header)
+        for i in range(0, len(sequence), _WIDTH):
+            lines.append(sequence[i : i + _WIDTH])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_fasta(text: str) -> List[FastaEntry]:
+    entries: List[FastaEntry] = []
+    accession = None
+    description = ""
+    chunks: List[str] = []
+    for line in text.splitlines():
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if accession is not None:
+                entries.append((accession, description, "".join(chunks)))
+            header = line[1:].strip()
+            if not header:
+                raise ImportError_("FASTA header without accession")
+            parts = header.split(None, 1)
+            accession = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+            chunks = []
+        else:
+            if accession is None:
+                raise ImportError_(f"sequence data before first header: {line!r}")
+            chunks.append(line.replace(" ", ""))
+    if accession is not None:
+        entries.append((accession, description, "".join(chunks)))
+    return entries
+
+
+class FastaImporter(Importer):
+    """One table: ``seq_entry(seq_id, accession, description, length, seq)``."""
+
+    format_name = "fasta"
+
+    def import_text(self, text: str) -> ImportResult:
+        entries = parse_fasta(text)
+        database = Database(self.source_name)
+        columns = [
+            Column("seq_id", DataType.INTEGER, nullable=False),
+            Column("accession", DataType.TEXT),
+            Column("description", DataType.TEXT),
+            Column("length", DataType.INTEGER),
+            Column("seq", DataType.TEXT),
+        ]
+        if self.declare_constraints:
+            schema = TableSchema(
+                "seq_entry",
+                columns,
+                primary_key=("seq_id",),
+                unique_constraints=[UniqueConstraint(("accession",))],
+            )
+        else:
+            schema = TableSchema("seq_entry", columns)
+        table = database.create_table(schema)
+        for seq_id, (accession, description, sequence) in enumerate(entries, start=1):
+            table.insert(
+                {
+                    "seq_id": seq_id,
+                    "accession": accession,
+                    "description": description or None,
+                    "length": len(sequence),
+                    "seq": sequence,
+                }
+            )
+        return ImportResult(database, len(entries), 1)
+
+
+registry.register("fasta", FastaImporter)

@@ -1,0 +1,162 @@
+"""OBO-style ontology files (Gene Ontology and friends).
+
+Section 4.4 names controlled vocabularies as "excellent links ... provided
+that the ontologies are themselves integrated as data sources". This
+parser reads the ``[Term]`` stanza format and materializes the term table
+plus the ``is_a`` DAG, so an ontology becomes a first-class ALADIN source
+whose accessions (``GO:0001234``) are targets for cross-references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+
+
+@dataclass
+class OboTerm:
+    """One ontology term."""
+
+    term_accession: str
+    name: str = ""
+    namespace: str = ""
+    definition: str = ""
+    is_a: List[str] = field(default_factory=list)
+
+
+def write_obo(terms: Iterable[OboTerm]) -> str:
+    chunks: List[str] = []
+    for term in terms:
+        lines = ["[Term]", f"id: {term.term_accession}"]
+        if term.name:
+            lines.append(f"name: {term.name}")
+        if term.namespace:
+            lines.append(f"namespace: {term.namespace}")
+        if term.definition:
+            lines.append(f'def: "{term.definition}"')
+        for parent in term.is_a:
+            lines.append(f"is_a: {parent}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + ("\n" if chunks else "")
+
+
+def parse_obo(text: str) -> List[OboTerm]:
+    terms: List[OboTerm] = []
+    current: Optional[OboTerm] = None
+    in_term_stanza = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if current is not None:
+                terms.append(current)
+                current = None
+            in_term_stanza = line == "[Term]"
+            continue
+        if not in_term_stanza:
+            continue
+        if ":" not in line:
+            raise ImportError_(f"malformed OBO line: {line!r}")
+        key, value = line.split(":", 1)
+        key = key.strip()
+        value = value.strip()
+        if key == "id":
+            current = OboTerm(term_accession=value)
+        elif current is None:
+            raise ImportError_(f"OBO tag before id: {line!r}")
+        elif key == "name":
+            current.name = value
+        elif key == "namespace":
+            current.namespace = value
+        elif key == "def":
+            current.definition = value.strip('"')
+        elif key == "is_a":
+            current.is_a.append(value.split("!")[0].strip())
+    if current is not None:
+        terms.append(current)
+    return terms
+
+
+class OboImporter(Importer):
+    """Tables: ``term`` (primary) and ``term_isa`` (DAG edges)."""
+
+    format_name = "obo"
+
+    def import_text(self, text: str) -> ImportResult:
+        terms = parse_obo(text)
+        database = Database(self.source_name)
+        declare = self.declare_constraints
+        term_columns = [
+            Column("term_id", DataType.INTEGER, nullable=False),
+            Column("accession", DataType.TEXT),
+            Column("name", DataType.TEXT),
+            Column("namespace", DataType.TEXT),
+            Column("definition", DataType.TEXT),
+        ]
+        isa_columns = [
+            Column("term_isa_id", DataType.INTEGER, nullable=False),
+            Column("term_id", DataType.INTEGER),
+            Column("parent_term_id", DataType.INTEGER),
+        ]
+        if declare:
+            database.create_table(
+                TableSchema(
+                    "term",
+                    term_columns,
+                    primary_key=("term_id",),
+                    unique_constraints=[UniqueConstraint(("accession",))],
+                )
+            )
+            database.create_table(
+                TableSchema(
+                    "term_isa",
+                    isa_columns,
+                    primary_key=("term_isa_id",),
+                    foreign_keys=[
+                        ForeignKey(("term_id",), "term", ("term_id",)),
+                        ForeignKey(("parent_term_id",), "term", ("term_id",)),
+                    ],
+                )
+            )
+        else:
+            database.create_table(TableSchema("term", term_columns))
+            database.create_table(TableSchema("term_isa", isa_columns))
+        allocator = self.make_id_allocator()
+        ids = {}
+        warnings: List[str] = []
+        for term in terms:
+            term_id = allocator.next("term")
+            ids[term.term_accession] = term_id
+            database.insert(
+                "term",
+                {
+                    "term_id": term_id,
+                    "accession": term.term_accession,
+                    "name": term.name or None,
+                    "namespace": term.namespace or None,
+                    "definition": term.definition or None,
+                },
+            )
+        for term in terms:
+            for parent in term.is_a:
+                if parent not in ids:
+                    warnings.append(f"{term.term_accession}: unknown parent {parent}")
+                    continue
+                database.insert(
+                    "term_isa",
+                    {
+                        "term_isa_id": allocator.next("term_isa"),
+                        "term_id": ids[term.term_accession],
+                        "parent_term_id": ids[parent],
+                    },
+                )
+        return ImportResult(database, len(terms), 2, warnings)
+
+
+registry.register("obo", OboImporter)

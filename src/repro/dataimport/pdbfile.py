@@ -1,0 +1,225 @@
+"""PDB-style structure summary files.
+
+We model the header section of PDB entries (the part COLUMBA integrates:
+identification, experiment, resolution, compound, cross-references to
+sequence databases). PDB codes are 4-character alphanumeric accessions —
+the paper's footnote 4 names them as the shortest accession numbers it is
+aware of, which is why ALADIN's accession heuristic uses "at least four
+characters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.dataimport.records import CrossReference
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+
+
+@dataclass
+class PdbRecord:
+    """One structure summary."""
+
+    pdb_code: str
+    title: str = ""
+    compound: str = ""
+    organism: str = ""
+    method: str = ""
+    resolution: Optional[float] = None
+    deposited: str = ""
+    cross_references: List[CrossReference] = field(default_factory=list)
+    sequence: str = ""
+
+
+def write_pdb_summaries(records: Iterable[PdbRecord]) -> str:
+    lines: List[str] = []
+    for record in records:
+        lines.append(f"HEADER    {record.deposited:<11s} {record.pdb_code}")
+        if record.title:
+            lines.append(f"TITLE     {record.title}")
+        if record.compound:
+            lines.append(f"COMPND    {record.compound}")
+        if record.organism:
+            lines.append(f"SOURCE    {record.organism}")
+        if record.method:
+            lines.append(f"EXPDTA    {record.method}")
+        if record.resolution is not None:
+            lines.append(f"REMARK  2 RESOLUTION. {record.resolution:.2f} ANGSTROMS.")
+        for xref in record.cross_references:
+            lines.append(f"DBREF     {record.pdb_code} {xref.database} {xref.accession}")
+        if record.sequence:
+            for i in range(0, len(record.sequence), 60):
+                lines.append(f"SEQRES    {record.sequence[i:i + 60]}")
+        lines.append("END")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_pdb_summaries(text: str) -> List[PdbRecord]:
+    records: List[PdbRecord] = []
+    current: Optional[PdbRecord] = None
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        tag = line[:10].strip()
+        payload = line[10:].strip()
+        if tag == "HEADER":
+            parts = payload.split()
+            if not parts:
+                raise ImportError_(f"HEADER without PDB code: {line!r}")
+            code = parts[-1]
+            current = PdbRecord(pdb_code=code, deposited=" ".join(parts[:-1]))
+        elif tag == "END":
+            if current is not None:
+                records.append(current)
+            current = None
+        elif current is None:
+            raise ImportError_(f"line before HEADER: {line!r}")
+        elif tag == "TITLE":
+            current.title = (current.title + " " + payload).strip()
+        elif tag == "COMPND":
+            current.compound = (current.compound + " " + payload).strip()
+        elif tag == "SOURCE":
+            current.organism = payload
+        elif tag == "EXPDTA":
+            current.method = payload
+        elif tag == "REMARK  2" or tag.startswith("REMARK"):
+            if "RESOLUTION." in payload:
+                token = payload.split("RESOLUTION.", 1)[1].split()[0]
+                try:
+                    current.resolution = float(token)
+                except ValueError:
+                    pass
+        elif tag == "DBREF":
+            parts = payload.split()
+            if len(parts) >= 3:
+                current.cross_references.append(CrossReference(parts[1], parts[2]))
+        elif tag == "SEQRES":
+            current.sequence += payload.replace(" ", "")
+    if current is not None:
+        records.append(current)
+    return records
+
+
+class PdbImporter(Importer):
+    """Tables: ``structure`` (primary), ``compound``, ``struct_ref``, ``struct_seq``."""
+
+    format_name = "pdb"
+
+    def import_text(self, text: str) -> ImportResult:
+        records = parse_pdb_summaries(text)
+        database = Database(self.source_name)
+        self._create_tables(database)
+        ids = self.make_id_allocator()
+        for record in records:
+            structure_id = ids.next("structure")
+            database.insert(
+                "structure",
+                {
+                    "structure_id": structure_id,
+                    "pdb_code": record.pdb_code,
+                    "title": record.title or None,
+                    "method": record.method or None,
+                    "resolution": record.resolution,
+                    "deposited": record.deposited or None,
+                    "organism": record.organism or None,
+                },
+            )
+            if record.compound:
+                database.insert(
+                    "compound",
+                    {
+                        "compound_id": ids.next("compound"),
+                        "structure_id": structure_id,
+                        "molecule": record.compound,
+                    },
+                )
+            for xref in record.cross_references:
+                database.insert(
+                    "struct_ref",
+                    {
+                        "struct_ref_id": ids.next("struct_ref"),
+                        "structure_id": structure_id,
+                        "db_name": xref.database,
+                        "db_accession": xref.accession,
+                    },
+                )
+            if record.sequence:
+                database.insert(
+                    "struct_seq",
+                    {"structure_id": structure_id, "seq": record.sequence},
+                )
+        return ImportResult(database, len(records), len(database.table_names()))
+
+    def _create_tables(self, database: Database) -> None:
+        declare = self.declare_constraints
+
+        def schema(name, columns, pk=None, uniques=(), fks=()):
+            if not declare:
+                return TableSchema(name, columns)
+            return TableSchema(
+                name,
+                columns,
+                primary_key=pk,
+                unique_constraints=[UniqueConstraint(u) for u in uniques],
+                foreign_keys=[ForeignKey(*fk) for fk in fks],
+            )
+
+        database.create_table(
+            schema(
+                "structure",
+                [
+                    Column("structure_id", DataType.INTEGER, nullable=False),
+                    Column("pdb_code", DataType.TEXT),
+                    Column("title", DataType.TEXT),
+                    Column("method", DataType.TEXT),
+                    Column("resolution", DataType.FLOAT),
+                    Column("deposited", DataType.TEXT),
+                    Column("organism", DataType.TEXT),
+                ],
+                pk=("structure_id",),
+                uniques=[("pdb_code",)],
+            )
+        )
+        database.create_table(
+            schema(
+                "compound",
+                [
+                    Column("compound_id", DataType.INTEGER, nullable=False),
+                    Column("structure_id", DataType.INTEGER),
+                    Column("molecule", DataType.TEXT),
+                ],
+                pk=("compound_id",),
+                fks=[(("structure_id",), "structure", ("structure_id",))],
+            )
+        )
+        database.create_table(
+            schema(
+                "struct_ref",
+                [
+                    Column("struct_ref_id", DataType.INTEGER, nullable=False),
+                    Column("structure_id", DataType.INTEGER),
+                    Column("db_name", DataType.TEXT),
+                    Column("db_accession", DataType.TEXT),
+                ],
+                pk=("struct_ref_id",),
+                fks=[(("structure_id",), "structure", ("structure_id",))],
+            )
+        )
+        database.create_table(
+            schema(
+                "struct_seq",
+                [
+                    Column("structure_id", DataType.INTEGER, nullable=False),
+                    Column("seq", DataType.TEXT),
+                ],
+                pk=("structure_id",),
+                fks=[(("structure_id",), "structure", ("structure_id",))],
+            )
+        )
+
+
+registry.register("pdb", PdbImporter)

@@ -1,0 +1,64 @@
+"""In-memory record model shared by the flat-file style parsers.
+
+A record is one primary object (protein, structure, gene, ...) with the
+nested annotation set the paper describes in Section 1: description text,
+organism, keywords, literature references, database cross-references, and
+an optional biological sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CrossReference:
+    """An explicit database cross-reference (Section 4.4).
+
+    Stored internally as the pair (target database, accession) and often
+    serialized as one string like ``"Uniprot:P11140"``.
+    """
+
+    database: str
+    accession: str
+
+    def encoded(self) -> str:
+        return f"{self.database}:{self.accession}"
+
+    @classmethod
+    def parse(cls, text: str) -> "CrossReference":
+        if ":" not in text:
+            raise ValueError(f"not an encoded cross-reference: {text!r}")
+        database, accession = text.split(":", 1)
+        return cls(database.strip(), accession.strip())
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A positional sequence feature (domain, site, ...)."""
+
+    kind: str
+    start: int
+    end: int
+    note: str = ""
+
+
+@dataclass
+class EntryRecord:
+    """One primary object with its annotations."""
+
+    accession: str
+    name: str = ""
+    description: str = ""
+    organism: str = ""
+    taxonomy_id: Optional[int] = None
+    keywords: List[str] = field(default_factory=list)
+    cross_references: List[CrossReference] = field(default_factory=list)
+    references: List[str] = field(default_factory=list)
+    comments: List[str] = field(default_factory=list)
+    sequence: str = ""
+    features: List[Feature] = field(default_factory=list)
+
+    def sequence_length(self) -> int:
+        return len(self.sequence)

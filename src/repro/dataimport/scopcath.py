@@ -1,0 +1,196 @@
+"""SCOP/CATH-style protein classification hierarchies.
+
+Section 4.1: "we are not aware of any parser for the CATH or SCOP
+databases ... however, their format is trivial to parse." The format we
+model follows SCOP's ``dir.cla`` style: one line per domain ::
+
+    <domain_sid> <pdb_code> <sccs>
+
+where ``sccs`` is a dotted classification path like ``a.1.1.2``
+(class.fold.superfamily.family). The importer materializes the hierarchy
+as four dictionary tables plus the domain table, producing a deep FK chain
+— a stress case for secondary-relation path discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One classified protein domain."""
+
+    sid: str
+    pdb_code: str
+    sccs: str
+
+    def levels(self) -> Tuple[str, str, str, str]:
+        parts = self.sccs.split(".")
+        if len(parts) != 4:
+            raise ImportError_(f"sccs must have 4 levels, got {self.sccs!r}")
+        cls = parts[0]
+        fold = ".".join(parts[:2])
+        superfamily = ".".join(parts[:3])
+        family = self.sccs
+        return cls, fold, superfamily, family
+
+
+def write_classification(records: Iterable[DomainRecord]) -> str:
+    lines = [f"{r.sid}\t{r.pdb_code}\t{r.sccs}" for r in records]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_classification(text: str) -> List[DomainRecord]:
+    records: List[DomainRecord] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ImportError_(f"line {line_no}: expected 3 fields, got {len(parts)}")
+        records.append(DomainRecord(sid=parts[0], pdb_code=parts[1], sccs=parts[2]))
+    return records
+
+
+class ClassificationImporter(Importer):
+    """Tables: ``domain`` -> ``family`` -> ``superfamily`` -> ``fold`` -> ``class``."""
+
+    format_name = "classification"
+
+    def import_text(self, text: str) -> ImportResult:
+        records = parse_classification(text)
+        database = Database(self.source_name)
+        self._create_tables(database)
+        ids = self.make_id_allocator()
+        classes: Dict[str, int] = {}
+        folds: Dict[str, int] = {}
+        superfamilies: Dict[str, int] = {}
+        families: Dict[str, int] = {}
+        rows = {"class": [], "fold": [], "superfamily": [], "family": []}
+        for record in records:
+            cls, fold, superfamily, family = record.levels()
+            if cls not in classes:
+                classes[cls] = ids.next("scop_class")
+                rows["class"].append({"class_id": classes[cls], "code": cls})
+            if fold not in folds:
+                folds[fold] = ids.next("scop_fold")
+                rows["fold"].append(
+                    {"fold_id": folds[fold], "code": fold, "class_id": classes[cls]}
+                )
+            if superfamily not in superfamilies:
+                superfamilies[superfamily] = ids.next("scop_superfamily")
+                rows["superfamily"].append(
+                    {
+                        "superfamily_id": superfamilies[superfamily],
+                        "code": superfamily,
+                        "fold_id": folds[fold],
+                    }
+                )
+            if family not in families:
+                families[family] = ids.next("scop_family")
+                rows["family"].append(
+                    {
+                        "family_id": families[family],
+                        "code": family,
+                        "superfamily_id": superfamilies[superfamily],
+                    }
+                )
+            database.insert(
+                "domain",
+                {
+                    "domain_id": ids.next("domain"),
+                    "sid": record.sid,
+                    "pdb_code": record.pdb_code,
+                    "family_id": families[family],
+                },
+            )
+        for table_name in ("class", "fold", "superfamily", "family"):
+            database.insert_many(f"scop_{table_name}", rows[table_name])
+        return ImportResult(database, len(records), len(database.table_names()))
+
+    def _create_tables(self, database: Database) -> None:
+        declare = self.declare_constraints
+
+        def schema(name, columns, pk=None, uniques=(), fks=()):
+            if not declare:
+                return TableSchema(name, columns)
+            return TableSchema(
+                name,
+                columns,
+                primary_key=pk,
+                unique_constraints=[UniqueConstraint(u) for u in uniques],
+                foreign_keys=[ForeignKey(*fk) for fk in fks],
+            )
+
+        database.create_table(
+            schema(
+                "scop_class",
+                [Column("class_id", DataType.INTEGER, nullable=False), Column("code", DataType.TEXT)],
+                pk=("class_id",),
+                uniques=[("code",)],
+            )
+        )
+        database.create_table(
+            schema(
+                "scop_fold",
+                [
+                    Column("fold_id", DataType.INTEGER, nullable=False),
+                    Column("code", DataType.TEXT),
+                    Column("class_id", DataType.INTEGER),
+                ],
+                pk=("fold_id",),
+                uniques=[("code",)],
+                fks=[(("class_id",), "scop_class", ("class_id",))],
+            )
+        )
+        database.create_table(
+            schema(
+                "scop_superfamily",
+                [
+                    Column("superfamily_id", DataType.INTEGER, nullable=False),
+                    Column("code", DataType.TEXT),
+                    Column("fold_id", DataType.INTEGER),
+                ],
+                pk=("superfamily_id",),
+                uniques=[("code",)],
+                fks=[(("fold_id",), "scop_fold", ("fold_id",))],
+            )
+        )
+        database.create_table(
+            schema(
+                "scop_family",
+                [
+                    Column("family_id", DataType.INTEGER, nullable=False),
+                    Column("code", DataType.TEXT),
+                    Column("superfamily_id", DataType.INTEGER),
+                ],
+                pk=("family_id",),
+                uniques=[("code",)],
+                fks=[(("superfamily_id",), "scop_superfamily", ("superfamily_id",))],
+            )
+        )
+        database.create_table(
+            schema(
+                "domain",
+                [
+                    Column("domain_id", DataType.INTEGER, nullable=False),
+                    Column("sid", DataType.TEXT),
+                    Column("pdb_code", DataType.TEXT),
+                    Column("family_id", DataType.INTEGER),
+                ],
+                pk=("domain_id",),
+                uniques=[("sid",)],
+                fks=[(("family_id",), "scop_family", ("family_id",))],
+            )
+        )
+
+
+registry.register("classification", ClassificationImporter)

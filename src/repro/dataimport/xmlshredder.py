@@ -1,0 +1,101 @@
+"""Generic XML-to-relational shredding.
+
+Section 4.1: "Databases exported as XML files can be parsed using a
+generic XML shredder" (the paper cites generic XML wrapper generation,
+[NJM03]). The mapping is purely structural, with zero semantic knowledge:
+
+* every element tag becomes one table,
+* every table gets a digit-only surrogate key ``<tag>_id``,
+* nesting becomes a ``parent_id``/``parent_tag`` pair,
+* XML attributes become columns,
+* text content becomes a ``text_value`` column.
+
+Because the shredder knows nothing about the data, the resulting schema
+has *no* declared constraints at all — exactly the "generic parsers often
+cannot generate constraints due to missing semantic knowledge" case that
+motivates ALADIN's constraint discovery.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+from repro.dataimport.base import ImportError_, Importer, ImportResult, registry
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema, validate_identifier
+from repro.relational.types import DataType, infer_type
+
+
+def _sanitize(tag: str) -> str:
+    # Strip XML namespaces and coerce to a valid SQL identifier.
+    tag = tag.split("}")[-1]
+    tag = re.sub(r"[^A-Za-z0-9_]", "_", tag).lower()
+    if not tag or tag[0].isdigit():
+        tag = "t_" + tag
+    return validate_identifier(tag, "table")
+
+
+class XmlShredder(Importer):
+    """Shred arbitrary XML into relations, one table per element tag."""
+
+    format_name = "xml"
+
+    def import_text(self, text: str) -> ImportResult:
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ImportError_(f"malformed XML: {exc}") from exc
+        rows: Dict[str, List[dict]] = defaultdict(list)
+        allocator = self.make_id_allocator()
+        self._walk(root, None, None, rows, allocator)
+        database = Database(self.source_name)
+        for tag in sorted(rows):
+            table_rows = rows[tag]
+            columns = self._columns_for(tag, table_rows)
+            database.create_table(TableSchema(tag, columns))
+            database.insert_many(tag, table_rows)
+        total = sum(len(r) for r in rows.values())
+        return ImportResult(database, total, len(rows))
+
+    def _walk(
+        self,
+        element: ET.Element,
+        parent_tag: Optional[str],
+        parent_id: Optional[int],
+        rows: Dict[str, List[dict]],
+        allocator,
+    ) -> None:
+        tag = _sanitize(element.tag)
+        element_id = allocator.next(tag)
+        row = {f"{tag}_id": element_id}
+        if parent_tag is not None:
+            row["parent_tag"] = parent_tag
+            row["parent_id"] = parent_id
+        for attr_name, attr_value in element.attrib.items():
+            row[_sanitize(attr_name)] = attr_value
+        text = (element.text or "").strip()
+        if text:
+            row["text_value"] = text
+        rows[tag].append(row)
+        for child in element:
+            self._walk(child, tag, element_id, rows, allocator)
+
+    def _columns_for(self, tag: str, table_rows: List[dict]) -> List[Column]:
+        names: List[str] = [f"{tag}_id"]
+        seen: Set[str] = {f"{tag}_id"}
+        for row in table_rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+        columns = []
+        for name in names:
+            values = [row.get(name) for row in table_rows]
+            columns.append(Column(name, infer_type(values)))
+        return columns
+
+
+registry.register("xml", XmlShredder)

@@ -1,0 +1,53 @@
+"""Discovery of primary and secondary relations (pipeline steps 2 and 3).
+
+Implements Section 4.2 and 4.3 of the paper:
+
+1. mark unique attributes by scanning data (:mod:`uniqueness`),
+2. find accession-number candidates — unique, alphanumeric, ≥4 chars,
+   ≤20 % length spread, longest-average-length per table
+   (:mod:`accession`),
+3. infer foreign-key relationships by inclusion-dependency mining —
+   declared constraints from the data dictionary first, then value-set
+   containment with a De Marchi-style inverted index (:mod:`inclusion`),
+4. choose the primary relation: highest in-degree among tables with an
+   accession candidate (:mod:`primary`),
+5. connect every other relation to the primary relation via paths over the
+   relationship graph, ignoring direction (:mod:`secondary`).
+
+:func:`discover_structure` runs 1-5 and returns a
+:class:`SourceStructure`, the per-source metadata consumed by link
+discovery and the metadata repository.
+"""
+
+from repro.discovery.model import (
+    AttributeRef,
+    DiscoveryConfig,
+    PathStep,
+    Relationship,
+    SecondaryPath,
+    SourceStructure,
+)
+from repro.discovery.uniqueness import detect_unique_attributes
+from repro.discovery.accession import find_accession_candidates, is_accession_like
+from repro.discovery.inclusion import mine_inclusion_dependencies
+from repro.discovery.graph import RelationshipGraph
+from repro.discovery.primary import choose_primary_relations
+from repro.discovery.secondary import connect_secondary_relations
+from repro.discovery.pipeline import discover_structure
+
+__all__ = [
+    "AttributeRef",
+    "DiscoveryConfig",
+    "PathStep",
+    "Relationship",
+    "RelationshipGraph",
+    "SecondaryPath",
+    "SourceStructure",
+    "choose_primary_relations",
+    "connect_secondary_relations",
+    "detect_unique_attributes",
+    "discover_structure",
+    "find_accession_candidates",
+    "is_accession_like",
+    "mine_inclusion_dependencies",
+]

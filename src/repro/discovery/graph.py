@@ -1,0 +1,108 @@
+"""The relationship graph over one source's tables.
+
+Nodes are tables; a directed edge runs from the FK-holding table to the
+referenced table ("the network formed by the guessed foreign key
+relationships", Section 4.2). Primary-relation selection reads in-degrees
+here; secondary-path discovery walks it ignoring direction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.discovery.model import PathStep, Relationship
+
+
+class RelationshipGraph:
+    """Directed multigraph of table relationships."""
+
+    def __init__(self, tables: Iterable[str], relationships: Iterable[Relationship]):
+        self.tables: List[str] = sorted(tables)
+        self.relationships: List[Relationship] = list(relationships)
+        self._out: Dict[str, List[Relationship]] = defaultdict(list)
+        self._in: Dict[str, List[Relationship]] = defaultdict(list)
+        known = set(self.tables)
+        for rel in self.relationships:
+            if rel.source.table not in known or rel.target.table not in known:
+                raise ValueError(
+                    f"relationship {rel.source.qualified} -> {rel.target.qualified} "
+                    "references unknown table"
+                )
+            self._out[rel.source.table].append(rel)
+            self._in[rel.target.table].append(rel)
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+    def in_degree(self, table: str) -> int:
+        """Number of incoming FK edges (self-loops excluded)."""
+        return sum(1 for rel in self._in[table] if rel.source.table != table)
+
+    def out_degree(self, table: str) -> int:
+        return sum(1 for rel in self._out[table] if rel.target.table != table)
+
+    def in_degrees(self) -> Dict[str, int]:
+        return {table: self.in_degree(table) for table in self.tables}
+
+    def mean_in_degree(self) -> float:
+        if not self.tables:
+            return 0.0
+        return sum(self.in_degrees().values()) / len(self.tables)
+
+    # ------------------------------------------------------------------
+    # undirected traversal
+    # ------------------------------------------------------------------
+    def neighbors(self, table: str) -> List[PathStep]:
+        """All hops leaving ``table``, in either edge direction."""
+        steps = [PathStep(rel, forward=True) for rel in self._out[table]]
+        steps.extend(PathStep(rel, forward=False) for rel in self._in[table])
+        return steps
+
+    def all_paths(
+        self, start: str, goal: str, max_length: int, max_paths: int
+    ) -> List[Tuple[PathStep, ...]]:
+        """All simple paths start -> goal up to ``max_length`` hops.
+
+        Shortest paths first (BFS order), truncated at ``max_paths``
+        (Section 4.3: "If multiple paths exist, all are stored" — bounded
+        here to keep worst-case metadata small).
+        """
+        if start == goal:
+            return [()]
+        results: List[Tuple[PathStep, ...]] = []
+        frontier: List[Tuple[str, Tuple[PathStep, ...], Set[str]]] = [
+            (start, (), {start})
+        ]
+        while frontier and len(results) < max_paths:
+            next_frontier = []
+            for table, path, visited in frontier:
+                if len(path) >= max_length:
+                    continue
+                for step in self.neighbors(table):
+                    nxt = step.to_table
+                    if nxt in visited:
+                        continue
+                    new_path = path + (step,)
+                    if nxt == goal:
+                        results.append(new_path)
+                        if len(results) >= max_paths:
+                            break
+                    else:
+                        next_frontier.append((nxt, new_path, visited | {nxt}))
+                if len(results) >= max_paths:
+                    break
+            frontier = next_frontier
+        return results
+
+    def reachable_from(self, start: str) -> Set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            table = stack.pop()
+            for step in self.neighbors(table):
+                nxt = step.to_table
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen

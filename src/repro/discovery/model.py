@@ -1,0 +1,149 @@
+"""Shared data model of the discovery layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """A (table, column) pair within one source database."""
+
+    table: str
+    column: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    @classmethod
+    def parse(cls, qualified: str) -> "AttributeRef":
+        table, column = qualified.split(".", 1)
+        return cls(table, column)
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A directed relationship: ``source`` is a foreign key of ``target``.
+
+    ``cardinality`` is ``"1:1"`` (source values unique) or ``"1:N"``
+    (several source rows may share one target row). ``origin`` records
+    whether the edge came from the data dictionary (``"declared"``) or was
+    guessed from value containment (``"guessed"``).
+    """
+
+    source: AttributeRef
+    target: AttributeRef
+    cardinality: str
+    origin: str = "guessed"
+
+    def __post_init__(self) -> None:
+        if self.cardinality not in ("1:1", "1:N"):
+            raise ValueError(f"bad cardinality {self.cardinality!r}")
+        if self.origin not in ("declared", "guessed"):
+            raise ValueError(f"bad origin {self.origin!r}")
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of a primary-to-relation path.
+
+    ``forward`` is True when the hop follows the relationship direction
+    (from FK side to PK side) and False when traversed against it — paths
+    ignore direction (Section 4.3) but remember it for join construction.
+    """
+
+    relationship: Relationship
+    forward: bool
+
+    @property
+    def from_table(self) -> str:
+        return self.relationship.source.table if self.forward else self.relationship.target.table
+
+    @property
+    def to_table(self) -> str:
+        return self.relationship.target.table if self.forward else self.relationship.source.table
+
+
+@dataclass(frozen=True)
+class SecondaryPath:
+    """A path from the primary relation to ``target_table``."""
+
+    target_table: str
+    steps: Tuple[PathStep, ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def tables(self) -> List[str]:
+        if not self.steps:
+            return [self.target_table]
+        out = [self.steps[0].from_table]
+        for step in self.steps:
+            out.append(step.to_table)
+        return out
+
+
+@dataclass
+class DiscoveryConfig:
+    """Thresholds of the discovery heuristics (Section 4.2).
+
+    Defaults follow the paper where it is explicit: accessions have at
+    least four characters (PDB codes), at least one non-digit character,
+    and value lengths differing by at most 20 percent.
+    """
+
+    accession_min_length: int = 4
+    # Documented refinement (DESIGN.md Section 6): accession numbers are
+    # keys, not prose. Without a ceiling, uniformly-templated long text
+    # (e.g. definition sentences) can satisfy the spread rule. The longest
+    # real accessions we model (ENSG...) have 15 characters.
+    accession_max_length: int = 24
+    accession_max_length_spread: float = 0.20
+    min_rows_for_uniqueness: int = 1
+    # Inclusion-dependency mining.
+    ind_max_violation_fraction: float = 0.0  # 0 = exact containment (paper)
+    ind_min_source_values: int = 1
+    allow_intra_table_relationships: bool = False
+    # Primary-relation selection.
+    allow_multiple_primaries: bool = False
+    multi_primary_slack: int = 0  # in-degree distance from the best table
+    # Secondary paths.
+    max_path_length: int = 6
+    max_paths_per_table: int = 4
+
+
+@dataclass
+class SourceStructure:
+    """Everything steps 2-3 learned about one source.
+
+    This is the per-source record held in the metadata repository; link
+    discovery reads ``primary_relations`` and ``accession_candidates``
+    from it (cross-references "always point to primary objects in other
+    databases", Section 3).
+    """
+
+    source_name: str
+    unique_attributes: Set[AttributeRef] = field(default_factory=set)
+    accession_candidates: Dict[str, AttributeRef] = field(default_factory=dict)
+    relationships: List[Relationship] = field(default_factory=list)
+    primary_relations: List[str] = field(default_factory=list)
+    secondary_paths: Dict[str, Tuple[SecondaryPath, ...]] = field(default_factory=dict)
+    unreachable_tables: List[str] = field(default_factory=list)
+
+    @property
+    def primary_relation(self) -> Optional[str]:
+        """The single best primary relation, or None if none was found."""
+        return self.primary_relations[0] if self.primary_relations else None
+
+    def primary_accession(self) -> Optional[AttributeRef]:
+        """Accession attribute of the primary relation (link target)."""
+        if self.primary_relation is None:
+            return None
+        return self.accession_candidates.get(self.primary_relation)
+
+    def relationship_pairs(self) -> Set[Tuple[str, str]]:
+        """(source.qualified, target.qualified) pairs — for evaluation."""
+        return {(r.source.qualified, r.target.qualified) for r in self.relationships}

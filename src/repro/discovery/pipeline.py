@@ -1,0 +1,48 @@
+"""Steps 2-3 as one callable: database in, :class:`SourceStructure` out.
+
+"In particular the discovery of primary and secondary objects can go hand
+in hand in a single processing step" (Section 3) — this module is that
+single step. No data or metadata from other sources is involved, which is
+what makes incremental source addition possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.discovery.accession import find_accession_candidates
+from repro.discovery.graph import RelationshipGraph
+from repro.discovery.inclusion import mine_inclusion_dependencies
+from repro.discovery.model import DiscoveryConfig, SourceStructure
+from repro.discovery.primary import choose_primary_relations
+from repro.discovery.secondary import connect_secondary_relations
+from repro.discovery.uniqueness import detect_unique_attributes
+from repro.relational.database import Database
+
+
+def discover_structure(
+    database: Database, config: Optional[DiscoveryConfig] = None
+) -> SourceStructure:
+    """Run unique/accession/FK/primary/secondary discovery on one source."""
+    config = config or DiscoveryConfig()
+    structure = SourceStructure(source_name=database.name)
+    structure.unique_attributes = detect_unique_attributes(database, config)
+    structure.accession_candidates = find_accession_candidates(
+        database, structure.unique_attributes, config
+    )
+    structure.relationships = mine_inclusion_dependencies(
+        database, structure.unique_attributes, config
+    )
+    graph = RelationshipGraph(database.table_names(), structure.relationships)
+    structure.primary_relations = choose_primary_relations(
+        database, graph, structure.accession_candidates, config
+    )
+    if structure.primary_relation is not None:
+        structure.secondary_paths, structure.unreachable_tables = (
+            connect_secondary_relations(graph, structure.primary_relation, config)
+        )
+    else:
+        structure.unreachable_tables = [
+            t for t in database.table_names()
+        ]
+    return structure

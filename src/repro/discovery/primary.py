@@ -1,0 +1,67 @@
+"""Primary-relation selection.
+
+Section 4.2: "We choose as the primary relation the table with highest
+in-degree of all tables containing an accession number candidate. This
+heuristic is based on the observation that life science databases contain
+mostly fields that describe some primary objects ... Thus, many tables
+necessarily point to the primary relation."
+
+The multi-primary extension the paper sketches ("a more complex metric
+... using for instance the difference of the in-degree of a relation to
+the average in-degree") is implemented behind
+``DiscoveryConfig.allow_multiple_primaries``.
+
+Ties (equal in-degree) are broken by column count (the paper's primary
+objects are "described by a set of nested fields" — object tables are
+wide, pure reference tables are narrow), then row count, then average
+accession length, then name — deterministic. A single-table source
+trivially yields that table if it has an accession candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.discovery.graph import RelationshipGraph
+from repro.discovery.model import AttributeRef, DiscoveryConfig
+from repro.relational.database import Database
+
+
+def choose_primary_relations(
+    database: Database,
+    graph: RelationshipGraph,
+    accession_candidates: Dict[str, AttributeRef],
+    config: Optional[DiscoveryConfig] = None,
+) -> List[str]:
+    """Primary relation(s), best first; empty if no table qualifies."""
+    config = config or DiscoveryConfig()
+    if not accession_candidates:
+        return []
+
+    def score(table: str):
+        attr = accession_candidates[table]
+        values = database.table(table).non_null_values(attr.column)
+        avg_len = sum(len(str(v)) for v in values) / len(values) if values else 0.0
+        return (
+            graph.in_degree(table),
+            len(database.table(table).schema.columns),
+            len(database.table(table)),
+            avg_len,
+        )
+
+    ranked = sorted(accession_candidates, key=lambda t: (score(t), t), reverse=True)
+    best = ranked[0]
+    if not config.allow_multiple_primaries:
+        return [best]
+    # Multi-primary: keep tables whose in-degree is within `slack` of the
+    # best AND above the graph's mean in-degree (the paper's suggested
+    # difference-to-average metric).
+    best_in = graph.in_degree(best)
+    mean = graph.mean_in_degree()
+    primaries = [
+        table
+        for table in ranked
+        if graph.in_degree(table) >= best_in - config.multi_primary_slack
+        and graph.in_degree(table) >= mean
+    ]
+    return primaries or [best]

@@ -1,0 +1,41 @@
+"""Unique-attribute detection.
+
+Section 4.2: "As the first step, the algorithm detects 'unique' attributes
+by issuing a SQL query for each attribute in the schema that has no known
+UNIQUE constraint. Attributes that are unique are marked as such."
+
+Declared UNIQUE/PK columns are taken from the catalog without scanning;
+every other column is scanned with the COUNT(col) = COUNT(DISTINCT col)
+test (NULLs ignored, per SQL semantics). Empty tables yield no unique
+attributes — vacuous uniqueness would poison the downstream heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.discovery.model import AttributeRef, DiscoveryConfig
+from repro.relational.catalog import Catalog
+from repro.relational.database import Database
+
+
+def detect_unique_attributes(
+    database: Database, config: Optional[DiscoveryConfig] = None
+) -> Set[AttributeRef]:
+    """All attributes that are unique, declared or observed."""
+    config = config or DiscoveryConfig()
+    catalog = Catalog(database)
+    unique: Set[AttributeRef] = set()
+    for info in catalog.columns():
+        table = database.table(info.table)
+        if len(table) < config.min_rows_for_uniqueness:
+            continue
+        if info.declared_unique:
+            unique.add(AttributeRef(info.table, info.column))
+            continue
+        values = table.non_null_values(info.column)
+        if not values:
+            continue
+        if len(values) == len(set(values)):
+            unique.add(AttributeRef(info.table, info.column))
+    return unique

@@ -1,0 +1,58 @@
+"""Duplicate clustering via union-find.
+
+"In answering a query, only one representative of each duplicate cluster
+can be returned" (Section 4.5) — the query engine needs clusters, not
+just pairs. Pairs above the similarity threshold are merged transitively.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Path-compressed union-find over arbitrary hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+
+    def find(self, item: Hashable) -> Hashable:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            return item
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:  # path compression
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+
+    def groups(self) -> List[List[Hashable]]:
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), []).append(item)
+        return [sorted(group, key=repr) for group in by_root.values()]
+
+
+def cluster_pairs(pairs: Iterable[Tuple[T, T]]) -> List[List[T]]:
+    """Transitive closure of duplicate pairs; clusters sorted by size desc."""
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    groups = [g for g in uf.groups() if len(g) > 1]
+    groups.sort(key=lambda g: (-len(g), repr(g[0])))
+    return groups

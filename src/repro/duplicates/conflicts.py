@@ -1,0 +1,69 @@
+"""Conflict extraction inside duplicate clusters.
+
+Section 4.5: "duplicates give rise to data conflicts. Different sources
+might contradict each other in the data they store about an object.
+Usually it is up to the experts to decide which of the values (or both)
+is correct. ... Exploring such contradictions is of great interest to
+biologists." Conflicts are therefore *reported*, never resolved; the
+browser highlights them (Section 4.6, link type 3: "Conflicts are
+highlighted, and data lineage is shown").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.duplicates.record import RecordView
+from repro.duplicates.similarity import jaro_winkler
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Two near-miss values for (presumably) the same fact."""
+
+    source_a: str
+    accession_a: str
+    value_a: str
+    source_b: str
+    accession_b: str
+    value_b: str
+    similarity: float
+
+
+def find_conflicts(
+    a: RecordView,
+    b: RecordView,
+    near_miss_range: Tuple[float, float] = (0.6, 0.999),
+) -> List[Conflict]:
+    """Value pairs similar enough to mean the same fact but not equal.
+
+    A conflict is a pair of values whose similarity falls inside
+    ``near_miss_range``: close enough that they plausibly describe the
+    same fact, different enough that the sources disagree. Exact matches
+    are agreements; far-apart values are simply different facts.
+    """
+    low, high = near_miss_range
+    conflicts: List[Conflict] = []
+    for value_a in a.values:
+        best: Optional[Tuple[float, str]] = None
+        for value_b in b.values:
+            similarity = jaro_winkler(value_a.lower(), value_b.lower())
+            if best is None or similarity > best[0]:
+                best = (similarity, value_b)
+        if best is None:
+            continue
+        similarity, value_b = best
+        if low <= similarity <= high and value_a.lower() != value_b.lower():
+            conflicts.append(
+                Conflict(
+                    source_a=a.source,
+                    accession_a=a.accession,
+                    value_a=value_a,
+                    source_b=b.source,
+                    accession_b=b.accession,
+                    value_b=value_b,
+                    similarity=round(similarity, 4),
+                )
+            )
+    return conflicts

@@ -1,0 +1,172 @@
+"""The duplicate detector: flag same-real-world objects across sources.
+
+Builds :class:`~repro.duplicates.record.RecordView`s for every primary
+object (own row plus values gathered from secondary tables along the
+discovered paths), blocks candidate pairs, scores them with the
+structure-agnostic record similarity, and emits ``duplicate``-kind
+:class:`~repro.linking.model.ObjectLink`s. Objects are never merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.discovery.model import SourceStructure
+from repro.duplicates.blocking import candidate_pairs_ngram, sorted_neighborhood_pairs
+from repro.duplicates.record import RecordView, record_similarity
+from repro.linking.model import ObjectLink
+from repro.linking.resolve import ObjectResolver
+from repro.relational.database import Database
+
+_SEQUENCE_PREVIEW = 40  # long sequences dominate; keep a prefix only
+
+
+@dataclass
+class DuplicateConfig:
+    """Thresholds of the duplicate detector."""
+
+    similarity_threshold: float = 0.75
+    blocking: str = "ngram"  # "ngram" | "sorted" | "none"
+    ngram_size: int = 4
+    max_gram_frequency: int = 30
+    window: int = 7
+    include_secondary_values: bool = True
+    max_values_per_record: int = 12
+    duplicate_certainty_scale: float = 1.0
+
+
+class DuplicateDetector:
+    """Pairwise duplicate flagging between two sources' primary objects."""
+
+    def __init__(self, config: Optional[DuplicateConfig] = None):
+        self.config = config or DuplicateConfig()
+        self.pairs_compared = 0  # exposed for the blocking ablation (E6)
+
+    # ------------------------------------------------------------------
+    def build_record_views(
+        self, database: Database, structure: SourceStructure
+    ) -> List[RecordView]:
+        """One RecordView per primary object of a source."""
+        try:
+            resolver = ObjectResolver(database, structure)
+        except ValueError:
+            return []
+        primary = structure.primary_relation
+        accession_col = resolver.accession_column
+        views: Dict[str, RecordView] = {}
+        for row in database.table(primary).rows():
+            accession = row.get(accession_col)
+            if accession is None:
+                continue
+            values = []
+            for column, value in row.items():
+                if column == accession_col or value is None:
+                    continue
+                text = _clip(str(value))
+                if text and not text.isdigit():
+                    values.append(text)
+            views[accession] = RecordView(
+                source=structure.source_name, accession=accession, values=values
+            )
+        if self.config.include_secondary_values:
+            self._attach_secondary_values(database, structure, resolver, views)
+        for view in views.values():
+            view.values = view.values[: self.config.max_values_per_record]
+        return [views[accession] for accession in sorted(views)]
+
+    def _attach_secondary_values(
+        self,
+        database: Database,
+        structure: SourceStructure,
+        resolver: ObjectResolver,
+        views: Dict[str, RecordView],
+    ) -> None:
+        for table_name in structure.secondary_paths:
+            table = database.table(table_name)
+            text_columns = [
+                c.name
+                for c in table.schema.columns
+                if not c.data_type.is_numeric and not c.name.endswith("_id")
+            ]
+            if not text_columns:
+                continue
+            for row in table.rows():
+                owners = resolver.owners_of_row(table_name, row)
+                if not owners:
+                    continue
+                for column in text_columns:
+                    value = row.get(column)
+                    if value is None:
+                        continue
+                    text = _clip(str(value))
+                    if not text or text.isdigit():
+                        continue
+                    for owner in owners:
+                        view = views.get(owner)
+                        if view is not None and len(view.values) < self.config.max_values_per_record:
+                            view.values.append(text)
+
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        database_a: Database,
+        structure_a: SourceStructure,
+        database_b: Database,
+        structure_b: SourceStructure,
+    ) -> List[ObjectLink]:
+        """Duplicate links between two sources, deduplicated, best first."""
+        records_a = self.build_record_views(database_a, structure_a)
+        records_b = self.build_record_views(database_b, structure_b)
+        if not records_a or not records_b:
+            return []
+        pairs = self._candidate_pairs(records_a, records_b)
+        links: List[ObjectLink] = []
+        for i, j in pairs:
+            self.pairs_compared += 1
+            similarity = record_similarity(records_a[i], records_b[j])
+            if similarity < self.config.similarity_threshold:
+                continue
+            links.append(
+                ObjectLink(
+                    source_a=records_a[i].source,
+                    accession_a=records_a[i].accession,
+                    source_b=records_b[j].source,
+                    accession_b=records_b[j].accession,
+                    kind="duplicate",
+                    certainty=round(
+                        min(1.0, similarity * self.config.duplicate_certainty_scale), 4
+                    ),
+                    evidence=f"record similarity {similarity:.2f}",
+                )
+            )
+        links.sort(key=lambda l: (-l.certainty, l.accession_a, l.accession_b))
+        return links
+
+    def _candidate_pairs(
+        self, records_a: Sequence[RecordView], records_b: Sequence[RecordView]
+    ) -> List[Tuple[int, int]]:
+        if self.config.blocking == "none":
+            return [(i, j) for i in range(len(records_a)) for j in range(len(records_b))]
+        if self.config.blocking == "sorted":
+            return sorted_neighborhood_pairs(
+                records_a,
+                records_b,
+                key=lambda r: (r.values[0].lower() if r.values else ""),
+                window=self.config.window,
+            )
+        if self.config.blocking == "ngram":
+            return candidate_pairs_ngram(
+                records_a,
+                records_b,
+                n=self.config.ngram_size,
+                max_gram_frequency=self.config.max_gram_frequency,
+            )
+        raise ValueError(f"unknown blocking strategy {self.config.blocking!r}")
+
+
+def _clip(text: str) -> str:
+    text = text.strip()
+    if len(text) > _SEQUENCE_PREVIEW * 4:
+        return text[:_SEQUENCE_PREVIEW]
+    return text

@@ -1,0 +1,83 @@
+"""Structure-agnostic record similarity (the WN04 idea).
+
+Section 4.5: "It is not a priori clear, which attribute values of one
+object to compare with which attribute value of the other object. Thus,
+common similarity measures employed to identify duplicates cannot be
+applied immediately." Following the duplicate-detection work for nested
+XML objects the paper cites [WN04], a record is reduced to its bag of
+*values*; similarity is the best-match pairing between the two value
+bags, weighted by value length (longer values carry more identity signal)
+— no field correspondences required, so differently modelled sources
+compare fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.duplicates.similarity import jaro_winkler, levenshtein_similarity, token_cosine
+
+
+@dataclass
+class RecordView:
+    """One object flattened to comparable text values.
+
+    ``values`` holds the object's own fields plus (optionally) values of
+    its secondary objects — the nested annotations. ``identifier`` is the
+    (source, accession) identity used in links.
+    """
+
+    source: str
+    accession: str
+    values: List[str] = field(default_factory=list)
+
+    @classmethod
+    def from_row(cls, source: str, accession: str, row: Dict[str, object],
+                 exclude: Sequence[str] = ()) -> "RecordView":
+        values = []
+        for column, value in row.items():
+            if column in exclude or value is None:
+                continue
+            text = str(value).strip()
+            if text:
+                values.append(text)
+        return cls(source=source, accession=accession, values=values)
+
+
+def _value_similarity(a: str, b: str) -> float:
+    """Similarity of two field values, picking a measure by value shape.
+
+    Short values behave like names (Jaro-Winkler is forgiving of typos);
+    long values behave like sentences (token cosine blended with edit
+    similarity).
+    """
+    if len(a) <= 25 and len(b) <= 25:
+        return jaro_winkler(a.lower(), b.lower())
+    return 0.5 * token_cosine(a, b) + 0.5 * levenshtein_similarity(a.lower(), b.lower())
+
+
+def record_similarity(
+    a: RecordView,
+    b: RecordView,
+    value_similarity: Callable[[str, str], float] = _value_similarity,
+) -> float:
+    """Weighted best-match similarity of two records, in [0, 1].
+
+    For every value of the smaller record the best matching value of the
+    other record is found; matches are averaged weighted by value length.
+    Symmetric by construction (smaller side drives the pairing).
+    """
+    if not a.values and not b.values:
+        return 1.0
+    if not a.values or not b.values:
+        return 0.0
+    smaller, larger = (a, b) if len(a.values) <= len(b.values) else (b, a)
+    total_weight = 0.0
+    total_score = 0.0
+    for value in smaller.values:
+        best = max(value_similarity(value, other) for other in larger.values)
+        weight = float(len(value))
+        total_weight += weight
+        total_score += best * weight
+    return total_score / total_weight if total_weight else 0.0

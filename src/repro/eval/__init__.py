@@ -1,0 +1,40 @@
+"""Evaluation harness: the paper's proposed P/R methodology plus baselines.
+
+Section 3: "The standard procedure in such situations is to estimate the
+amount of errors of the system using performance measures, such as
+precision and recall. We show in Section 6 how such measures can be
+estimated using an existing integrated database." The synthetic gold
+standard plays COLUMBA's role; :mod:`experiments` computes P/R/F1 for
+every discovery step; :mod:`baselines` quantifies Table 1's
+cost-of-integration spectrum.
+"""
+
+from repro.eval.metrics import PRF, confusion, f1_score, precision_recall_f1
+from repro.eval.experiments import (
+    ExperimentResult,
+    evaluate_crossref_links,
+    evaluate_duplicates,
+    evaluate_fk_discovery,
+    evaluate_primary_discovery,
+    evaluate_sequence_links,
+    integrate_scenario,
+)
+from repro.eval.baselines import BaselineOutcome, run_baselines
+from repro.eval.reporting import format_table
+
+__all__ = [
+    "BaselineOutcome",
+    "ExperimentResult",
+    "PRF",
+    "confusion",
+    "evaluate_crossref_links",
+    "evaluate_duplicates",
+    "evaluate_fk_discovery",
+    "evaluate_primary_discovery",
+    "evaluate_sequence_links",
+    "f1_score",
+    "format_table",
+    "integrate_scenario",
+    "precision_recall_f1",
+    "run_baselines",
+]

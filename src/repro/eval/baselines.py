@@ -1,0 +1,144 @@
+"""Table 1 quantified: cost and quality of the integration approaches.
+
+The paper's Table 1 compares data-focused, schema-focused, and ALADIN
+integration qualitatively (focus, structure, cost). We operationalize the
+*cost of integration* as the number of manual specification actions a
+human must perform to integrate the scenario's sources, and *quality* as
+the link coverage each approach can deliver:
+
+* **data-focused** (Swiss-Prot-style curation) — every record is touched
+  by a curator; links and duplicates are curated, so quality is the gold
+  standard itself; cost scales with record count.
+* **schema-focused mediator** (TAMBIS/OPM-style) — per source: one
+  wrapper plus one semantic mapping per attribute into the global schema;
+  answers structured queries but materializes no object links and detects
+  no duplicates.
+* **SRS-like** — per source: one Icarus-style parser, explicit
+  declarations of primary/secondary structure and of every link-bearing
+  field ("all structures and links need to be explicitly specified");
+  explicit links work, implicit links and duplicates do not.
+* **GenMapper-like** — per source: one manual mapping into the 4-table
+  generic model; explicit cross-references only.
+* **ALADIN** — per source: at most one parser *selection*; everything
+  else is discovered. Quality is whatever the pipeline achieved
+  (measured, not assumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.aladin import Aladin
+from repro.dataimport import registry
+from repro.eval.experiments import evaluate_crossref_links, evaluate_duplicates
+from repro.synth.sources import Scenario
+
+
+@dataclass
+class BaselineOutcome:
+    """One Table-1 row."""
+
+    approach: str
+    manual_actions: int
+    explicit_link_recall: float
+    implicit_links: bool
+    duplicates_flagged: bool
+    structured_queries: bool
+
+    def row(self) -> List[object]:
+        return [
+            self.approach,
+            self.manual_actions,
+            f"{self.explicit_link_recall:.2f}",
+            "yes" if self.implicit_links else "no",
+            "yes" if self.duplicates_flagged else "no",
+            "yes" if self.structured_queries else "no",
+        ]
+
+
+def _count_attributes(scenario: Scenario) -> Dict[str, int]:
+    """Attributes per source (the mediator's mapping effort unit)."""
+    counts = {}
+    for source in scenario.sources:
+        importer = registry.create(source.facts.format_name, source.name, True)
+        for key, value in source.facts.import_options.items():
+            setattr(importer, key, value)
+        database = importer.import_text(source.text).database
+        counts[source.name] = sum(
+            len(t.schema.columns) for t in database.tables()
+        )
+    return counts
+
+
+def _count_records(scenario: Scenario) -> int:
+    return sum(len(s.facts.accession_to_uid) for s in scenario.sources)
+
+
+def run_baselines(scenario: Scenario, aladin: Aladin) -> List[BaselineOutcome]:
+    """All Table-1 rows for one integrated scenario."""
+    attribute_counts = _count_attributes(scenario)
+    n_sources = len(scenario.sources)
+    n_tables = {
+        source.name: len(source.facts.accession_to_uid) for source in scenario.sources
+    }
+    gold_attr_links = scenario.gold.attribute_links()
+    outcomes: List[BaselineOutcome] = []
+    # Data-focused: curators touch every record (and get everything right).
+    outcomes.append(
+        BaselineOutcome(
+            approach="data-focused",
+            manual_actions=_count_records(scenario),
+            explicit_link_recall=1.0,
+            implicit_links=True,
+            duplicates_flagged=True,
+            structured_queries=False,
+        )
+    )
+    # Schema-focused mediator: wrapper + per-attribute mapping per source.
+    outcomes.append(
+        BaselineOutcome(
+            approach="schema-focused (mediator)",
+            manual_actions=n_sources + sum(attribute_counts.values()),
+            explicit_link_recall=0.0,  # no materialized object links
+            implicit_links=False,
+            duplicates_flagged=False,
+            structured_queries=True,
+        )
+    )
+    # SRS-like: parser + explicit structure/link declarations per source.
+    outcomes.append(
+        BaselineOutcome(
+            approach="SRS-like",
+            manual_actions=n_sources * 2 + len(gold_attr_links),
+            explicit_link_recall=1.0,  # declared links resolve perfectly
+            implicit_links=False,
+            duplicates_flagged=False,
+            structured_queries=False,
+        )
+    )
+    # GenMapper-like: one manual mapping per source into the 4-table model.
+    outcomes.append(
+        BaselineOutcome(
+            approach="GenMapper-like",
+            manual_actions=n_sources,
+            explicit_link_recall=1.0,
+            implicit_links=False,
+            duplicates_flagged=False,
+            structured_queries=True,
+        )
+    )
+    # ALADIN: parser selection only; measured quality.
+    crossref = evaluate_crossref_links(scenario, aladin).metric("object_links")
+    duplicates = evaluate_duplicates(scenario, aladin).metric("duplicates")
+    outcomes.append(
+        BaselineOutcome(
+            approach="ALADIN",
+            manual_actions=n_sources,  # choose a registered parser per source
+            explicit_link_recall=crossref.recall,
+            implicit_links=True,
+            duplicates_flagged=duplicates.recall > 0,
+            structured_queries=True,
+        )
+    )
+    return outcomes

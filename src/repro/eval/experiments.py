@@ -1,0 +1,204 @@
+"""Experiment runners: each discovery step measured against gold truth.
+
+These functions back both the test suite's quality gates and the
+benchmark harness (experiments E1-E9 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.aladin import Aladin
+from repro.core.config import AladinConfig
+from repro.dataimport import registry
+from repro.discovery.pipeline import discover_structure
+from repro.eval.metrics import PRF, precision_recall_f1
+from repro.synth.sources import Scenario
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome with its headline metric rows."""
+
+    name: str
+    metrics: Dict[str, PRF] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def metric(self, key: str) -> PRF:
+        return self.metrics[key]
+
+
+# ----------------------------------------------------------------------
+# scenario integration
+# ----------------------------------------------------------------------
+def integrate_scenario(
+    scenario: Scenario, config: Optional[AladinConfig] = None
+) -> Aladin:
+    """Feed every scenario source through the full pipeline."""
+    aladin = Aladin(config)
+    for source in scenario.sources:
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    return aladin
+
+
+# ----------------------------------------------------------------------
+# E1: primary-relation discovery
+# ----------------------------------------------------------------------
+def evaluate_primary_discovery(scenario: Scenario, aladin: Aladin) -> ExperimentResult:
+    """Exact-match accuracy of primary-relation selection per source."""
+    correct = []
+    wrong = []
+    for name in aladin.source_names():
+        predicted = aladin.repository.structure(name).primary_relation
+        expected = scenario.gold.primary_relation(name)
+        (correct if predicted == expected else wrong).append(
+            (name, predicted, expected)
+        )
+    found = {(name, predicted) for name, predicted, _ in correct + wrong}
+    truth = {
+        (name, scenario.gold.primary_relation(name)) for name in aladin.source_names()
+    }
+    result = ExperimentResult(name="primary_discovery")
+    result.metrics["primary"] = precision_recall_f1(found, truth)
+    result.details["wrong"] = wrong
+    return result
+
+
+# ----------------------------------------------------------------------
+# E2: foreign-key / secondary discovery
+# ----------------------------------------------------------------------
+def evaluate_fk_discovery(scenario: Scenario) -> ExperimentResult:
+    """Mined FK edges vs. the importers' declared (true) constraints.
+
+    Declared FKs whose source column holds no values (empty annotation
+    tables) are excluded from the truth: containment over an empty set is
+    vacuous, so such constraints are fundamentally undiscoverable from
+    data — and irrelevant for linking.
+    """
+    result = ExperimentResult(name="fk_discovery")
+    all_found: Set[Tuple[str, str, str]] = set()
+    all_truth: Set[Tuple[str, str, str]] = set()
+    for source in scenario.sources:
+        importer = registry.create(source.facts.format_name, source.name, True)
+        for key, value in source.facts.import_options.items():
+            setattr(importer, key, value)
+        declared_db = importer.import_text(source.text).database
+        truth = {
+            (source.name, f"{t.name}.{fk.columns[0]}",
+             f"{fk.target_table}.{fk.target_columns[0]}")
+            for t in declared_db.tables()
+            for fk in t.schema.foreign_keys
+            if len(fk.columns) == 1 and t.non_null_values(fk.columns[0])
+        }
+        bare = declared_db.strip_constraints()
+        structure = discover_structure(bare)
+        found = {
+            (source.name, pair[0], pair[1])
+            for pair in structure.relationship_pairs()
+        }
+        all_truth |= truth
+        # Only count found pairs that could be true FKs (credit exact).
+        all_found |= found
+    # Precision over all mined edges punishes accidental containments;
+    # recall measures recovery of true constraints.
+    result.metrics["fk_edges"] = precision_recall_f1(all_found, all_truth)
+    # Recall-oriented view (the operative number: are true FKs recovered?)
+    recovered = all_found & all_truth
+    result.details["recovered"] = len(recovered)
+    result.details["declared"] = len(all_truth)
+    return result
+
+
+# ----------------------------------------------------------------------
+# E3: cross-reference discovery
+# ----------------------------------------------------------------------
+def evaluate_crossref_links(scenario: Scenario, aladin: Aladin) -> ExperimentResult:
+    """Object-level explicit-link P/R vs. the gold cross-references."""
+    gold = {
+        (f.source_a, f.accession_a, f.source_b, f.accession_b)
+        for f in scenario.gold.xref_links()
+    }
+    gold_normalized = {_normalize_pair(*g) for g in gold}
+    found = set()
+    for link in aladin.repository.object_links(kind="crossref"):
+        found.add(
+            _normalize_pair(link.source_a, link.accession_a, link.source_b, link.accession_b)
+        )
+    result = ExperimentResult(name="crossref_links")
+    result.metrics["object_links"] = precision_recall_f1(found, gold_normalized)
+    # Attribute-level correspondences.
+    gold_attrs = {
+        (f.source_a, f.attribute_a, f.source_b, f.attribute_b)
+        for f in scenario.gold.attribute_links()
+    }
+    found_attrs = {
+        (l.source, l.source_attribute.qualified, l.target, l.target_attribute.qualified)
+        for l in aladin.repository.attribute_links()
+        if l.kind == "crossref"
+    }
+    result.metrics["attribute_links"] = precision_recall_f1(found_attrs, gold_attrs)
+    return result
+
+
+# ----------------------------------------------------------------------
+# E4: duplicate detection
+# ----------------------------------------------------------------------
+def evaluate_duplicates(scenario: Scenario, aladin: Aladin) -> ExperimentResult:
+    gold = {
+        _normalize_pair(f.source_a, f.accession_a, f.source_b, f.accession_b)
+        for f in scenario.gold.duplicate_pairs()
+    }
+    found = {
+        _normalize_pair(l.source_a, l.accession_a, l.source_b, l.accession_b)
+        for l in aladin.repository.object_links(kind="duplicate")
+    }
+    result = ExperimentResult(name="duplicate_detection")
+    result.metrics["duplicates"] = precision_recall_f1(found, gold)
+    return result
+
+
+# ----------------------------------------------------------------------
+# E5: sequence (homology) links
+# ----------------------------------------------------------------------
+def evaluate_sequence_links(scenario: Scenario, aladin: Aladin) -> ExperimentResult:
+    """Sequence links vs. true homolog pairs across the protein sources."""
+    protein_sources = [
+        name
+        for name, facts in scenario.gold.sources.items()
+        if facts.entity_class == "protein" and name in aladin.source_names()
+    ]
+    result = ExperimentResult(name="sequence_links")
+    if len(protein_sources) < 2:
+        return result
+    a, b = sorted(protein_sources)[:2]
+    acc_a = scenario.gold.sources[a].accession_to_uid
+    acc_b = scenario.gold.sources[b].accession_to_uid
+    proteins = scenario.universe.proteins
+    truth = set()
+    for accession_a, uid_a in acc_a.items():
+        for accession_b, uid_b in acc_b.items():
+            if proteins[uid_a].family == proteins[uid_b].family:
+                truth.add(_normalize_pair(a, accession_a, b, accession_b))
+    found = set()
+    for link in aladin.repository.object_links(kind="sequence"):
+        if {link.source_a, link.source_b} == {a, b}:
+            found.add(
+                _normalize_pair(link.source_a, link.accession_a,
+                                link.source_b, link.accession_b)
+            )
+    result.metrics["homologs"] = precision_recall_f1(found, truth)
+    result.details["pair"] = (a, b)
+    return result
+
+
+def _normalize_pair(source_a, accession_a, source_b, accession_b):
+    if (source_a, accession_a) <= (source_b, accession_b):
+        return (source_a, accession_a, source_b, accession_b)
+    return (source_b, accession_b, source_a, accession_a)

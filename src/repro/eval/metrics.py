@@ -1,0 +1,52 @@
+"""Precision / recall / F1 over fact sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+
+@dataclass(frozen=True)
+class PRF:
+    """One evaluation outcome."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def row(self) -> Tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def confusion(found: Set, truth: Set) -> Tuple[int, int, int]:
+    """(true positives, false positives, false negatives)."""
+    tp = len(found & truth)
+    return tp, len(found) - tp, len(truth) - tp
+
+
+def precision_recall_f1(found: Set, truth: Set) -> PRF:
+    """PRF of a found fact set against a gold fact set.
+
+    An empty truth with empty findings counts as perfect (nothing to find,
+    nothing invented); an empty truth with findings is all-false-positive.
+    """
+    tp, fp, fn = confusion(found, truth)
+    precision = tp / (tp + fp) if (tp + fp) else (1.0 if not truth else 0.0)
+    recall = tp / (tp + fn) if (tp + fn) else 1.0
+    return PRF(
+        precision=round(precision, 4),
+        recall=round(recall, 4),
+        f1=round(f1_score(precision, recall), 4),
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )

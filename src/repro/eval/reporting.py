@@ -1,0 +1,23 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table (the benches print paper-style tables)."""
+    columns = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            columns[i].append(str(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Explicit cross-reference discovery (Section 4.4, first kind).
+
+"Because cross-references use public, globally unique, and stable
+identifiers ... target candidates are exactly the previously discovered
+unique fields in primary relations of other databases."
+
+For every pruned source attribute we match its values against the
+accession values of every target source's primary relation. Two match
+modes:
+
+* **direct** — the value *is* a target accession;
+* **encoded** — the value embeds the accession in a ``"DB:ACC"`` string
+  (Section 4.4's ``"Uniprot:P11140"``); the substring after the last
+  separator is matched. "Thus, already here string matching techniques
+  are needed, for instance for finding common substrings."
+
+An attribute-level link is declared when enough values match; each
+matching value also produces an object-level link from the owning primary
+object of the source row to the referenced target object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.model import AttributeLink, LinkConfig, LinkSet, ObjectLink
+from repro.linking.pruning import is_link_source_candidate
+from repro.linking.resolve import ObjectResolver
+from repro.linking.stats import AttributeStatistics
+from repro.relational.database import Database
+
+_SEPARATORS = (":", "|", "/")
+
+
+def decode_candidates(value: str) -> List[Tuple[str, bool]]:
+    """Possible accession readings of one attribute value.
+
+    Returns (candidate, was_encoded) pairs: the raw value first, then the
+    suffix after the last separator when one is present.
+    """
+    candidates: List[Tuple[str, bool]] = [(value, False)]
+    for separator in _SEPARATORS:
+        if separator in value:
+            suffix = value.rsplit(separator, 1)[1].strip()
+            if suffix and suffix != value:
+                candidates.append((suffix, True))
+            break
+    return candidates
+
+
+def discover_crossref_links(
+    source_db: Database,
+    source_structure: SourceStructure,
+    source_stats: Dict[AttributeRef, AttributeStatistics],
+    targets: Iterable[Tuple[Database, SourceStructure]],
+    config: Optional[LinkConfig] = None,
+) -> LinkSet:
+    """Match one source's attributes against all targets' accessions."""
+    config = config or LinkConfig()
+    result = LinkSet()
+    try:
+        resolver = ObjectResolver(source_db, source_structure)
+    except ValueError:
+        return result  # no primary relation: nothing to anchor links on
+    target_indexes = _build_target_indexes(targets)
+    for attr, stats in sorted(source_stats.items(), key=lambda kv: kv[0].qualified):
+        if not is_link_source_candidate(stats, config):
+            continue
+        if (
+            attr.table == source_structure.primary_relation
+            and source_structure.primary_accession() == attr
+        ):
+            continue  # the primary accession itself is an identifier, not a reference
+        for target_name, (accessions, target_attr, target_structure) in sorted(
+            target_indexes.items()
+        ):
+            if target_name == source_structure.source_name:
+                continue
+            matches, encoded_any = _match_attribute(
+                source_db, attr, accessions, config
+            )
+            if len(matches) < config.min_absolute_matches:
+                continue
+            fraction = len(matches) / max(stats.non_null_count, 1)
+            if fraction < config.min_match_fraction:
+                continue
+            result.attribute_links.append(
+                AttributeLink(
+                    source=source_structure.source_name,
+                    source_attribute=attr,
+                    target=target_name,
+                    target_attribute=target_attr,
+                    score=fraction,
+                    kind="crossref",
+                    encoded=encoded_any,
+                )
+            )
+            result.object_links.extend(
+                _materialize_object_links(
+                    source_db,
+                    attr,
+                    matches,
+                    resolver,
+                    source_structure.source_name,
+                    target_name,
+                    config,
+                )
+            )
+    return result
+
+
+# ----------------------------------------------------------------------
+def _build_target_indexes(targets):
+    indexes = {}
+    for target_db, target_structure in targets:
+        accession_attr = target_structure.primary_accession()
+        if accession_attr is None:
+            continue
+        values = set(
+            v
+            for v in target_db.table(accession_attr.table).values(accession_attr.column)
+            if v is not None
+        )
+        indexes[target_structure.source_name] = (values, accession_attr, target_structure)
+    return indexes
+
+
+def _match_attribute(
+    source_db: Database,
+    attr: AttributeRef,
+    target_accessions: Set[str],
+    config: LinkConfig,
+) -> Tuple[Dict[str, Tuple[str, bool]], bool]:
+    """Distinct source values that resolve to a target accession.
+
+    Returns ({source_value: (matched_accession, encoded)}, any_encoded).
+    """
+    matches: Dict[str, Tuple[str, bool]] = {}
+    encoded_any = False
+    for value in source_db.table(attr.table).distinct_values(attr.column):
+        if not isinstance(value, str):
+            continue
+        for candidate, encoded in decode_candidates(value):
+            if candidate in target_accessions:
+                matches[value] = (candidate, encoded)
+                encoded_any = encoded_any or encoded
+                break
+    return matches, encoded_any
+
+
+def _materialize_object_links(
+    source_db: Database,
+    attr: AttributeRef,
+    matches: Dict[str, Tuple[str, bool]],
+    resolver: ObjectResolver,
+    source_name: str,
+    target_name: str,
+    config: LinkConfig,
+) -> List[ObjectLink]:
+    links: List[ObjectLink] = []
+    seen: Set[Tuple[str, str]] = set()
+    table = source_db.table(attr.table)
+    for row in table.rows():
+        value = row.get(attr.column)
+        if value not in matches:
+            continue
+        accession_b, encoded = matches[value]
+        for owner in resolver.owners_of_row(attr.table, row):
+            key = (owner, accession_b)
+            if key in seen:
+                continue
+            seen.add(key)
+            links.append(
+                ObjectLink(
+                    source_a=source_name,
+                    accession_a=owner,
+                    source_b=target_name,
+                    accession_b=accession_b,
+                    kind="crossref",
+                    certainty=config.encoded_certainty if encoded else config.crossref_certainty,
+                    evidence=f"{attr.qualified}={value}",
+                )
+            )
+    return links

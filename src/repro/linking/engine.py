@@ -1,0 +1,164 @@
+"""Link-discovery orchestration for one new source against all targets.
+
+Runs the channels of Section 4.4 in order — explicit cross-references,
+sequence similarity, text similarity, name recognition, shared vocabulary
+— against every previously integrated source, reusing cached per-source
+statistics. Channels can be toggled for the pruning/ablation experiments
+(E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.crossref import discover_crossref_links
+from repro.linking.model import LinkConfig, LinkSet
+from repro.linking.ner import discover_name_links
+from repro.linking.ontologylinks import discover_ontology_links
+from repro.linking.seqfields import detect_sequence_fields
+from repro.linking.seqlinks import discover_sequence_links
+from repro.linking.stats import AttributeStatistics, collect_statistics
+from repro.linking.textlinks import discover_text_links
+from repro.relational.database import Database
+
+
+@dataclass
+class LinkChannels:
+    """Toggle switches for the discovery channels."""
+
+    crossref: bool = True
+    sequence: bool = True
+    text: bool = True
+    name: bool = True
+    ontology: bool = True
+
+
+@dataclass
+class _SourceEntry:
+    database: Database
+    structure: SourceStructure
+    statistics: Dict[AttributeRef, AttributeStatistics]
+
+
+class LinkDiscoveryEngine:
+    """Incremental link discovery across an growing set of sources."""
+
+    def __init__(
+        self,
+        config: Optional[LinkConfig] = None,
+        channels: Optional[LinkChannels] = None,
+    ):
+        self.config = config or LinkConfig()
+        self.channels = channels or LinkChannels()
+        self._sources: Dict[str, _SourceEntry] = {}
+        self.comparisons_made = 0  # attribute-pair scans, for E6
+
+    # ------------------------------------------------------------------
+    def register_source(
+        self, database: Database, structure: SourceStructure
+    ) -> Dict[AttributeRef, AttributeStatistics]:
+        """Cache a source and its one-time statistics; returns the stats."""
+        statistics = collect_statistics(database)
+        self._sources[structure.source_name] = _SourceEntry(
+            database=database, structure=structure, statistics=statistics
+        )
+        return statistics
+
+    def source_names(self) -> List[str]:
+        return sorted(self._sources)
+
+    def statistics_for(self, name: str) -> Dict[AttributeRef, AttributeStatistics]:
+        return self._sources[name].statistics
+
+    # ------------------------------------------------------------------
+    def discover_for(self, source_name: str) -> LinkSet:
+        """All links between ``source_name`` and every *other* source.
+
+        Both directions are explored (the new source may reference old
+        sources and vice versa — Section 5's PDB→Swiss-Prot and
+        Swiss-Prot→PDB cases both exist).
+        """
+        if source_name not in self._sources:
+            raise KeyError(f"source {source_name!r} is not registered")
+        new = self._sources[source_name]
+        result = LinkSet()
+        for other_name in self.source_names():
+            if other_name == source_name:
+                continue
+            other = self._sources[other_name]
+            result.extend(self._pair_links(new, other))
+            result.extend(self._directional_links(other, new))
+        return result
+
+    def _pair_links(self, source: _SourceEntry, target: _SourceEntry) -> LinkSet:
+        """Symmetric channels + source->target directional channels."""
+        result = self._directional_links(source, target)
+        if self.channels.sequence:
+            source_fields = detect_sequence_fields(source.statistics, self.config)
+            target_fields = detect_sequence_fields(target.statistics, self.config)
+            self.comparisons_made += len(source_fields) * len(target_fields)
+            result.extend(
+                discover_sequence_links(
+                    source.database,
+                    source.structure,
+                    source_fields,
+                    target.database,
+                    target.structure,
+                    target_fields,
+                    self.config,
+                )
+            )
+        if self.channels.text:
+            result.extend(
+                discover_text_links(
+                    source.database,
+                    source.structure,
+                    source.statistics,
+                    target.database,
+                    target.structure,
+                    target.statistics,
+                    self.config,
+                )
+            )
+        if self.channels.ontology:
+            result.extend(
+                discover_ontology_links(
+                    source.database,
+                    source.structure,
+                    source.statistics,
+                    target.database,
+                    target.structure,
+                    target.statistics,
+                    self.config,
+                )
+            )
+        return result
+
+    def _directional_links(self, source: _SourceEntry, target: _SourceEntry) -> LinkSet:
+        """Channels where the evidence lives on the source side only."""
+        result = LinkSet()
+        if self.channels.crossref:
+            self.comparisons_made += len(source.statistics)
+            result.extend(
+                discover_crossref_links(
+                    source.database,
+                    source.structure,
+                    source.statistics,
+                    [(target.database, target.structure)],
+                    self.config,
+                )
+            )
+        if self.channels.name:
+            result.extend(
+                discover_name_links(
+                    source.database,
+                    source.structure,
+                    source.statistics,
+                    target.database,
+                    target.structure,
+                    self.config,
+                )
+            )
+        return result

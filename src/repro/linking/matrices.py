@@ -1,0 +1,66 @@
+"""Scoring matrices for sequence alignment.
+
+A compact BLOSUM-style substitution model: identities score high,
+substitutions within a physico-chemical group score mildly positive,
+everything else negative. Exact BLOSUM62 values are not required for the
+reproduction — the linking behaviour depends only on homologs scoring
+well above random — but the group structure mirrors the real matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Physico-chemically similar amino-acid groups (as in common reduced
+# alphabets of BLOSUM):
+_GROUPS = [
+    "AGST",  # small
+    "ILMV",  # hydrophobic
+    "FWY",  # aromatic
+    "DENQ",  # acidic/amide
+    "KRH",  # basic
+    "C",
+    "P",
+]
+
+MATCH_SCORE = 5
+GROUP_SCORE = 1
+MISMATCH_SCORE = -2
+DNA_MATCH = 2
+DNA_MISMATCH = -3
+GAP_PENALTY = -4
+
+
+def _group_of(residue: str) -> int:
+    for i, group in enumerate(_GROUPS):
+        if residue in group:
+            return i
+    return -1
+
+
+def build_protein_matrix() -> Dict[Tuple[str, str], int]:
+    """Full 20x20 substitution matrix as a dict."""
+    residues = "ACDEFGHIKLMNPQRSTVWY"
+    matrix: Dict[Tuple[str, str], int] = {}
+    for a in residues:
+        for b in residues:
+            if a == b:
+                score = MATCH_SCORE
+            elif _group_of(a) >= 0 and _group_of(a) == _group_of(b):
+                score = GROUP_SCORE
+            else:
+                score = MISMATCH_SCORE
+            matrix[(a, b)] = score
+    return matrix
+
+
+_PROTEIN_MATRIX = build_protein_matrix()
+
+
+def protein_score(a: str, b: str) -> int:
+    """Substitution score for one residue pair (unknowns = mismatch)."""
+    return _PROTEIN_MATRIX.get((a, b), MISMATCH_SCORE)
+
+
+def dna_score(a: str, b: str) -> int:
+    return DNA_MATCH if a == b else DNA_MISMATCH

@@ -1,0 +1,166 @@
+"""Controlled-vocabulary (ontology) links.
+
+Section 4.4, third comparison type: standardized vocabularies "make
+excellent links, connecting proteins with similar function ... provided
+that the ontologies are themselves integrated as data sources". We find
+attribute pairs whose *value vocabularies* overlap strongly (keyword
+fields vs. ontology term names) and link objects sharing a term.
+
+Unlike cross-references the matched values are not unique accessions —
+the same term annotates many objects — so the target attribute need not
+be unique, but both attributes must look like vocabulary: modest distinct
+counts relative to rows, textual, short.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.model import AttributeLink, LinkConfig, LinkSet, ObjectLink
+from repro.linking.resolve import ObjectResolver
+from repro.linking.stats import AttributeStatistics
+from repro.relational.database import Database
+
+
+def _vocabulary_attributes(
+    stats: Dict[AttributeRef, AttributeStatistics], config: LinkConfig
+) -> List[AttributeRef]:
+    out = []
+    for attr, stat in sorted(stats.items(), key=lambda kv: kv[0].qualified):
+        if stat.non_null_count == 0 or stat.data_type.is_numeric:
+            continue
+        if stat.numeric_fraction >= 0.999:
+            continue
+        if stat.avg_length > 60:  # long prose is the text channel's job
+            continue
+        if stat.distinct_count < config.min_distinct_values:
+            continue
+        out.append(attr)
+    return out
+
+
+def _normalize(value: str) -> str:
+    return " ".join(value.lower().split())
+
+
+def discover_ontology_links(
+    source_db: Database,
+    source_structure: SourceStructure,
+    source_stats: Dict[AttributeRef, AttributeStatistics],
+    target_db: Database,
+    target_structure: SourceStructure,
+    target_stats: Dict[AttributeRef, AttributeStatistics],
+    config: Optional[LinkConfig] = None,
+) -> LinkSet:
+    """Shared-vocabulary links between two sources."""
+    config = config or LinkConfig()
+    result = LinkSet()
+    source_attrs = _vocabulary_attributes(source_stats, config)
+    target_attrs = _vocabulary_attributes(target_stats, config)
+    if not source_attrs or not target_attrs:
+        return result
+    try:
+        source_resolver = ObjectResolver(source_db, source_structure)
+        target_resolver = ObjectResolver(target_db, target_structure)
+    except ValueError:
+        return result
+    for source_attr in source_attrs:
+        source_values = {
+            _normalize(v)
+            for v in source_db.table(source_attr.table).distinct_values(source_attr.column)
+            if isinstance(v, str)
+        }
+        if not source_values:
+            continue
+        for target_attr in target_attrs:
+            target_values = {
+                _normalize(v)
+                for v in target_db.table(target_attr.table).distinct_values(
+                    target_attr.column
+                )
+                if isinstance(v, str)
+            }
+            if not target_values:
+                continue
+            overlap = source_values & target_values
+            denominator = min(len(source_values), len(target_values))
+            score = len(overlap) / denominator if denominator else 0.0
+            if score < config.ontology_overlap_threshold:
+                continue
+            result.attribute_links.append(
+                AttributeLink(
+                    source=source_structure.source_name,
+                    source_attribute=source_attr,
+                    target=target_structure.source_name,
+                    target_attribute=target_attr,
+                    score=round(score, 4),
+                    kind="ontology",
+                )
+            )
+            result.object_links.extend(
+                _materialize(
+                    source_db,
+                    source_attr,
+                    source_resolver,
+                    source_structure.source_name,
+                    target_db,
+                    target_attr,
+                    target_resolver,
+                    target_structure.source_name,
+                    overlap,
+                    config,
+                )
+            )
+    return result
+
+
+def _materialize(
+    source_db,
+    source_attr,
+    source_resolver,
+    source_name,
+    target_db,
+    target_attr,
+    target_resolver,
+    target_name,
+    shared_values: Set[str],
+    config: LinkConfig,
+) -> List[ObjectLink]:
+    by_value: Dict[str, List[str]] = defaultdict(list)
+    target_table = target_db.table(target_attr.table)
+    for row in target_table.rows():
+        value = row.get(target_attr.column)
+        if isinstance(value, str) and _normalize(value) in shared_values:
+            for owner in target_resolver.owners_of_row(target_attr.table, row):
+                by_value[_normalize(value)].append(owner)
+    links: List[ObjectLink] = []
+    seen: Set[Tuple[str, str]] = set()
+    source_table = source_db.table(source_attr.table)
+    for row in source_table.rows():
+        value = row.get(source_attr.column)
+        if not isinstance(value, str):
+            continue
+        normalized = _normalize(value)
+        if normalized not in by_value:
+            continue
+        owners = source_resolver.owners_of_row(source_attr.table, row)
+        for owner_a in owners:
+            for owner_b in by_value[normalized]:
+                key = (owner_a, owner_b)
+                if key in seen:
+                    continue
+                seen.add(key)
+                links.append(
+                    ObjectLink(
+                        source_a=source_name,
+                        accession_a=owner_a,
+                        source_b=target_name,
+                        accession_b=owner_b,
+                        kind="ontology",
+                        certainty=config.ontology_certainty,
+                        evidence=f"shared term {normalized!r}",
+                    )
+                )
+    return links

@@ -1,0 +1,54 @@
+"""Candidate pruning for cross-reference discovery.
+
+Section 4.4's rules, verbatim:
+
+* "the attribute representing the target of a cross-reference is always a
+  primary key in the respective table" — targets are only the accession
+  attributes of primary relations of other sources;
+* "attributes with few distinct values should be excluded from being a
+  link source";
+* "as are attributes with purely numeric values to avoid misinterpretation
+  of surrogate keys".
+
+Sequence fields are additionally excluded from cross-reference matching
+(they are handled by the sequence-similarity channel instead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.linking.model import LinkConfig
+from repro.linking.stats import AttributeStatistics
+
+
+def is_link_source_candidate(
+    stats: AttributeStatistics, config: Optional[LinkConfig] = None
+) -> bool:
+    """May this attribute hold outgoing cross-references?"""
+    config = config or LinkConfig()
+    if stats.non_null_count < config.min_source_rows:
+        return False
+    if stats.distinct_count < config.min_distinct_values:
+        return False
+    if config.exclude_numeric_sources and stats.numeric_fraction >= 0.999:
+        return False
+    # Long sequence-like fields are not cross-reference material.
+    if stats.avg_length >= config.seq_min_avg_length and (
+        stats.protein_alphabet_fraction >= config.seq_alphabet_purity
+        or stats.dna_alphabet_fraction >= config.seq_alphabet_purity
+    ):
+        return False
+    return True
+
+
+def is_link_target_candidate(
+    stats: AttributeStatistics, config: Optional[LinkConfig] = None
+) -> bool:
+    """May this attribute be a link target? (unique accessions only)"""
+    config = config or LinkConfig()
+    if not stats.is_unique:
+        return False
+    if stats.distinct_count < config.min_distinct_values:
+        return False
+    return True

@@ -1,0 +1,117 @@
+"""Resolve arbitrary rows to their owning primary object.
+
+Link evidence lives in annotation tables (``dbxref.accession``,
+``participant.ref``) but links connect *primary objects* (Section 3's
+web-of-objects view). The resolver walks the secondary path discovered in
+step 3 from any table back to the primary relation and returns the
+accession(s) of the owning primary object(s); hash indexes per join column
+keep resolution linear.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.discovery.model import AttributeRef, SecondaryPath, SourceStructure
+from repro.relational.database import Database
+from repro.relational.table import Row
+
+
+class ObjectResolver:
+    """Maps rows of any reachable table to primary-object accessions."""
+
+    def __init__(self, database: Database, structure: SourceStructure):
+        self._db = database
+        self._structure = structure
+        self._indexes: Dict[Tuple[str, str], Dict[object, List[int]]] = {}
+        primary = structure.primary_relation
+        if primary is None:
+            raise ValueError(
+                f"source {structure.source_name!r} has no primary relation; "
+                "links cannot be resolved"
+            )
+        self._primary = primary
+        accession_attr = structure.primary_accession()
+        if accession_attr is None:
+            raise ValueError(
+                f"primary relation {primary!r} has no accession candidate"
+            )
+        self._accession_column = accession_attr.column
+
+    @property
+    def primary_relation(self) -> str:
+        return self._primary
+
+    @property
+    def accession_column(self) -> str:
+        return self._accession_column
+
+    # ------------------------------------------------------------------
+    def primary_accessions(self) -> List[str]:
+        return [
+            v
+            for v in self._db.table(self._primary).values(self._accession_column)
+            if v is not None
+        ]
+
+    def owners_of_row(self, table: str, row: Row) -> List[str]:
+        """Accessions of the primary objects owning ``row`` of ``table``.
+
+        The primary relation owns itself; other tables are resolved along
+        their shortest discovered path. Unreachable tables resolve to [].
+        """
+        if table == self._primary:
+            accession = row.get(self._accession_column)
+            return [accession] if accession is not None else []
+        paths = self._structure.secondary_paths.get(table)
+        if not paths:
+            return []
+        path = min(paths, key=lambda p: p.length)
+        rows = [row]
+        # Path runs primary -> ... -> table; walk it backwards.
+        for step in reversed(path.steps):
+            # The step connects step.from_table -> step.to_table; current
+            # rows live in to_table and must be moved to from_table.
+            next_rows: List[Row] = []
+            index = self._column_index(step.from_table, self._join_column(step, "from"))
+            join_col = self._join_column(step, "to")
+            for current in rows:
+                value = current.get(join_col)
+                if value is None:
+                    continue
+                next_rows.extend(
+                    self._db.table(step.from_table).row_at(i) for i in index.get(value, [])
+                )
+            rows = next_rows
+            if not rows:
+                return []
+        accessions = []
+        seen = set()
+        for owner in rows:
+            accession = owner.get(self._accession_column)
+            if accession is not None and accession not in seen:
+                seen.add(accession)
+                accessions.append(accession)
+        return accessions
+
+    # ------------------------------------------------------------------
+    def _join_column(self, step, side: str) -> str:
+        rel = step.relationship
+        if step.forward:
+            # from_table holds rel.source, to_table holds rel.target.
+            return rel.source.column if side == "from" else rel.target.column
+        return rel.target.column if side == "from" else rel.source.column
+
+    def _column_index(self, table: str, column: str) -> Dict[object, List[int]]:
+        key = (table, column)
+        if key not in self._indexes:
+            index: Dict[object, List[int]] = defaultdict(list)
+            tab = self._db.table(table)
+            col_pos = tab.schema.column_index(column)
+            for i, tup in enumerate(tab.raw_rows()):
+                value = tup[col_pos]
+                if value is not None:
+                    index[value].append(i)
+            self._indexes[key] = index
+        return self._indexes[key]

@@ -1,0 +1,28 @@
+"""Schema matching (Section 4.4's related machinery).
+
+"The link discovery task is closely related to schema matching,
+especially to those projects using instance-based techniques." Three
+matchers in the taxonomy of the survey the paper cites [RB01]:
+
+* name-based — string similarity on attribute names (:mod:`namematch`);
+* instance-based — attribute feature classification à la [NHT+02] plus
+  value overlap (:mod:`features`, :mod:`instancematch`);
+* graph-based — Similarity Flooding [MGR02] (:mod:`flooding`).
+"""
+
+from repro.linking.schemamatch.namematch import name_similarity, match_by_names
+from repro.linking.schemamatch.features import attribute_feature_vector, feature_similarity
+from repro.linking.schemamatch.instancematch import instance_match, value_overlap
+from repro.linking.schemamatch.flooding import similarity_flooding
+from repro.linking.schemamatch.model import SchemaCorrespondence
+
+__all__ = [
+    "SchemaCorrespondence",
+    "attribute_feature_vector",
+    "feature_similarity",
+    "instance_match",
+    "match_by_names",
+    "name_similarity",
+    "similarity_flooding",
+    "value_overlap",
+]

@@ -1,0 +1,128 @@
+"""Similarity Flooding [MGR02] for schema graphs.
+
+The graph-based matcher the paper cites. Implementation follows the
+original algorithm:
+
+1. each schema becomes a directed labeled graph (``table --column-->
+   attribute``, ``attribute --type--> datatype``);
+2. the *pairwise connectivity graph* (PCG) contains a node (a, b) for
+   every pair of nodes connected by same-labeled edges in both graphs;
+3. initial similarities come from a string measure on node names;
+4. similarities are propagated over the PCG until fixpoint
+   (sigma^{i+1} = normalize(sigma^i + sum of weighted neighbors));
+5. attribute-pair similarities are read off and filtered.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.discovery.model import AttributeRef
+from repro.duplicates.similarity import levenshtein_similarity
+from repro.linking.schemamatch.model import SchemaCorrespondence
+from repro.relational.database import Database
+
+Node = Tuple[str, str]  # (kind, name) — kind in {"table", "attr", "type"}
+Edge = Tuple[Node, str, Node]  # (from, label, to)
+
+
+def _schema_graph(database: Database) -> List[Edge]:
+    edges: List[Edge] = []
+    for table_name in database.table_names():
+        table_node: Node = ("table", table_name)
+        table = database.table(table_name)
+        for column in table.schema.columns:
+            attr_node: Node = ("attr", f"{table_name}.{column.name}")
+            edges.append((table_node, "column", attr_node))
+            type_node: Node = ("type", column.data_type.value)
+            edges.append((attr_node, "type", type_node))
+    return edges
+
+
+def _initial_similarity(a: Node, b: Node) -> float:
+    if a[0] != b[0]:
+        return 0.0
+    if a[0] == "type":
+        return 1.0 if a[1] == b[1] else 0.0
+    name_a = a[1].split(".")[-1]
+    name_b = b[1].split(".")[-1]
+    return levenshtein_similarity(name_a, name_b)
+
+
+def similarity_flooding(
+    source_db: Database,
+    target_db: Database,
+    iterations: int = 50,
+    tolerance: float = 1e-4,
+    threshold: float = 0.25,
+) -> List[SchemaCorrespondence]:
+    """Run similarity flooding; return attribute correspondences."""
+    edges_a = _schema_graph(source_db)
+    edges_b = _schema_graph(target_db)
+    # Pairwise connectivity graph: ((a1,b1) --label--> (a2,b2)) iff
+    # a1 --label--> a2 and b1 --label--> b2.
+    by_label_a: Dict[str, List[Tuple[Node, Node]]] = defaultdict(list)
+    by_label_b: Dict[str, List[Tuple[Node, Node]]] = defaultdict(list)
+    for from_a, label, to_a in edges_a:
+        by_label_a[label].append((from_a, to_a))
+    for from_b, label, to_b in edges_b:
+        by_label_b[label].append((from_b, to_b))
+    pcg_edges: List[Tuple[Node, Node, Node, Node]] = []
+    map_pairs: Set[Tuple[Node, Node]] = set()
+    for label, pairs_a in by_label_a.items():
+        for from_a, to_a in pairs_a:
+            for from_b, to_b in by_label_b.get(label, ()):
+                pcg_edges.append((from_a, from_b, to_a, to_b))
+                map_pairs.add((from_a, from_b))
+                map_pairs.add((to_a, to_b))
+    if not map_pairs:
+        return []
+    # Propagation coefficients: each PCG edge distributes 1/out-degree
+    # (the original's inverse-average fanout, simplified to inverse fanout).
+    out_count: Dict[Tuple[Node, Node], int] = defaultdict(int)
+    in_count: Dict[Tuple[Node, Node], int] = defaultdict(int)
+    for from_a, from_b, to_a, to_b in pcg_edges:
+        out_count[(from_a, from_b)] += 1
+        in_count[(to_a, to_b)] += 1
+    sigma: Dict[Tuple[Node, Node], float] = {
+        pair: _initial_similarity(*pair) for pair in map_pairs
+    }
+    initial = dict(sigma)
+    for _ in range(iterations):
+        incoming: Dict[Tuple[Node, Node], float] = defaultdict(float)
+        for from_a, from_b, to_a, to_b in pcg_edges:
+            from_pair = (from_a, from_b)
+            to_pair = (to_a, to_b)
+            # propagate both directions (the PCG is treated as undirected
+            # for propagation, as in the original's default fixpoint).
+            incoming[to_pair] += sigma[from_pair] / out_count[from_pair]
+            incoming[from_pair] += sigma[to_pair] / max(in_count[to_pair], 1)
+        updated = {
+            pair: initial[pair] + sigma[pair] + incoming.get(pair, 0.0)
+            for pair in map_pairs
+        }
+        peak = max(updated.values())
+        if peak <= 0:
+            break
+        updated = {pair: value / peak for pair, value in updated.items()}
+        delta = max(abs(updated[p] - sigma[p]) for p in map_pairs)
+        sigma = updated
+        if delta < tolerance:
+            break
+    matches: List[SchemaCorrespondence] = []
+    for (node_a, node_b), score in sigma.items():
+        if node_a[0] != "attr" or node_b[0] != "attr":
+            continue
+        if score < threshold:
+            continue
+        matches.append(
+            SchemaCorrespondence(
+                source=AttributeRef.parse(node_a[1]),
+                target=AttributeRef.parse(node_b[1]),
+                score=round(min(score, 1.0), 4),
+                matcher="flooding",
+            )
+        )
+    matches.sort(key=lambda m: (-m.score, m.source.qualified, m.target.qualified))
+    return matches

@@ -1,0 +1,21 @@
+"""Shared result type for schema matchers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discovery.model import AttributeRef
+
+
+@dataclass(frozen=True)
+class SchemaCorrespondence:
+    """One attribute-level match between two schemas with a score in [0, 1]."""
+
+    source: AttributeRef
+    target: AttributeRef
+    score: float
+    matcher: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")

@@ -1,0 +1,62 @@
+"""Name-based schema matching.
+
+The simplest matcher family in [RB01]: compare attribute *names* with
+string similarity. Names are tokenized on underscores and digits so that
+``entry_id`` vs ``bioentry_id`` and ``seq`` vs ``biosequence_str`` get
+partial credit; token-set Jaccard is blended with a normalized edit
+similarity on the whole name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.discovery.model import AttributeRef
+from repro.duplicates.similarity import levenshtein_similarity
+from repro.linking.schemamatch.model import SchemaCorrespondence
+from repro.relational.database import Database
+
+_TOKEN_RE = re.compile(r"[a-z]+")
+
+
+def _tokens(name: str) -> set:
+    return set(_TOKEN_RE.findall(name.lower()))
+
+
+def name_similarity(a: str, b: str) -> float:
+    """Blend of token Jaccard and whole-string edit similarity, in [0, 1]."""
+    tokens_a, tokens_b = _tokens(a), _tokens(b)
+    if tokens_a and tokens_b:
+        jaccard = len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+    else:
+        jaccard = 0.0
+    edit = levenshtein_similarity(a.lower(), b.lower())
+    return 0.5 * jaccard + 0.5 * edit
+
+
+def match_by_names(
+    source_db: Database,
+    target_db: Database,
+    threshold: float = 0.5,
+) -> List[SchemaCorrespondence]:
+    """All attribute pairs whose names are similar enough, best first."""
+    matches: List[SchemaCorrespondence] = []
+    for source_table in source_db.table_names():
+        for source_col in source_db.table(source_table).column_names:
+            for target_table in target_db.table_names():
+                for target_col in target_db.table(target_table).column_names:
+                    score = name_similarity(
+                        f"{source_table} {source_col}", f"{target_table} {target_col}"
+                    )
+                    if score >= threshold:
+                        matches.append(
+                            SchemaCorrespondence(
+                                source=AttributeRef(source_table, source_col),
+                                target=AttributeRef(target_table, target_col),
+                                score=round(score, 4),
+                                matcher="name",
+                            )
+                        )
+    matches.sort(key=lambda m: (-m.score, m.source.qualified, m.target.qualified))
+    return matches

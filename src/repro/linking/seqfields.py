@@ -1,0 +1,50 @@
+"""Sequence-field detection.
+
+Section 4.4: "Finding sequence fields is simple, as those contain only
+strings over a fixed alphabet (A, C, T, G for genes)." Detection uses the
+per-attribute statistics: long average length plus near-pure nucleotide or
+amino-acid alphabet. DNA is checked first because the DNA alphabet is a
+subset of the protein alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.discovery.model import AttributeRef
+from repro.linking.model import LinkConfig
+from repro.linking.stats import AttributeStatistics
+
+
+@dataclass(frozen=True)
+class SequenceField:
+    """An attribute recognized as holding biological sequences."""
+
+    attribute: AttributeRef
+    alphabet: str  # "dna" | "protein"
+    avg_length: float
+
+
+def detect_sequence_fields(
+    stats: Dict[AttributeRef, AttributeStatistics],
+    config: Optional[LinkConfig] = None,
+) -> List[SequenceField]:
+    """All sequence-like attributes of one source, sorted by name."""
+    config = config or LinkConfig()
+    fields: List[SequenceField] = []
+    for attr, stat in sorted(stats.items(), key=lambda kv: kv[0].qualified):
+        if stat.non_null_count == 0:
+            continue
+        if stat.avg_length < config.seq_min_avg_length:
+            continue
+        if stat.dna_alphabet_fraction >= config.seq_alphabet_purity:
+            alphabet = "dna"
+        elif stat.protein_alphabet_fraction >= config.seq_alphabet_purity:
+            alphabet = "protein"
+        else:
+            continue
+        fields.append(
+            SequenceField(attribute=attr, alphabet=alphabet, avg_length=stat.avg_length)
+        )
+    return fields

@@ -1,0 +1,98 @@
+"""Per-attribute statistics for pruning and schema matching.
+
+Section 4.4: "Other pruning strategies ... rely on attribute value
+distributions and statistics ... These statistics need to be computed only
+once for each data source and can then be reused for subsequently added
+data sources." They are therefore computed per source and cached in the
+metadata repository, never recomputed per source pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.discovery.model import AttributeRef
+from repro.relational.database import Database
+from repro.relational.types import DataType
+
+_PROTEIN_CHARS = set("ACDEFGHIKLMNPQRSTVWY")
+_DNA_CHARS = set("ACGTUN")
+
+
+@dataclass(frozen=True)
+class AttributeStatistics:
+    """Summary of one attribute's values."""
+
+    attribute: AttributeRef
+    data_type: DataType
+    row_count: int
+    non_null_count: int
+    distinct_count: int
+    is_unique: bool
+    avg_length: float
+    min_length: int
+    max_length: int
+    numeric_fraction: float  # fraction of values that are digit-only text or numbers
+    alpha_fraction: float  # fraction of characters that are letters
+    protein_alphabet_fraction: float  # chars within the amino-acid alphabet
+    dna_alphabet_fraction: float  # chars within the nucleotide alphabet
+
+    @property
+    def null_fraction(self) -> float:
+        if self.row_count == 0:
+            return 0.0
+        return 1.0 - self.non_null_count / self.row_count
+
+    @property
+    def distinct_fraction(self) -> float:
+        if self.non_null_count == 0:
+            return 0.0
+        return self.distinct_count / self.non_null_count
+
+
+def compute_attribute_statistics(
+    database: Database, attribute: AttributeRef
+) -> AttributeStatistics:
+    """One pass over one column."""
+    table = database.table(attribute.table)
+    data_type = table.schema.column(attribute.column).data_type
+    values = table.values(attribute.column)
+    non_null = [v for v in values if v is not None]
+    texts = [str(v) for v in non_null]
+    total_chars = sum(len(t) for t in texts)
+    alpha_chars = sum(sum(ch.isalpha() for ch in t) for t in texts)
+    protein_chars = sum(sum(ch in _PROTEIN_CHARS for ch in t) for t in texts)
+    dna_chars = sum(sum(ch in _DNA_CHARS for ch in t) for t in texts)
+    numeric = sum(
+        1
+        for v in non_null
+        if isinstance(v, (int, float)) or (isinstance(v, str) and v.isdigit())
+    )
+    lengths = [len(t) for t in texts]
+    return AttributeStatistics(
+        attribute=attribute,
+        data_type=data_type,
+        row_count=len(values),
+        non_null_count=len(non_null),
+        distinct_count=len(set(non_null)),
+        is_unique=len(non_null) == len(set(non_null)) and bool(non_null),
+        avg_length=total_chars / len(texts) if texts else 0.0,
+        min_length=min(lengths) if lengths else 0,
+        max_length=max(lengths) if lengths else 0,
+        numeric_fraction=numeric / len(non_null) if non_null else 0.0,
+        alpha_fraction=alpha_chars / total_chars if total_chars else 0.0,
+        protein_alphabet_fraction=protein_chars / total_chars if total_chars else 0.0,
+        dna_alphabet_fraction=dna_chars / total_chars if total_chars else 0.0,
+    )
+
+
+def collect_statistics(database: Database) -> Dict[AttributeRef, AttributeStatistics]:
+    """Statistics for every attribute of every table — one source pass."""
+    stats: Dict[AttributeRef, AttributeStatistics] = {}
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        for column in table.column_names:
+            attr = AttributeRef(table_name, column)
+            stats[attr] = compute_attribute_statistics(database, attr)
+    return stats

@@ -1,0 +1,198 @@
+"""Text-similarity links (implicit links, kind 2).
+
+"Second, attributes containing longer text strings, such as textual
+descriptions, can be analyzed by using techniques from information
+retrieval and text mining" (Section 4.4). Classic vector-space model:
+TF-IDF weighting, cosine similarity, per-source-row top-k matching above a
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.model import LinkConfig, LinkSet, ObjectLink
+from repro.linking.resolve import ObjectResolver
+from repro.linking.stats import AttributeStatistics
+from repro.relational.database import Database
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+_STOPWORDS = {
+    "a", "an", "and", "are", "as", "at", "by", "for", "from", "in", "into",
+    "is", "it", "of", "on", "or", "that", "the", "to", "with", "which",
+}
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-cased alphanumeric tokens minus stopwords."""
+    return [
+        token.lower()
+        for token in _TOKEN_RE.findall(text)
+        if token.lower() not in _STOPWORDS
+    ]
+
+
+class TfIdfIndex:
+    """A small TF-IDF vector index with cosine search."""
+
+    def __init__(self) -> None:
+        self._documents: List[Counter] = []
+        self._doc_freq: Counter = Counter()
+        self._norms: List[float] = []
+        self._finalized = False
+        self._postings: Dict[str, List[int]] = defaultdict(list)
+
+    def add(self, text: str) -> int:
+        if self._finalized:
+            raise RuntimeError("index already finalized")
+        doc_id = len(self._documents)
+        counts = Counter(tokenize(text))
+        self._documents.append(counts)
+        for token in counts:
+            self._doc_freq[token] += 1
+            self._postings[token].append(doc_id)
+        return doc_id
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def _idf(self, token: str) -> float:
+        df = self._doc_freq.get(token, 0)
+        if df == 0:
+            return 0.0
+        return math.log((1 + len(self._documents)) / (1 + df)) + 1.0
+
+    def finalize(self) -> None:
+        self._norms = []
+        for counts in self._documents:
+            norm_sq = sum((count * self._idf(token)) ** 2 for token, count in counts.items())
+            self._norms.append(math.sqrt(norm_sq) or 1.0)
+        self._finalized = True
+
+    def search(self, text: str, top_k: int = 3, threshold: float = 0.0) -> List[Tuple[int, float]]:
+        """(doc_id, cosine) pairs, best first."""
+        if not self._finalized:
+            self.finalize()
+        counts = Counter(tokenize(text))
+        if not counts:
+            return []
+        query_weights = {t: c * self._idf(t) for t, c in counts.items()}
+        query_norm = math.sqrt(sum(w * w for w in query_weights.values())) or 1.0
+        scores: Dict[int, float] = defaultdict(float)
+        for token, weight in query_weights.items():
+            if weight == 0.0:
+                continue
+            idf = self._idf(token)
+            for doc_id in self._postings.get(token, ()):
+                scores[doc_id] += weight * self._documents[doc_id][token] * idf
+        results = [
+            (doc_id, dot / (query_norm * self._norms[doc_id]))
+            for doc_id, dot in scores.items()
+        ]
+        results = [(d, s) for d, s in results if s >= threshold]
+        results.sort(key=lambda pair: (-pair[1], pair[0]))
+        return results[:top_k]
+
+
+def text_attributes(
+    stats: Dict[AttributeRef, AttributeStatistics], config: Optional[LinkConfig] = None
+) -> List[AttributeRef]:
+    """Attributes worth text comparison: long, mostly alphabetic, not sequences."""
+    config = config or LinkConfig()
+    out = []
+    for attr, stat in sorted(stats.items(), key=lambda kv: kv[0].qualified):
+        if stat.non_null_count == 0:
+            continue
+        if stat.avg_length < config.text_min_avg_length:
+            continue
+        if (
+            stat.protein_alphabet_fraction >= config.seq_alphabet_purity
+            or stat.dna_alphabet_fraction >= config.seq_alphabet_purity
+        ):
+            continue  # sequences handled elsewhere
+        if stat.alpha_fraction < 0.5:
+            continue
+        out.append(attr)
+    return out
+
+
+def discover_text_links(
+    source_db: Database,
+    source_structure: SourceStructure,
+    source_stats: Dict[AttributeRef, AttributeStatistics],
+    target_db: Database,
+    target_structure: SourceStructure,
+    target_stats: Dict[AttributeRef, AttributeStatistics],
+    config: Optional[LinkConfig] = None,
+) -> LinkSet:
+    """TF-IDF cosine links between long-text attributes of two sources."""
+    config = config or LinkConfig()
+    result = LinkSet()
+    source_attrs = text_attributes(source_stats, config)
+    target_attrs = text_attributes(target_stats, config)
+    if not source_attrs or not target_attrs:
+        return result
+    try:
+        source_resolver = ObjectResolver(source_db, source_structure)
+        target_resolver = ObjectResolver(target_db, target_structure)
+    except ValueError:
+        return result
+    for target_attr in target_attrs:
+        index = TfIdfIndex()
+        doc_owners: List[List[str]] = []
+        target_table = target_db.table(target_attr.table)
+        for row in target_table.rows():
+            text = row.get(target_attr.column)
+            if not text:
+                continue
+            owners = target_resolver.owners_of_row(target_attr.table, row)
+            if not owners:
+                continue
+            index.add(str(text))
+            doc_owners.append(owners)
+        if len(index) == 0:
+            continue
+        index.finalize()
+        for source_attr in source_attrs:
+            seen = set()
+            source_table = source_db.table(source_attr.table)
+            for row in source_table.rows():
+                text = row.get(source_attr.column)
+                if not text:
+                    continue
+                source_owners = source_resolver.owners_of_row(source_attr.table, row)
+                if not source_owners:
+                    continue
+                for doc_id, cosine in index.search(
+                    str(text),
+                    top_k=config.text_top_k,
+                    threshold=config.text_similarity_threshold,
+                ):
+                    for owner_a in source_owners:
+                        for owner_b in doc_owners[doc_id]:
+                            key = (owner_a, owner_b)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            result.object_links.append(
+                                ObjectLink(
+                                    source_a=source_structure.source_name,
+                                    accession_a=owner_a,
+                                    source_b=target_structure.source_name,
+                                    accession_b=owner_b,
+                                    kind="text",
+                                    certainty=round(
+                                        min(1.0, cosine) * config.text_certainty, 4
+                                    ),
+                                    evidence=(
+                                        f"{source_attr.qualified}~{target_attr.qualified}"
+                                        f" cosine={cosine:.2f}"
+                                    ),
+                                )
+                            )
+    return result

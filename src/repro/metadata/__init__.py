@@ -1,0 +1,14 @@
+"""The metadata repository (Section 3).
+
+"The process of discovering new structures and links produces much
+metadata that is stored in a central repository. In the spirit of the
+'Corpus' in the Revere project, it contains not only known and discovered
+schemata, but also information about primary and secondary relations,
+statistical metadata, and sample data to improve discovery efficiency.
+Finally, a large part of storage space will be consumed by the discovered
+links on the object level."
+"""
+
+from repro.metadata.repository import MetadataRepository, SourceRecord
+
+__all__ = ["MetadataRepository", "SourceRecord"]

@@ -1,0 +1,186 @@
+"""Central store for discovered structure, statistics, and links."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.model import AttributeLink, ObjectLink
+from repro.linking.stats import AttributeStatistics
+
+
+@dataclass
+class SourceRecord:
+    """Everything the repository knows about one source."""
+
+    structure: SourceStructure
+    statistics: Dict[AttributeRef, AttributeStatistics] = field(default_factory=dict)
+    sample_rows: Dict[str, List[dict]] = field(default_factory=dict)
+    row_counts: Dict[str, int] = field(default_factory=dict)
+
+
+class MetadataRepository:
+    """Discovered schemata, statistics, samples, and object-level links."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, SourceRecord] = {}
+        self._attribute_links: List[AttributeLink] = []
+        self._object_links: List[ObjectLink] = []
+        # Adjacency: (source, accession) -> list of link indexes.
+        self._adjacency: Dict[Tuple[str, str], List[int]] = defaultdict(list)
+        self._link_keys: Set[Tuple] = set()
+
+    # ------------------------------------------------------------------
+    # sources
+    # ------------------------------------------------------------------
+    def register_source(
+        self,
+        structure: SourceStructure,
+        statistics: Optional[Dict[AttributeRef, AttributeStatistics]] = None,
+        sample_rows: Optional[Dict[str, List[dict]]] = None,
+        row_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        name = structure.source_name
+        if name in self._sources:
+            raise ValueError(f"source {name!r} already registered")
+        self._sources[name] = SourceRecord(
+            structure=structure,
+            statistics=statistics or {},
+            sample_rows=sample_rows or {},
+            row_counts=row_counts or {},
+        )
+
+    def has_source(self, name: str) -> bool:
+        return name in self._sources
+
+    def source(self, name: str) -> SourceRecord:
+        if name not in self._sources:
+            raise KeyError(f"source {name!r} not registered")
+        return self._sources[name]
+
+    def source_names(self) -> List[str]:
+        return sorted(self._sources)
+
+    def structure(self, name: str) -> SourceStructure:
+        return self.source(name).structure
+
+    def remove_source(self, name: str) -> None:
+        """Drop a source and every link touching it (re-analysis support)."""
+        if name not in self._sources:
+            raise KeyError(f"source {name!r} not registered")
+        del self._sources[name]
+        self._attribute_links = [
+            l for l in self._attribute_links if name not in (l.source, l.target)
+        ]
+        kept = [
+            l for l in self._object_links if name not in (l.source_a, l.source_b)
+        ]
+        self._object_links = []
+        self._adjacency = defaultdict(list)
+        self._link_keys = set()
+        for link in kept:
+            self.add_object_link(link)
+
+    # ------------------------------------------------------------------
+    # links
+    # ------------------------------------------------------------------
+    def add_attribute_link(self, link: AttributeLink) -> None:
+        self._attribute_links.append(link)
+
+    def add_object_link(self, link: ObjectLink) -> bool:
+        """Store one link; duplicate (same endpoints + kind) links are ignored."""
+        normalized = link.normalized()
+        key = (
+            normalized.source_a,
+            normalized.accession_a,
+            normalized.source_b,
+            normalized.accession_b,
+            normalized.kind,
+        )
+        if key in self._link_keys:
+            return False
+        self._link_keys.add(key)
+        index = len(self._object_links)
+        self._object_links.append(link)
+        self._adjacency[(link.source_a, link.accession_a)].append(index)
+        self._adjacency[(link.source_b, link.accession_b)].append(index)
+        return True
+
+    def add_object_links(self, links: Iterable[ObjectLink]) -> int:
+        return sum(1 for link in links if self.add_object_link(link))
+
+    def attribute_links(self) -> List[AttributeLink]:
+        return list(self._attribute_links)
+
+    def object_links(self, kind: Optional[str] = None) -> List[ObjectLink]:
+        if kind is None:
+            return list(self._object_links)
+        return [l for l in self._object_links if l.kind == kind]
+
+    def links_of(self, source: str, accession: str, kind: Optional[str] = None) -> List[ObjectLink]:
+        """All links touching one object."""
+        out = []
+        for index in self._adjacency.get((source, accession), ()):
+            link = self._object_links[index]
+            if kind is None or link.kind == kind:
+                out.append(link)
+        return out
+
+    def neighbors_of(
+        self, source: str, accession: str, kind: Optional[str] = None
+    ) -> List[Tuple[str, str, ObjectLink]]:
+        """(other_source, other_accession, link) triples for one object."""
+        out = []
+        for link in self.links_of(source, accession, kind):
+            for endpoint in link.endpoints():
+                if endpoint != (source, accession):
+                    out.append((endpoint[0], endpoint[1], link))
+        return out
+
+    def remove_object_link(self, link: ObjectLink) -> bool:
+        """User feedback: drop one wrong link (Section 6.2)."""
+        normalized = link.normalized()
+        key = (
+            normalized.source_a,
+            normalized.accession_a,
+            normalized.source_b,
+            normalized.accession_b,
+            normalized.kind,
+        )
+        if key not in self._link_keys:
+            return False
+        remaining = [
+            l
+            for l in self._object_links
+            if not (l.normalized().source_a == normalized.source_a
+                    and l.normalized().accession_a == normalized.accession_a
+                    and l.normalized().source_b == normalized.source_b
+                    and l.normalized().accession_b == normalized.accession_b
+                    and l.kind == normalized.kind)
+        ]
+        self._object_links = []
+        self._adjacency = defaultdict(list)
+        self._link_keys = set()
+        for survivor in remaining:
+            self.add_object_link(survivor)
+        return True
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def link_counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = defaultdict(int)
+        for link in self._object_links:
+            counts[link.kind] += 1
+        return dict(counts)
+
+    def summary(self) -> str:
+        parts = [f"{len(self._sources)} sources", f"{len(self._object_links)} object links"]
+        kinds = self.link_counts_by_kind()
+        if kinds:
+            parts.append(
+                "(" + ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) + ")"
+            )
+        return "; ".join(parts)

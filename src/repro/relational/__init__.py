@@ -1,0 +1,74 @@
+"""In-memory relational substrate for ALADIN.
+
+The paper assumes "a relational database as its basis" (Section 1) and its
+discovery steps interact with the database only through a narrow surface:
+
+* the data dictionary (which tables/columns/constraints exist),
+* per-attribute value scans (uniqueness checks, value-set comparisons),
+* joins along discovered relationships, and
+* plain ``SELECT`` queries for the structured-query access mode.
+
+This package provides exactly that surface: typed columns, tables with
+optional PRIMARY KEY / UNIQUE / FOREIGN KEY constraints, a catalog, a
+relational-algebra query engine, and a small SQL parser.
+"""
+
+from repro.relational.types import DataType, coerce_value, infer_type, is_null
+from repro.relational.schema import (
+    Column,
+    ForeignKey,
+    SchemaError,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.relational.table import ConstraintViolation, Row, Table
+from repro.relational.database import Database
+from repro.relational.catalog import Catalog
+from repro.relational.expressions import (
+    And,
+    Between,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.relational.query import Query, ResultSet
+from repro.relational.sql import SqlError, execute_sql, parse_sql
+
+__all__ = [
+    "And",
+    "Between",
+    "Catalog",
+    "Column",
+    "Comparison",
+    "ConstraintViolation",
+    "DataType",
+    "Database",
+    "Expression",
+    "ForeignKey",
+    "InList",
+    "IsNull",
+    "Like",
+    "Not",
+    "Or",
+    "Query",
+    "ResultSet",
+    "Row",
+    "SchemaError",
+    "SqlError",
+    "Table",
+    "TableSchema",
+    "UniqueConstraint",
+    "coerce_value",
+    "col",
+    "execute_sql",
+    "infer_type",
+    "is_null",
+    "lit",
+    "parse_sql",
+]

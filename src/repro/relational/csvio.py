@@ -1,0 +1,120 @@
+"""Dump/load a database to a directory of CSV files plus a schema manifest.
+
+Several real life-science sources ship "direct relational dump files"
+(Section 4.1: Swiss-Prot, GeneOntology, EnsEmbl). This module is both the
+writer used by the synthetic generators to materialize such dumps and the
+reader used by the import layer's ``RelationalDumpImporter``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.relational.database import Database
+from repro.relational.schema import Column, ForeignKey, TableSchema, UniqueConstraint
+from repro.relational.types import DataType
+
+_MANIFEST = "schema.json"
+_NULL_MARKER = "\\N"
+
+
+def dump_database(database: Database, directory: Union[str, Path]) -> Path:
+    """Write ``database`` as ``<dir>/<table>.csv`` files plus ``schema.json``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, dict] = {"database": database.name, "tables": {}}
+    for table in database.tables():
+        schema = table.schema
+        manifest["tables"][table.name] = {
+            "columns": [
+                {"name": c.name, "type": c.data_type.value, "nullable": c.nullable}
+                for c in schema.columns
+            ],
+            "primary_key": list(schema.primary_key) if schema.primary_key else None,
+            "unique": [list(u.columns) for u in schema.unique_constraints],
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "target_table": fk.target_table,
+                    "target_columns": list(fk.target_columns),
+                }
+                for fk in schema.foreign_keys
+            ],
+        }
+        with open(path / f"{table.name}.csv", "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(table.column_names)
+            for tup in table.raw_rows():
+                writer.writerow([_encode(v) for v in tup])
+    with open(path / _MANIFEST, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_database(
+    directory: Union[str, Path], include_constraints: bool = True
+) -> Database:
+    """Load a database written by :func:`dump_database`.
+
+    Args:
+        include_constraints: when False, declared PK/UNIQUE/FK metadata is
+            dropped — emulating a dump whose DDL was lost, the scenario
+            ALADIN's constraint-discovery heuristics must handle.
+    """
+    path = Path(directory)
+    with open(path / _MANIFEST, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    database = Database(manifest["database"])
+    for table_name, spec in sorted(manifest["tables"].items()):
+        columns = [
+            Column(c["name"], DataType(c["type"]), c["nullable"]) for c in spec["columns"]
+        ]
+        if include_constraints:
+            schema = TableSchema(
+                name=table_name,
+                columns=columns,
+                primary_key=tuple(spec["primary_key"]) if spec["primary_key"] else None,
+                unique_constraints=[UniqueConstraint(tuple(u)) for u in spec["unique"]],
+                foreign_keys=[
+                    ForeignKey(
+                        tuple(fk["columns"]),
+                        fk["target_table"],
+                        tuple(fk["target_columns"]),
+                    )
+                    for fk in spec["foreign_keys"]
+                ],
+            )
+        else:
+            schema = TableSchema(name=table_name, columns=columns)
+        table = database.create_table(schema)
+        csv_path = path / f"{table_name}.csv"
+        with open(csv_path, newline="", encoding="utf-8") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            for record in reader:
+                row = {}
+                for name, raw in zip(header, record):
+                    row[name] = _decode(raw)
+                table.insert(row)
+    return database
+
+
+def _encode(value):
+    """Encode one cell; leading backslashes are escaped so that a literal
+    ``"\\N"`` string cannot be confused with the NULL marker."""
+    if value is None:
+        return _NULL_MARKER
+    if isinstance(value, str) and value.startswith("\\"):
+        return "\\" + value
+    return value
+
+
+def _decode(raw: str):
+    if raw == _NULL_MARKER:
+        return None
+    if raw.startswith("\\\\"):
+        return raw[1:]
+    return raw

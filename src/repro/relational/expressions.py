@@ -1,0 +1,212 @@
+"""Predicate expressions evaluated over row dictionaries.
+
+These back both the programmatic :class:`repro.relational.query.Query`
+builder and the SQL parser. SQL three-valued logic is approximated the way
+most applications observe it: a comparison with NULL is false, ``IS NULL``
+tests nullness explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.relational.types import is_null
+
+
+class Expression:
+    """Base class for boolean predicates over a row dict."""
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __and__(self, other: "Expression") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Expression") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """Reference to a column, optionally qualified (``table.column``)."""
+
+    name: str
+
+    def resolve(self, row: Dict[str, Any]) -> Any:
+        key = self.name.lower()
+        if key in row:
+            return row[key]
+        # Allow unqualified lookup against qualified row keys and vice versa.
+        if "." not in key:
+            matches = [k for k in row if k.endswith("." + key)]
+            if len(matches) == 1:
+                return row[matches[0]]
+            if len(matches) > 1:
+                raise KeyError(f"ambiguous column {self.name!r}: {sorted(matches)}")
+        else:
+            bare = key.split(".", 1)[1]
+            if bare in row:
+                return row[bare]
+        raise KeyError(f"unknown column {self.name!r} in row with keys {sorted(row)}")
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+    def resolve(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand to build a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand to build a literal operand."""
+    return Literal(value)
+
+
+def _operand(value: Any):
+    if isinstance(value, (ColumnRef, Literal)):
+        return value
+    return Literal(value)
+
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    left: Any
+    op: str
+    right: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        object.__setattr__(self, "left", _operand(self.left))
+        object.__setattr__(self, "right", _operand(self.right))
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        left = self.left.resolve(row)
+        right = self.right.resolve(row)
+        if is_null(left) or is_null(right):
+            return False
+        # Numeric cross-type comparisons are fine; otherwise require same kind.
+        if isinstance(left, str) != isinstance(right, str):
+            if self.op == "=":
+                return False
+            if self.op == "!=":
+                return True
+            raise TypeError(
+                f"cannot order {type(left).__name__} against {type(right).__name__}"
+            )
+        return _COMPARATORS[self.op](left, right)
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    inner: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        return not self.inner.evaluate(row)
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Any
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operand", _operand(self.operand))
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        result = is_null(self.operand.resolve(row))
+        return not result if self.negated else result
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Any
+    choices: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operand", _operand(self.operand))
+        object.__setattr__(self, "choices", tuple(self.choices))
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.resolve(row)
+        if is_null(value):
+            return False
+        return value in self.choices
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Any
+    low: Any
+    high: Any
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operand", _operand(self.operand))
+        object.__setattr__(self, "low", _operand(self.low))
+        object.__setattr__(self, "high", _operand(self.high))
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.resolve(row)
+        low = self.low.resolve(row)
+        high = self.high.resolve(row)
+        if is_null(value) or is_null(low) or is_null(high):
+            return False
+        return low <= value <= high
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char), case-insensitive."""
+
+    operand: Any
+    pattern: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "operand", _operand(self.operand))
+        regex = re.escape(self.pattern.lower()).replace("%", ".*").replace("_", ".")
+        object.__setattr__(self, "_regex", re.compile(f"^{regex}$", re.DOTALL))
+
+    def evaluate(self, row: Dict[str, Any]) -> bool:
+        value = self.operand.resolve(row)
+        if is_null(value):
+            return False
+        return bool(self._regex.match(str(value).lower()))

@@ -1,0 +1,196 @@
+"""Row storage with constraint enforcement and per-column access paths.
+
+Tables store rows as tuples in insertion order. Declared PRIMARY KEY and
+UNIQUE constraints are enforced on insert; declared FOREIGN KEYs are checked
+lazily via :meth:`Database.check_foreign_keys` because life-science dumps
+frequently load referencing tables before referenced ones.
+
+The per-column accessors (``values``, ``distinct_values``, ``value_set``)
+are the workhorses of the discovery layer: uniqueness detection, accession
+analysis, and inclusion-dependency mining are all expressed over them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.schema import TableSchema
+from repro.relational.types import coerce_value, is_null
+
+
+class ConstraintViolation(ValueError):
+    """Raised when an insert violates a declared constraint."""
+
+
+Row = Dict[str, Any]
+
+
+class Table:
+    """One relation: a schema plus rows stored as tuples."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: List[Tuple[Any, ...]] = []
+        # One uniqueness index per declared unique key (PK + UNIQUEs).
+        self._unique_indexes: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], int]] = {}
+        for key in self._unique_keys():
+            self._unique_indexes[key] = {}
+
+    # ------------------------------------------------------------------
+    # schema helpers
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.schema.column_names
+
+    def _unique_keys(self) -> List[Tuple[str, ...]]:
+        keys: List[Tuple[str, ...]] = []
+        if self.schema.primary_key is not None:
+            keys.append(tuple(self.schema.primary_key))
+        for unique in self.schema.unique_constraints:
+            if tuple(unique.columns) not in keys:
+                keys.append(tuple(unique.columns))
+        return keys
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Row) -> None:
+        """Insert one row given as a column->value mapping.
+
+        Missing columns become NULL. Values are coerced to column types.
+        """
+        unknown = set(k.lower() for k in row) - set(self.column_names)
+        if unknown:
+            raise KeyError(
+                f"row for table {self.name!r} has unknown columns: {sorted(unknown)}"
+            )
+        normalized = {k.lower(): v for k, v in row.items()}
+        values: List[Any] = []
+        for column in self.schema.columns:
+            value = coerce_value(normalized.get(column.name), column.data_type)
+            if value is None and not column.nullable:
+                raise ConstraintViolation(
+                    f"column {self.name}.{column.name} is NOT NULL but got NULL"
+                )
+            values.append(value)
+        tup = tuple(values)
+        self._check_unique(tup)
+        row_id = len(self._rows)
+        self._rows.append(tup)
+        self._index_row(tup, row_id)
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def _key_values(self, tup: Tuple[Any, ...], key: Tuple[str, ...]) -> Optional[Tuple[Any, ...]]:
+        picked = tuple(tup[self.schema.column_index(c)] for c in key)
+        # SQL semantics: NULLs never collide in unique indexes.
+        if any(is_null(v) for v in picked):
+            return None
+        return picked
+
+    def _check_unique(self, tup: Tuple[Any, ...]) -> None:
+        for key, index in self._unique_indexes.items():
+            picked = self._key_values(tup, key)
+            if picked is not None and picked in index:
+                raise ConstraintViolation(
+                    f"duplicate value {picked!r} for unique key {key} of table {self.name!r}"
+                )
+
+    def _index_row(self, tup: Tuple[Any, ...], row_id: int) -> None:
+        for key, index in self._unique_indexes.items():
+            picked = self._key_values(tup, key)
+            if picked is not None:
+                index[picked] = row_id
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows matching ``predicate`` (a callable on row dicts)."""
+        kept: List[Tuple[Any, ...]] = []
+        deleted = 0
+        for tup in self._rows:
+            if predicate(self._as_dict(tup)):
+                deleted += 1
+            else:
+                kept.append(tup)
+        if deleted:
+            self._rows = kept
+            for key in self._unique_indexes:
+                self._unique_indexes[key] = {}
+            for row_id, tup in enumerate(self._rows):
+                self._index_row(tup, row_id)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _as_dict(self, tup: Tuple[Any, ...]) -> Row:
+        return dict(zip(self.column_names, tup))
+
+    def rows(self) -> Iterator[Row]:
+        for tup in self._rows:
+            yield self._as_dict(tup)
+
+    def row_at(self, index: int) -> Row:
+        return self._as_dict(self._rows[index])
+
+    def raw_rows(self) -> Sequence[Tuple[Any, ...]]:
+        return self._rows
+
+    def values(self, column: str) -> List[Any]:
+        """All values (including NULLs) of one column, in row order."""
+        idx = self.schema.column_index(column)
+        return [tup[idx] for tup in self._rows]
+
+    def non_null_values(self, column: str) -> List[Any]:
+        idx = self.schema.column_index(column)
+        return [tup[idx] for tup in self._rows if not is_null(tup[idx])]
+
+    def distinct_values(self, column: str) -> List[Any]:
+        seen: Set[Any] = set()
+        out: List[Any] = []
+        for value in self.non_null_values(column):
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+        return out
+
+    def value_set(self, column: str) -> Set[Any]:
+        return set(self.non_null_values(column))
+
+    def lookup_unique(self, column: str, value: Any) -> Optional[Row]:
+        """Find the row where a declared-unique column equals ``value``."""
+        key = (column.lower(),)
+        index = self._unique_indexes.get(key)
+        if index is not None:
+            row_id = index.get((value,))
+            return None if row_id is None else self.row_at(row_id)
+        idx = self.schema.column_index(column)
+        for tup in self._rows:
+            if tup[idx] == value:
+                return self._as_dict(tup)
+        return None
+
+    def find_where(self, column: str, value: Any) -> List[Row]:
+        idx = self.schema.column_index(column)
+        return [self._as_dict(tup) for tup in self._rows if tup[idx] == value]
+
+    def is_unique(self, column: str) -> bool:
+        """SELECT COUNT(col) == COUNT(DISTINCT col) — ignoring NULLs.
+
+        This is the "SQL query for each attribute" from Section 4.2 used to
+        mark attributes as unique.
+        """
+        values = self.non_null_values(column)
+        return len(values) == len(set(values))

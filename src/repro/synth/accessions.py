@@ -1,0 +1,106 @@
+"""Accession-number generators per database style.
+
+Section 4.2's heuristic rests on observed accession shapes: alphanumeric,
+at least four characters (PDB codes being the shortest), near-constant
+length within one database, and distinct from digit-only surrogate keys.
+Each style below reproduces one real-world shape; the ``numeric`` style
+(OMIM-like 6-digit identifiers) deliberately violates the heuristic and is
+used to probe its failure mode.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Callable, Set
+
+_LETTERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+_ALNUM = _LETTERS + "0123456789"
+_DIGITS = "0123456789"
+
+
+class AccessionStyle(enum.Enum):
+    """Known accession shapes."""
+
+    UNIPROT = "uniprot"  # e.g. P12345
+    PIR = "pir"  # e.g. A41234
+    PDB = "pdb"  # e.g. 1ABC (4 chars, shortest known)
+    GO = "go"  # e.g. GO:0001234
+    MIM = "mim"  # e.g. MIM604321
+    ENSEMBL = "ensembl"  # e.g. ENSG00000042753
+    REFSEQ = "refseq"  # e.g. NM_002745
+    SCOP_SID = "scop_sid"  # e.g. d1abca_
+    NUMERIC = "numeric"  # e.g. 604321 (violates the heuristic)
+
+
+def _pick(rng: random.Random, alphabet: str, n: int) -> str:
+    return "".join(rng.choice(alphabet) for _ in range(n))
+
+
+def _uniprot(rng: random.Random) -> str:
+    return rng.choice(_LETTERS) + _pick(rng, _DIGITS, 1) + _pick(rng, _ALNUM, 3) + _pick(rng, _DIGITS, 1)
+
+
+def _pir(rng: random.Random) -> str:
+    return rng.choice(_LETTERS) + _pick(rng, _DIGITS, 5)
+
+
+def _pdb(rng: random.Random) -> str:
+    # Digit + three alphanumerics, with at least one letter so the code is
+    # never all-digit (matching the accession shape the heuristic relies on).
+    tail = list(_pick(rng, _ALNUM, 2) + rng.choice(_LETTERS))
+    rng.shuffle(tail)
+    return _pick(rng, _DIGITS, 1) + "".join(tail)
+
+
+def _go(rng: random.Random) -> str:
+    return "GO:" + _pick(rng, _DIGITS, 7)
+
+
+def _mim(rng: random.Random) -> str:
+    return "MIM" + _pick(rng, _DIGITS, 6)
+
+
+def _ensembl(rng: random.Random) -> str:
+    return "ENSG" + _pick(rng, _DIGITS, 11)
+
+
+def _refseq(rng: random.Random) -> str:
+    return "NM_" + _pick(rng, _DIGITS, 6)
+
+
+def _scop_sid(rng: random.Random) -> str:
+    return "d" + _pick(rng, _ALNUM, 4).lower() + rng.choice("abcdefgh") + "_"
+
+
+def _numeric(rng: random.Random) -> str:
+    return _pick(rng, _DIGITS, 6)
+
+
+_FACTORIES = {
+    AccessionStyle.UNIPROT: _uniprot,
+    AccessionStyle.PIR: _pir,
+    AccessionStyle.PDB: _pdb,
+    AccessionStyle.GO: _go,
+    AccessionStyle.MIM: _mim,
+    AccessionStyle.ENSEMBL: _ensembl,
+    AccessionStyle.REFSEQ: _refseq,
+    AccessionStyle.SCOP_SID: _scop_sid,
+    AccessionStyle.NUMERIC: _numeric,
+}
+
+
+def make_generator(style: AccessionStyle, rng: random.Random) -> Callable[[], str]:
+    """Return a zero-argument callable producing fresh unique accessions."""
+    seen: Set[str] = set()
+    factory = _FACTORIES[style]
+
+    def generate() -> str:
+        for _ in range(10000):
+            candidate = factory(rng)
+            if candidate not in seen:
+                seen.add(candidate)
+                return candidate
+        raise RuntimeError(f"accession space exhausted for style {style}")
+
+    return generate

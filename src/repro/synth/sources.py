@@ -1,0 +1,509 @@
+"""Render per-style sources from the universe, with gold-standard recording.
+
+Each generator writes *raw text* in the corresponding exchange format, so
+the real parsers of :mod:`repro.dataimport` are exercised end to end. The
+scenario mirrors the paper's COLUMBA case study (Section 5): a protein
+world annotated by structures (PDB-like), classifications (SCOP-like),
+function terms (GO-like), taxonomy, diseases (OMIM-like), interactions
+(BIND-like), plus a second, overlapping protein database (PIR-like) that
+creates true duplicates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dataimport.fasta import write_fasta
+from repro.dataimport.flatfile import write_flatfile
+from repro.dataimport.obo import OboTerm, write_obo
+from repro.dataimport.pdbfile import PdbRecord, write_pdb_summaries
+from repro.dataimport.records import CrossReference, EntryRecord, Feature
+from repro.dataimport.scopcath import DomainRecord, write_classification
+from repro.synth.accessions import AccessionStyle, make_generator
+from repro.synth.corruption import CorruptionConfig, corrupt_text
+from repro.synth.goldstandard import GoldStandard, SourceFacts
+from repro.synth.universe import Universe, UniverseConfig, build_universe
+
+# Database tags used inside DR/DBREF lines. Deliberately NOT equal to the
+# scenario source names: ALADIN must find targets by value overlap, not by
+# interpreting the database-name field (Section 5: "we would not be able to
+# use the information in the attribute DBRef.database ... we also do not
+# need this information").
+_TAG_PDB = "PDB"
+_TAG_GO = "GO"
+_TAG_MIM = "MIM"
+_TAG_SPROT = "SPROT"
+
+
+@dataclass
+class GeneratedSource:
+    """One rendered source: raw text plus its truth."""
+
+    name: str
+    format_name: str
+    text: str
+    facts: SourceFacts
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs for scenario generation."""
+
+    universe: UniverseConfig = field(default_factory=UniverseConfig)
+    corruption: CorruptionConfig = field(default_factory=CorruptionConfig)
+    include: Tuple[str, ...] = (
+        "swissprot",
+        "pir",
+        "pdb",
+        "scop",
+        "go",
+        "taxonomy",
+        "interactions",
+        "omim",
+    )
+    swissprot_coverage: float = 0.95
+    pir_coverage: float = 0.6
+    pdb_coverage: float = 0.9
+    scop_coverage: float = 0.85
+    interaction_coverage: float = 0.9
+    omim_numeric_accessions: bool = False
+    seed: int = 11
+
+
+@dataclass
+class Scenario:
+    """A generated multi-source integration problem."""
+
+    config: ScenarioConfig
+    universe: Universe
+    gold: GoldStandard
+    sources: List[GeneratedSource]
+
+    def source(self, name: str) -> GeneratedSource:
+        for source in self.sources:
+            if source.name == name:
+                return source
+        raise KeyError(f"no source {name!r} in scenario")
+
+    def source_names(self) -> List[str]:
+        return [s.name for s in self.sources]
+
+
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
+    """Deterministically generate a scenario from ``config.seed``."""
+    config = config or ScenarioConfig()
+    config.corruption.validate()
+    universe = build_universe(config.universe)
+    rng = random.Random(config.seed)
+    gold = GoldStandard()
+    builder = _ScenarioBuilder(config, universe, rng, gold)
+    sources = builder.build()
+    return Scenario(config=config, universe=universe, gold=gold, sources=sources)
+
+
+class _ScenarioBuilder:
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        universe: Universe,
+        rng: random.Random,
+        gold: GoldStandard,
+    ):
+        self.config = config
+        self.universe = universe
+        self.rng = rng
+        self.gold = gold
+        # Coverage subsets are decided up-front so cross-reference truth is
+        # consistent regardless of generation order.
+        self.covered_sp = self._cover(len(universe.proteins), config.swissprot_coverage)
+        self.covered_pir = self._cover(len(universe.proteins), config.pir_coverage)
+        self.covered_pdb = self._cover(len(universe.structures), config.pdb_coverage)
+        self.covered_scop = {
+            uid for uid in self.covered_pdb if self.rng.random() < config.scop_coverage
+        }
+        self.covered_bind = self._cover(
+            len(universe.interactions), config.interaction_coverage
+        )
+        # Accession maps filled as sources are generated.
+        self.sp_accessions: Dict[int, str] = {}
+        self.pir_accessions: Dict[int, str] = {}
+
+    def _cover(self, n: int, fraction: float) -> Set[int]:
+        return {i for i in range(n) if self.rng.random() < fraction}
+
+    # ------------------------------------------------------------------
+    def build(self) -> List[GeneratedSource]:
+        generators = {
+            "swissprot": self._gen_swissprot,
+            "pir": self._gen_pir,
+            "pdb": self._gen_pdb,
+            "scop": self._gen_scop,
+            "go": self._gen_go,
+            "taxonomy": self._gen_taxonomy,
+            "interactions": self._gen_interactions,
+            "omim": self._gen_omim,
+        }
+        unknown = set(self.config.include) - set(generators)
+        if unknown:
+            raise ValueError(f"unknown sources in include: {sorted(unknown)}")
+        # Swiss-Prot first: other sources reference its accessions.
+        order = [name for name in generators if name in self.config.include]
+        sources = []
+        for name in order:
+            source = generators[name]()
+            self.gold.add_source(source.facts)
+            sources.append(source)
+        self._record_attribute_truth()
+        return sources
+
+    # ------------------------------------------------------------------
+    # individual generators
+    # ------------------------------------------------------------------
+    def _maybe_drop(self) -> bool:
+        return self.rng.random() < self.config.corruption.xref_drop_rate
+
+    def _maybe_dangle(self) -> bool:
+        return self.rng.random() < self.config.corruption.xref_dangling_rate
+
+    def _typo(self, text: str) -> str:
+        return corrupt_text(self.rng, text, self.config.corruption.text_typo_rate)
+
+    def _gen_swissprot(self) -> GeneratedSource:
+        gen_acc = make_generator(AccessionStyle.UNIPROT, self.rng)
+        include = self.config.include
+        records = []
+        facts = SourceFacts(
+            name="swissprot",
+            format_name="flatfile",
+            entity_class="protein",
+            primary_relation="entry",
+            accession_attribute="entry.accession",
+        )
+        structures_by_protein: Dict[int, List] = {}
+        for structure in self.universe.structures:
+            structures_by_protein.setdefault(structure.protein_uid, []).append(structure)
+        for protein in self.universe.proteins:
+            if protein.uid not in self.covered_sp:
+                continue
+            accession = gen_acc()
+            self.sp_accessions[protein.uid] = accession
+            facts.accession_to_uid[accession] = protein.uid
+            xrefs = []
+            for structure in structures_by_protein.get(protein.uid, []):
+                if self._maybe_drop():
+                    continue
+                if self._maybe_dangle():
+                    xrefs.append(CrossReference(_TAG_PDB, "0XXX"))
+                    continue
+                xrefs.append(CrossReference(_TAG_PDB, structure.pdb_code))
+                if "pdb" in include and structure.uid in self.covered_pdb:
+                    self.gold.record_xref(
+                        "swissprot", accession, "pdb", structure.pdb_code
+                    )
+            for term_uid in protein.go_terms:
+                term = self.universe.go_terms[term_uid]
+                if self._maybe_drop():
+                    continue
+                xrefs.append(CrossReference(_TAG_GO, term.accession))
+                if "go" in include:
+                    self.gold.record_xref("swissprot", accession, "go", term.accession)
+            for disease_uid in protein.diseases:
+                disease = self.universe.diseases[disease_uid]
+                if self._maybe_drop():
+                    continue
+                xrefs.append(CrossReference(_TAG_MIM, disease.accession))
+                if "omim" in include and not self.config.omim_numeric_accessions:
+                    self.gold.record_xref(
+                        "swissprot", accession, "omim", disease.accession
+                    )
+            keywords = [
+                self.universe.go_terms[t].name.split()[0].capitalize()
+                for t in protein.go_terms[:3]
+            ]
+            if structures_by_protein.get(protein.uid):
+                keywords.append("3D-structure")
+            # Variable annotation cardinalities: real entries carry between
+            # zero and several references/comments/features each, which
+            # keeps annotation-table sizes distinct from the entry count.
+            references = [
+                f"PubMed={self.rng.randint(10**6, 10**7)}"
+                for _ in range(self.rng.randint(0, 3))
+            ]
+            comments = [f"FUNCTION: {self._typo(protein.function_text)}"]
+            if self.rng.random() < 0.4:
+                comments.append("SIMILARITY: Belongs to a conserved protein family.")
+            features = []
+            for _ in range(self.rng.randint(0, 3)):
+                start = self.rng.randint(1, max(1, len(protein.sequence) - 20))
+                end = min(len(protein.sequence), start + self.rng.randint(10, 80))
+                features.append(
+                    Feature(
+                        self.rng.choice(["DOMAIN", "ACT_SITE", "BINDING", "MOTIF"]),
+                        start,
+                        end,
+                        "predicted",
+                    )
+                )
+            records.append(
+                EntryRecord(
+                    accession=accession,
+                    name=protein.name,
+                    description=self._typo(protein.full_name),
+                    organism=protein.taxon.scientific_name,
+                    taxonomy_id=protein.taxon.taxid,
+                    keywords=sorted(set(keywords)),
+                    cross_references=xrefs,
+                    references=references,
+                    comments=comments,
+                    sequence=protein.sequence,
+                    features=features,
+                )
+            )
+        return GeneratedSource("swissprot", "flatfile", write_flatfile(records), facts)
+
+    def _gen_pir(self) -> GeneratedSource:
+        gen_acc = make_generator(AccessionStyle.PIR, self.rng)
+        records = []
+        facts = SourceFacts(
+            name="pir",
+            format_name="flatfile",
+            entity_class="protein",
+            primary_relation="entry",
+            accession_attribute="entry.accession",
+        )
+        for protein in self.universe.proteins:
+            if protein.uid not in self.covered_pir:
+                continue
+            accession = gen_acc()
+            self.pir_accessions[protein.uid] = accession
+            facts.accession_to_uid[accession] = protein.uid
+            xrefs = []
+            for term_uid in protein.go_terms[:2]:
+                term = self.universe.go_terms[term_uid]
+                if self._maybe_drop():
+                    continue
+                xrefs.append(CrossReference(_TAG_GO, term.accession))
+                if "go" in self.config.include:
+                    self.gold.record_xref("pir", accession, "go", term.accession)
+            # PIR models the same protein with different conventions:
+            # lower-cased entry names carrying the full genus (variable
+            # length, so the accession heuristic prefers the true
+            # accession), typo'd descriptions, and a slimmer annotation
+            # set — classic duplicate noise.
+            genus = protein.taxon.scientific_name.split()[0].lower()
+            records.append(
+                EntryRecord(
+                    accession=accession,
+                    name=f"{protein.symbol.lower()}_{genus}",
+                    description=self._typo(protein.full_name),
+                    organism=protein.taxon.scientific_name,
+                    taxonomy_id=protein.taxon.taxid,
+                    keywords=[
+                        self.universe.go_terms[t].name.split()[0].capitalize()
+                        for t in protein.go_terms[:2]
+                    ],
+                    cross_references=xrefs,
+                    comments=[f"SUMMARY: {self._typo(protein.function_text)}"],
+                    sequence=protein.sequence,
+                )
+            )
+        return GeneratedSource("pir", "flatfile", write_flatfile(records), facts)
+
+    def _gen_pdb(self) -> GeneratedSource:
+        records = []
+        facts = SourceFacts(
+            name="pdb",
+            format_name="pdb",
+            entity_class="structure",
+            primary_relation="structure",
+            accession_attribute="structure.pdb_code",
+        )
+        for structure in self.universe.structures:
+            if structure.uid not in self.covered_pdb:
+                continue
+            protein = self.universe.protein_by_uid(structure.protein_uid)
+            facts.accession_to_uid[structure.pdb_code] = structure.uid
+            xrefs = []
+            sp_acc = self.sp_accessions.get(protein.uid)
+            if sp_acc is not None and not self._maybe_drop():
+                if self._maybe_dangle():
+                    xrefs.append(CrossReference(_TAG_SPROT, "Z99999"))
+                else:
+                    xrefs.append(CrossReference(_TAG_SPROT, sp_acc))
+                    if "swissprot" in self.config.include:
+                        self.gold.record_xref(
+                            "pdb", structure.pdb_code, "swissprot", sp_acc
+                        )
+            # Not every PDB entry carries every section: COMPND and SEQRES
+            # are occasionally absent in real depositions, which keeps the
+            # annotation tables from having identical key sets (the 1:1
+            # tie situation of Section 4.2).
+            records.append(
+                PdbRecord(
+                    pdb_code=structure.pdb_code,
+                    title=self._typo(structure.title),
+                    compound=(
+                        protein.full_name.upper() if self.rng.random() < 0.85 else ""
+                    ),
+                    organism=protein.taxon.scientific_name.upper(),
+                    method=structure.method,
+                    resolution=structure.resolution,
+                    deposited="01-JAN-03",
+                    cross_references=xrefs,
+                    sequence=protein.sequence[:80] if self.rng.random() < 0.8 else "",
+                )
+            )
+        return GeneratedSource("pdb", "pdb", write_pdb_summaries(records), facts)
+
+    def _gen_scop(self) -> GeneratedSource:
+        records = []
+        facts = SourceFacts(
+            name="scop",
+            format_name="classification",
+            entity_class="domain",
+            primary_relation="domain",
+            accession_attribute="domain.sid",
+        )
+        for structure in self.universe.structures:
+            if structure.uid not in self.covered_scop:
+                continue
+            protein = self.universe.protein_by_uid(structure.protein_uid)
+            sid = "d" + structure.pdb_code.lower() + "a_"
+            cls = "abcd"[protein.family % 4]
+            sccs = f"{cls}.{protein.family + 1}.1.{protein.uid % 5 + 1}"
+            facts.accession_to_uid[sid] = structure.uid
+            records.append(DomainRecord(sid=sid, pdb_code=structure.pdb_code, sccs=sccs))
+            if "pdb" in self.config.include and structure.uid in self.covered_pdb:
+                self.gold.record_xref("scop", sid, "pdb", structure.pdb_code)
+        return GeneratedSource(
+            "scop", "classification", write_classification(records), facts
+        )
+
+    def _gen_go(self) -> GeneratedSource:
+        terms = []
+        facts = SourceFacts(
+            name="go",
+            format_name="obo",
+            entity_class="go_term",
+            primary_relation="term",
+            accession_attribute="term.accession",
+        )
+        for term in self.universe.go_terms:
+            facts.accession_to_uid[term.accession] = term.uid
+            terms.append(
+                OboTerm(
+                    term_accession=term.accession,
+                    name=term.name,
+                    namespace=term.namespace,
+                    definition=term.definition,
+                    is_a=[self.universe.go_terms[p].accession for p in term.parents],
+                )
+            )
+        return GeneratedSource("go", "obo", write_obo(terms), facts)
+
+    def _gen_taxonomy(self) -> GeneratedSource:
+        lines = ["taxid\tscientific_name\tcommon_name"]
+        facts = SourceFacts(
+            name="taxonomy",
+            format_name="delimited",
+            entity_class="taxon",
+            primary_relation="taxonomy",
+            accession_attribute="taxonomy.taxid",
+            import_options={"delimiter": "\t"},
+        )
+        for index, taxon in enumerate(self.universe.taxa):
+            facts.accession_to_uid[str(taxon.taxid)] = index
+            lines.append(f"{taxon.taxid}\t{taxon.scientific_name}\t{taxon.common_name}")
+        return GeneratedSource("taxonomy", "delimited", "\n".join(lines) + "\n", facts)
+
+    def _gen_interactions(self) -> GeneratedSource:
+        gen_acc = make_generator(AccessionStyle.UNIPROT, self.rng)
+        facts = SourceFacts(
+            name="interactions",
+            format_name="xml",
+            entity_class="interaction",
+            primary_relation="interaction",
+            accession_attribute="interaction.acc",
+        )
+        chunks = ["<interactionset>"]
+        for interaction in self.universe.interactions:
+            if interaction.uid not in self.covered_bind:
+                continue
+            accession = "BIND" + gen_acc()  # e.g. BINDP12345: alnum, fixed length
+            facts.accession_to_uid[accession] = interaction.uid
+            chunks.append(
+                f'  <interaction acc="{accession}" score="{interaction.score}">'
+            )
+            for protein_uid in (interaction.protein_a, interaction.protein_b):
+                sp_acc = self.sp_accessions.get(protein_uid)
+                if sp_acc is None or self._maybe_drop():
+                    continue
+                # Encoded "DB:ACC" form — Section 4.4's "Uniprot:P11140".
+                chunks.append(f'    <participant ref="{_TAG_SPROT}:{sp_acc}"/>')
+                if "swissprot" in self.config.include:
+                    self.gold.record_xref("interactions", accession, "swissprot", sp_acc)
+            chunks.append("  </interaction>")
+        chunks.append("</interactionset>")
+        return GeneratedSource("interactions", "xml", "\n".join(chunks) + "\n", facts)
+
+    def _gen_omim(self) -> GeneratedSource:
+        records = []
+        numeric = self.config.omim_numeric_accessions
+        facts = SourceFacts(
+            name="omim",
+            format_name="flatfile",
+            entity_class="disease",
+            primary_relation="entry",
+            accession_attribute="entry.accession",
+        )
+        for disease in self.universe.diseases:
+            # MIM604321 style satisfies the accession heuristic; the bare
+            # numeric 604321 style violates it (probe for E1/E7).
+            accession = disease.accession[3:] if numeric else disease.accession
+            facts.accession_to_uid[accession] = disease.uid
+            comments = [self._typo(disease.description)]
+            if self.rng.random() < 0.5:
+                comments.append(
+                    "INHERITANCE: autosomal "
+                    + self.rng.choice(["dominant", "recessive"])
+                    + " pattern reported."
+                )
+            # OMIM titles vary widely in length (plain noun through long
+            # qualified phrases) — keep that spread so the name column is
+            # not mistaken for the accession column.
+            name = disease.name.upper().replace(" ", "_").replace("-", "_")
+            if self.rng.random() < 0.4:
+                name += "_TYPE_" + self.rng.choice(["I", "II", "III", "IV"])
+            records.append(
+                EntryRecord(
+                    accession=accession,
+                    name=name,
+                    description=self._typo(disease.name),
+                    comments=comments,
+                    references=[
+                        f"PubMed={self.rng.randint(10**6, 10**7)}"
+                        for _ in range(self.rng.randint(0, 2))
+                    ],
+                )
+            )
+        return GeneratedSource("omim", "flatfile", write_flatfile(records), facts)
+
+    # ------------------------------------------------------------------
+    def _record_attribute_truth(self) -> None:
+        include = self.config.include
+        gold = self.gold
+
+        def attr(source_a, attribute_a, source_b, attribute_b):
+            if source_a in include and source_b in include:
+                gold.record_attribute_link(source_a, attribute_a, source_b, attribute_b)
+
+        attr("swissprot", "dbxref.accession", "pdb", "structure.pdb_code")
+        attr("swissprot", "dbxref.accession", "go", "term.accession")
+        if not self.config.omim_numeric_accessions:
+            attr("swissprot", "dbxref.accession", "omim", "entry.accession")
+        attr("pir", "dbxref.accession", "go", "term.accession")
+        attr("pdb", "struct_ref.db_accession", "swissprot", "entry.accession")
+        attr("scop", "domain.pdb_code", "pdb", "structure.pdb_code")
+        attr("interactions", "participant.ref", "swissprot", "entry.accession")

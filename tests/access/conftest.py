@@ -1,0 +1,28 @@
+"""A small fully integrated ALADIN instance shared by access/core tests."""
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.synth import CorruptionConfig, ScenarioConfig, UniverseConfig, build_scenario
+
+
+@pytest.fixture(scope="session")
+def integrated():
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=55,
+            universe=UniverseConfig(
+                n_families=6, members_per_family=3, n_go_terms=20,
+                n_diseases=8, n_interactions=12, seed=55,
+            ),
+        )
+    )
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    return scenario, aladin

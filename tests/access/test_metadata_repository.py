@@ -1,0 +1,78 @@
+"""Tests for the metadata repository."""
+
+import pytest
+
+from repro.discovery.model import SourceStructure
+from repro.linking.model import ObjectLink
+from repro.metadata import MetadataRepository
+
+
+def make_link(a="P1", b="1ABC", kind="crossref", certainty=0.9):
+    return ObjectLink("swissprot", a, "pdb", b, kind, certainty)
+
+
+class TestRepository:
+    def test_register_and_fetch_source(self):
+        repo = MetadataRepository()
+        repo.register_source(SourceStructure(source_name="swissprot"))
+        assert repo.has_source("swissprot")
+        assert repo.source_names() == ["swissprot"]
+
+    def test_double_registration_rejected(self):
+        repo = MetadataRepository()
+        repo.register_source(SourceStructure(source_name="x"))
+        with pytest.raises(ValueError):
+            repo.register_source(SourceStructure(source_name="x"))
+
+    def test_object_link_deduplication(self):
+        repo = MetadataRepository()
+        assert repo.add_object_link(make_link())
+        assert not repo.add_object_link(make_link())
+        # Reversed endpoints are the same normalized link.
+        reversed_link = ObjectLink("pdb", "1ABC", "swissprot", "P1", "crossref", 0.8)
+        assert not repo.add_object_link(reversed_link)
+        assert len(repo.object_links()) == 1
+
+    def test_different_kind_is_different_link(self):
+        repo = MetadataRepository()
+        repo.add_object_link(make_link())
+        assert repo.add_object_link(make_link(kind="sequence", certainty=0.5))
+        assert repo.link_counts_by_kind() == {"crossref": 1, "sequence": 1}
+
+    def test_links_of_and_neighbors(self):
+        repo = MetadataRepository()
+        repo.add_object_link(make_link())
+        assert len(repo.links_of("swissprot", "P1")) == 1
+        assert len(repo.links_of("pdb", "1ABC")) == 1
+        neighbors = repo.neighbors_of("swissprot", "P1")
+        assert neighbors[0][:2] == ("pdb", "1ABC")
+
+    def test_kind_filter(self):
+        repo = MetadataRepository()
+        repo.add_object_link(make_link())
+        repo.add_object_link(make_link(kind="duplicate"))
+        assert len(repo.links_of("swissprot", "P1", kind="duplicate")) == 1
+
+    def test_remove_object_link(self):
+        repo = MetadataRepository()
+        link = make_link()
+        repo.add_object_link(link)
+        assert repo.remove_object_link(link)
+        assert repo.object_links() == []
+        assert not repo.remove_object_link(link)
+
+    def test_remove_source_drops_its_links(self):
+        repo = MetadataRepository()
+        repo.register_source(SourceStructure(source_name="swissprot"))
+        repo.register_source(SourceStructure(source_name="pdb"))
+        repo.add_object_link(make_link())
+        repo.remove_source("pdb")
+        assert repo.object_links() == []
+        assert not repo.has_source("pdb")
+
+    def test_summary_mentions_counts(self):
+        repo = MetadataRepository()
+        repo.register_source(SourceStructure(source_name="x"))
+        repo.add_object_link(make_link())
+        assert "1 sources" in repo.summary()
+        assert "crossref=1" in repo.summary()

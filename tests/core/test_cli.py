@@ -1,0 +1,113 @@
+"""Tests for the command-line front-end."""
+
+import io
+
+import pytest
+
+from repro.cli import run
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def source_files(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("sources")
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=160,
+            include=("swissprot", "pdb"),
+            universe=UniverseConfig(n_families=3, members_per_family=2, seed=160),
+        )
+    )
+    sp_path = directory / "sp.dat"
+    sp_path.write_text(scenario.source("swissprot").text, encoding="utf-8")
+    pdb_path = directory / "pdb.txt"
+    pdb_path.write_text(scenario.source("pdb").text, encoding="utf-8")
+    return scenario, sp_path, pdb_path
+
+
+class TestCli:
+    def test_formats_command(self):
+        out = io.StringIO()
+        assert run(["formats"], out=out) == 0
+        assert "flatfile" in out.getvalue()
+        assert "fasta" in out.getvalue()
+
+    def test_integrate_two_sources(self, source_files):
+        scenario, sp_path, pdb_path = source_files
+        out = io.StringIO()
+        code = run(
+            ["integrate", f"swissprot=flatfile:{sp_path}", f"pdb=pdb:{pdb_path}"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "integration of 'swissprot'" in text
+        assert "warehouse: 2 sources" in text
+
+    def test_search_flag(self, source_files):
+        scenario, sp_path, pdb_path = source_files
+        out = io.StringIO()
+        code = run(
+            [
+                "integrate",
+                f"swissprot=flatfile:{sp_path}",
+                f"pdb=pdb:{pdb_path}",
+                "--search",
+                "kinase structure",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "search 'kinase structure':" in out.getvalue()
+
+    def test_sql_flag(self, source_files):
+        scenario, sp_path, pdb_path = source_files
+        out = io.StringIO()
+        code = run(
+            [
+                "integrate",
+                f"swissprot=flatfile:{sp_path}",
+                "--sql",
+                "swissprot:SELECT accession FROM entry LIMIT 2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "accession" in out.getvalue()
+
+    def test_browse_flag(self, source_files):
+        scenario, sp_path, pdb_path = source_files
+        accession = next(iter(scenario.gold.sources["swissprot"].accession_to_uid))
+        out = io.StringIO()
+        code = run(
+            [
+                "integrate",
+                f"swissprot=flatfile:{sp_path}",
+                "--browse",
+                f"swissprot:{accession}",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert f"=== swissprot / {accession} ===" in out.getvalue()
+
+    def test_missing_file_fails_cleanly(self):
+        out = io.StringIO()
+        assert run(["integrate", "x=flatfile:/nope/missing.dat"], out=out) == 2
+
+    def test_bad_source_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["integrate", "not-a-spec"], out=io.StringIO())
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["integrate", "x=bogus:/tmp/f"], out=io.StringIO())
+
+    def test_browse_unknown_object(self, source_files):
+        scenario, sp_path, _ = source_files
+        out = io.StringIO()
+        code = run(
+            ["integrate", f"swissprot=flatfile:{sp_path}", "--browse", "swissprot:NOPE"],
+            out=out,
+        )
+        assert code == 2

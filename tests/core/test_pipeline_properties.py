@@ -1,0 +1,132 @@
+"""Cross-cutting invariants of the integrated system."""
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import integrate_scenario
+from repro.linking.engine import LinkChannels
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=150,
+            include=("swissprot", "pdb", "go"),
+            universe=UniverseConfig(n_families=4, members_per_family=2, seed=150),
+        )
+    )
+    return scenario, integrate_scenario(scenario)
+
+
+class TestLinkInvariants:
+    def test_all_links_connect_known_objects(self, tiny_world):
+        scenario, aladin = tiny_world
+        for link in aladin.repository.object_links():
+            for source, accession in link.endpoints():
+                assert source in aladin.source_names()
+                # Every endpoint must be a real primary object.
+                assert accession in set(aladin.web.accessions(source)), (
+                    f"{link} references unknown object {source}/{accession}"
+                )
+
+    def test_no_intra_source_links(self, tiny_world):
+        _, aladin = tiny_world
+        for link in aladin.repository.object_links():
+            assert link.source_a != link.source_b
+
+    def test_links_are_deduplicated(self, tiny_world):
+        _, aladin = tiny_world
+        seen = set()
+        for link in aladin.repository.object_links():
+            normalized = link.normalized()
+            key = (
+                normalized.source_a, normalized.accession_a,
+                normalized.source_b, normalized.accession_b, normalized.kind,
+            )
+            assert key not in seen
+            seen.add(key)
+
+    def test_certainties_in_range(self, tiny_world):
+        _, aladin = tiny_world
+        for link in aladin.repository.object_links():
+            assert 0.0 < link.certainty <= 1.0
+
+    def test_repository_adjacency_consistent(self, tiny_world):
+        _, aladin = tiny_world
+        for link in aladin.repository.object_links():
+            touching_a = aladin.repository.links_of(link.source_a, link.accession_a)
+            assert link in touching_a
+            touching_b = aladin.repository.links_of(link.source_b, link.accession_b)
+            assert link in touching_b
+
+
+class TestDeterminism:
+    def test_same_scenario_same_links(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=151,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=151),
+            )
+        )
+        def run():
+            aladin = integrate_scenario(scenario)
+            return sorted(
+                (l.source_a, l.accession_a, l.source_b, l.accession_b, l.kind)
+                for l in aladin.repository.object_links()
+            )
+        assert run() == run()
+
+
+class TestChannelAblations:
+    def test_crossref_only_configuration(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=152,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=152),
+            )
+        )
+        config = AladinConfig()
+        config.channels = LinkChannels(
+            crossref=True, sequence=False, text=False, name=False, ontology=False
+        )
+        config.detect_duplicates = False
+        aladin = integrate_scenario(scenario, config)
+        kinds = set(aladin.repository.link_counts_by_kind())
+        assert kinds <= {"crossref"}
+
+    def test_duplicates_disabled(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=153,
+                include=("swissprot", "pir"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=153),
+            )
+        )
+        config = AladinConfig()
+        config.detect_duplicates = False
+        aladin = integrate_scenario(scenario, config)
+        assert aladin.repository.object_links(kind="duplicate") == []
+
+
+class TestSearchIndexInvalidation:
+    def test_index_rebuilt_after_new_source(self):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=154,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=154),
+            )
+        )
+        aladin = Aladin(AladinConfig())
+        first = scenario.sources[0]
+        aladin.add_source(first.name, first.facts.format_name, first.text)
+        engine_before = aladin.search_engine()
+        hits_before = {h.source for h in engine_before.search("structure", top_k=50)}
+        second = scenario.sources[1]
+        aladin.add_source(second.name, second.facts.format_name, second.text)
+        hits_after = {h.source for h in aladin.search_engine().search("structure", top_k=50)}
+        assert "pdb" in {s for s in hits_after} or len(hits_after) >= len(hits_before)

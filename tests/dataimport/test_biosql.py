@@ -1,0 +1,109 @@
+"""Tests for the BioSQL-subset schema (Figure 3) and its loader."""
+
+from repro.dataimport import CrossReference, EntryRecord, build_biosql_schema, load_biosql
+from repro.dataimport.records import Feature
+
+
+def records():
+    return [
+        EntryRecord(
+            accession="P12345",
+            name="P53_HUMAN",
+            description="Cellular tumor antigen p53.",
+            organism="Homo sapiens",
+            taxonomy_id=9606,
+            keywords=["Apoptosis"],
+            cross_references=[CrossReference("PDB", "1ABC")],
+            references=["PubMed=1"],
+            comments=["FUNCTION: tumor suppressor"],
+            sequence="MEEPQSDPSV",
+            features=[Feature("DOMAIN", 1, 5, "")],
+        ),
+        EntryRecord(
+            accession="Q99999",
+            name="KIN2_YEAST",
+            organism="S. cerevisiae",
+            taxonomy_id=4932,
+            keywords=["Apoptosis", "Kinase"],
+            sequence="ACGTACGT",
+        ),
+    ]
+
+
+class TestSchema:
+    def test_figure3_tables_exist(self):
+        db = build_biosql_schema()
+        expected = {
+            "biodatabase",
+            "taxon",
+            "bioentry",
+            "biosequence",
+            "ontology_term",
+            "bioentry_qualifier_value",
+            "dbxref",
+            "bioentry_dbxref",
+            "reference",
+            "bioentry_reference",
+            "seqfeature",
+            "comment",
+        }
+        assert set(db.table_names()) == expected
+
+    def test_bioentry_has_highest_declared_in_degree(self):
+        db = build_biosql_schema()
+        in_degree = {}
+        for table in db.tables():
+            for fk in table.schema.foreign_keys:
+                in_degree[fk.target_table] = in_degree.get(fk.target_table, 0) + 1
+        assert max(in_degree, key=in_degree.get) == "bioentry"
+        assert in_degree["bioentry"] >= 5
+
+    def test_constraints_can_be_omitted(self):
+        db = build_biosql_schema(declare_constraints=False)
+        for table in db.tables():
+            assert table.schema.primary_key is None
+
+
+class TestLoader:
+    def test_load_counts(self):
+        result = load_biosql(records())
+        db = result.database
+        assert result.records_read == 2
+        assert len(db.table("bioentry")) == 2
+        assert len(db.table("biosequence")) == 2
+        assert len(db.table("taxon")) == 2
+        assert len(db.table("dbxref")) == 1
+        assert len(db.table("bioentry_dbxref")) == 1
+        assert len(db.table("bioentry_qualifier_value")) == 3
+        assert len(db.table("seqfeature")) == 1
+
+    def test_foreign_keys_consistent(self):
+        result = load_biosql(records())
+        assert result.database.check_foreign_keys() == []
+
+    def test_alphabet_detection(self):
+        db = load_biosql(records()).database
+        by_accession = {}
+        for entry in db.table("bioentry").rows():
+            seq_row = db.table("biosequence").lookup_unique("bioentry_id", entry["bioentry_id"])
+            by_accession[entry["accession"]] = seq_row["alphabet"]
+        assert by_accession["P12345"] == "protein"
+        assert by_accession["Q99999"] == "dna"
+
+    def test_dictionary_tables_only_hold_referenced_terms(self):
+        # Section 5: "dictionary tables for various types of keywords are
+        # filled only with those terms that are actually referenced".
+        result = load_biosql(records())
+        db = result.database
+        referenced = set(db.table("bioentry_qualifier_value").values("ontology_term_id"))
+        referenced |= set(db.table("seqfeature").values("type_term_id"))
+        stored = set(db.table("ontology_term").values("ontology_term_id"))
+        assert stored == referenced
+
+    def test_accessions_unique_and_mixed_alnum(self):
+        result = load_biosql(records())
+        accessions = result.database.table("bioentry").values("accession")
+        assert len(accessions) == len(set(accessions))
+        for acc in accessions:
+            assert any(not ch.isdigit() for ch in acc)
+            assert len(acc) >= 4

@@ -1,0 +1,119 @@
+"""Tests for FASTA and PDB-summary parsing and import."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataimport import (
+    FastaImporter,
+    ImportError_,
+    PdbImporter,
+    parse_fasta,
+    parse_pdb_summaries,
+    write_fasta,
+    write_pdb_summaries,
+)
+from repro.dataimport.pdbfile import PdbRecord
+from repro.dataimport.records import CrossReference
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        entries = [
+            ("P12345", "tumor antigen", "MEEPQSDPSV"),
+            ("Q99999", "", "ACDEFGHIKLMNPQRSTVWY" * 5),
+        ]
+        parsed = parse_fasta(write_fasta(entries))
+        assert parsed == entries
+
+    def test_sequence_wrapping_preserved(self):
+        entries = [("A0A001", "long", "M" * 500)]
+        parsed = parse_fasta(write_fasta(entries))
+        assert parsed[0][2] == "M" * 500
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_fasta("ACGT\n>P1 x\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_fasta(">\nACGT\n")
+
+    def test_blank_lines_ignored(self):
+        parsed = parse_fasta(">P1 d\n\nACGT\n\n>P2\nTTTT\n")
+        assert len(parsed) == 2
+
+    def test_importer_builds_single_table(self):
+        text = write_fasta([("P12345", "desc", "MEEP")])
+        result = FastaImporter("seqs").import_text(text)
+        table = result.database.table("seq_entry")
+        row = table.row_at(0)
+        assert row["accession"] == "P12345"
+        assert row["length"] == 4
+        assert result.tables_created == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.from_regex(r"[A-Z][A-Z0-9]{4,7}", fullmatch=True),
+                st.text(alphabet="abcdefg hij", max_size=20).map(str.strip),
+                st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=200),
+            ),
+            max_size=8,
+        )
+    )
+    def test_property_fasta_roundtrip(self, entries):
+        parsed = parse_fasta(write_fasta(entries))
+        assert parsed == entries
+
+
+class TestPdb:
+    def make_records(self):
+        return [
+            PdbRecord(
+                pdb_code="1ABC",
+                title="CRYSTAL STRUCTURE OF P53",
+                compound="TUMOR SUPPRESSOR",
+                organism="HOMO SAPIENS",
+                method="X-RAY DIFFRACTION",
+                resolution=1.9,
+                deposited="01-JAN-01",
+                cross_references=[CrossReference("SWS", "P12345")],
+                sequence="MEEPQSDPSV",
+            ),
+            PdbRecord(pdb_code="2XYZ", method="NMR"),
+        ]
+
+    def test_roundtrip(self):
+        parsed = parse_pdb_summaries(write_pdb_summaries(self.make_records()))
+        assert len(parsed) == 2
+        first = parsed[0]
+        assert first.pdb_code == "1ABC"
+        assert first.resolution == pytest.approx(1.9)
+        assert first.cross_references == [CrossReference("SWS", "P12345")]
+        assert first.sequence == "MEEPQSDPSV"
+        assert parsed[1].pdb_code == "2XYZ"
+        assert parsed[1].resolution is None
+
+    def test_line_before_header_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_pdb_summaries("TITLE     orphan\nEND\n")
+
+    def test_importer_tables(self):
+        result = PdbImporter("pdb").import_text(write_pdb_summaries(self.make_records()))
+        db = result.database
+        assert set(db.table_names()) == {"structure", "compound", "struct_ref", "struct_seq"}
+        assert len(db.table("structure")) == 2
+        assert len(db.table("struct_ref")) == 1
+        assert db.check_foreign_keys() == []
+
+    def test_pdb_codes_are_four_chars(self):
+        result = PdbImporter("pdb").import_text(write_pdb_summaries(self.make_records()))
+        for code in result.database.table("structure").values("pdb_code"):
+            assert len(code) == 4
+
+    def test_resolution_stored_as_float(self):
+        result = PdbImporter("pdb").import_text(write_pdb_summaries(self.make_records()))
+        row = result.database.table("structure").lookup_unique("pdb_code", "1ABC")
+        assert row["resolution"] == pytest.approx(1.9)

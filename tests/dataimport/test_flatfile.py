@@ -1,0 +1,176 @@
+"""Tests for the Swiss-Prot/EMBL-style flat-file parser and importer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataimport import (
+    CrossReference,
+    EntryRecord,
+    Feature,
+    FlatFileImporter,
+    ImportError_,
+    parse_flatfile,
+    write_flatfile,
+)
+
+
+def sample_records():
+    return [
+        EntryRecord(
+            accession="P12345",
+            name="P53_HUMAN",
+            description="Cellular tumor antigen p53.",
+            organism="Homo sapiens (Human)",
+            taxonomy_id=9606,
+            keywords=["Apoptosis", "DNA-binding"],
+            cross_references=[
+                CrossReference("PDBDB", "1ABC"),
+                CrossReference("GODB", "GO:0005524"),
+            ],
+            references=["PubMed=1234567"],
+            comments=["FUNCTION: Acts as a tumor suppressor."],
+            sequence="MEEPQSDPSVEPPLSQETFSDLWKLLPENNVLSPLPSQAMDDLMLSPDDIEQWFTEDPGP",
+            features=[Feature("DOMAIN", 10, 50, "DNA binding")],
+        ),
+        EntryRecord(
+            accession="Q99999",
+            name="KIN2_YEAST",
+            organism="Saccharomyces cerevisiae",
+            taxonomy_id=4932,
+            keywords=["Kinase", "Apoptosis"],
+            sequence="MSTNKVLVIG",
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_parse_inverts_write(self):
+        text = write_flatfile(sample_records())
+        parsed = parse_flatfile(text)
+        assert len(parsed) == 2
+        first = parsed[0]
+        assert first.accession == "P12345"
+        assert first.name == "P53_HUMAN"
+        assert first.description == "Cellular tumor antigen p53."
+        assert first.taxonomy_id == 9606
+        assert first.keywords == ["Apoptosis", "DNA-binding"]
+        assert first.cross_references[0] == CrossReference("PDBDB", "1ABC")
+        assert first.references == ["PubMed=1234567"]
+        assert first.sequence.startswith("MEEPQSDPSV")
+        assert first.features == [Feature("DOMAIN", 10, 50, "DNA binding")]
+
+    def test_long_sequence_wrapping(self):
+        record = EntryRecord(accession="A1BCDE", sequence="ACDEFGHIKLMNPQRSTVWY" * 20)
+        parsed = parse_flatfile(write_flatfile([record]))
+        assert parsed[0].sequence == record.sequence
+
+    def test_empty_input(self):
+        assert parse_flatfile("") == []
+        assert write_flatfile([]) == ""
+
+    def test_unknown_line_codes_skipped(self):
+        text = "ID   X\nAC   A1234;\nZZ   ignored\n//\n"
+        parsed = parse_flatfile(text)
+        assert parsed[0].accession == "A1234"
+
+    def test_continuation_outside_sq_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_flatfile("ID   X\n     ABCDEF\n//\n")
+
+    def test_line_before_id_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_flatfile("AC   A1234;\n//\n")
+
+    def test_multi_line_description_joined(self):
+        text = "ID   X\nAC   A1234;\nDE   first part\nDE   second part\n//\n"
+        parsed = parse_flatfile(text)
+        assert parsed[0].description == "first part second part"
+
+    def test_missing_trailing_separator_tolerated(self):
+        text = "ID   X\nAC   A1234;"
+        assert parse_flatfile(text)[0].accession == "A1234"
+
+
+_ACCESSION = st.from_regex(r"[A-Z][0-9][A-Z0-9]{3}[0-9]", fullmatch=True)
+_WORD = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.builds(
+            EntryRecord,
+            accession=_ACCESSION,
+            name=_WORD,
+            description=_WORD,
+            organism=_WORD,
+            taxonomy_id=st.integers(min_value=1, max_value=10**6),
+            keywords=st.lists(_WORD, max_size=3),
+            sequence=st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", max_size=100),
+        ),
+        max_size=5,
+    )
+)
+def test_property_flatfile_roundtrip(records):
+    parsed = parse_flatfile(write_flatfile(records))
+    assert len(parsed) == len(records)
+    for original, recovered in zip(records, parsed):
+        assert recovered.accession == original.accession
+        assert recovered.sequence == original.sequence
+        assert recovered.taxonomy_id == original.taxonomy_id
+        assert recovered.keywords == original.keywords
+
+
+class TestImporter:
+    def test_tables_and_rows(self):
+        result = FlatFileImporter("swissprot").import_text(write_flatfile(sample_records()))
+        db = result.database
+        assert result.records_read == 2
+        assert set(db.table_names()) == {
+            "entry",
+            "organism",
+            "keyword",
+            "entry_keyword",
+            "dbxref",
+            "reference",
+            "comment",
+            "sequence",
+            "feature",
+        }
+        assert len(db.table("entry")) == 2
+        assert len(db.table("dbxref")) == 2
+        assert len(db.table("keyword")) == 3  # Apoptosis, DNA-binding, Kinase
+        assert len(db.table("entry_keyword")) == 4
+
+    def test_surrogate_keys_are_digit_only_integers(self):
+        result = FlatFileImporter("swissprot").import_text(write_flatfile(sample_records()))
+        for value in result.database.table("entry").values("entry_id"):
+            assert isinstance(value, int)
+
+    def test_foreign_keys_validate(self):
+        result = FlatFileImporter("swissprot").import_text(write_flatfile(sample_records()))
+        assert result.database.check_foreign_keys() == []
+
+    def test_keyword_dictionary_shared_across_entries(self):
+        result = FlatFileImporter("swissprot").import_text(write_flatfile(sample_records()))
+        keyword_table = result.database.table("keyword")
+        terms = keyword_table.values("term")
+        assert len(terms) == len(set(terms))
+
+    def test_declare_constraints_false_gives_bare_tables(self):
+        importer = FlatFileImporter("swissprot", declare_constraints=False)
+        result = importer.import_text(write_flatfile(sample_records()))
+        for table in result.database.tables():
+            assert table.schema.primary_key is None
+            assert table.schema.foreign_keys == []
+
+    def test_sequence_is_one_to_one_with_entry(self):
+        result = FlatFileImporter("swissprot").import_text(write_flatfile(sample_records()))
+        seq_ids = result.database.table("sequence").values("entry_id")
+        assert len(seq_ids) == len(set(seq_ids))
+
+    def test_missing_accession_warns(self):
+        text = "ID   X\nDE   no accession here\n//\n"
+        result = FlatFileImporter("s").import_text(text)
+        assert result.warnings

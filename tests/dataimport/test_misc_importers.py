@@ -1,0 +1,213 @@
+"""Tests for classification, XML, delimited, OBO, and dump importers."""
+
+import pytest
+
+from repro.dataimport import (
+    ClassificationImporter,
+    DelimitedImporter,
+    ImportError_,
+    OboImporter,
+    RelationalDumpImporter,
+    XmlShredder,
+    parse_classification,
+    parse_obo,
+    registry,
+    write_classification,
+    write_obo,
+)
+from repro.dataimport.obo import OboTerm
+from repro.dataimport.scopcath import DomainRecord
+from repro.relational import DataType
+from repro.relational.csvio import dump_database
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+
+
+class TestClassification:
+    def records(self):
+        return [
+            DomainRecord("d1abca_", "1ABC", "a.1.1.1"),
+            DomainRecord("d1abcb_", "1ABC", "a.1.1.2"),
+            DomainRecord("d2xyza_", "2XYZ", "b.2.1.1"),
+        ]
+
+    def test_roundtrip(self):
+        parsed = parse_classification(write_classification(self.records()))
+        assert parsed == self.records()
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\nd1abca_ 1ABC a.1.1.1\n"
+        assert len(parse_classification(text)) == 1
+
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(ImportError_):
+            parse_classification("d1abca_ 1ABC\n")
+
+    def test_hierarchy_tables(self):
+        result = ClassificationImporter("scop").import_text(
+            write_classification(self.records())
+        )
+        db = result.database
+        assert len(db.table("scop_class")) == 2  # a, b
+        assert len(db.table("scop_fold")) == 2  # a.1, b.2
+        assert len(db.table("scop_superfamily")) == 2  # a.1.1, b.2.1
+        assert len(db.table("scop_family")) == 3
+        assert len(db.table("domain")) == 3
+        assert db.check_foreign_keys() == []
+
+    def test_bad_sccs_depth_rejected(self):
+        with pytest.raises(ImportError_):
+            ClassificationImporter("scop").import_text("d1a_ 1ABC a.1.1\n")
+
+
+class TestXmlShredder:
+    def test_basic_shredding(self):
+        xml = """
+        <interactions>
+          <interaction id="i1" score="0.9">
+            <partner accession="P12345"/>
+            <partner accession="Q99999"/>
+          </interaction>
+          <interaction id="i2">
+            <partner accession="P12345"/>
+          </interaction>
+        </interactions>
+        """
+        result = XmlShredder("bind").import_text(xml)
+        db = result.database
+        assert set(db.table_names()) == {"interactions", "interaction", "partner"}
+        assert len(db.table("interaction")) == 2
+        assert len(db.table("partner")) == 3
+        partner = db.table("partner").row_at(0)
+        assert partner["parent_tag"] == "interaction"
+        assert partner["accession"] == "P12345"
+
+    def test_surrogate_ids_unique_and_integer(self):
+        xml = "<a><b/><b/><b/></a>"
+        db = XmlShredder("x").import_text(xml).database
+        ids = db.table("b").values("b_id")
+        assert len(ids) == 3 and len(set(ids)) == 3
+        assert all(isinstance(i, int) for i in ids)
+        # Children point at their parent's allocated id.
+        root_id = db.table("a").row_at(0)["a_id"]
+        assert db.table("b").values("parent_id") == [root_id] * 3
+
+    def test_contiguous_id_mode(self):
+        xml = "<a><b/><b/><b/></a>"
+        db = XmlShredder("x", contiguous_ids=True).import_text(xml).database
+        assert db.table("b").values("b_id") == [1, 2, 3]
+
+    def test_text_content_captured(self):
+        xml = "<root><name>p53</name></root>"
+        db = XmlShredder("x").import_text(xml).database
+        assert db.table("name").row_at(0)["text_value"] == "p53"
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ImportError_):
+            XmlShredder("x").import_text("<a><b></a>")
+
+    def test_no_constraints_emitted(self):
+        xml = "<a><b/></a>"
+        db = XmlShredder("x").import_text(xml).database
+        for table in db.tables():
+            assert table.schema.primary_key is None
+
+    def test_namespaces_stripped(self):
+        xml = '<ns:a xmlns:ns="http://x"/>'
+        db = XmlShredder("x").import_text(xml).database
+        assert db.table_names() == ["a"]
+
+
+class TestDelimited:
+    def test_import_with_type_inference(self):
+        text = "gene\tchrom\tposition\nBRCA1\t17\t43044295\nTP53\t17\t7668402\n"
+        result = DelimitedImporter("genemap").import_text(text)
+        table = result.database.table("genemap")
+        assert table.schema.column("position").data_type is DataType.INTEGER
+        assert table.schema.column("gene").data_type is DataType.TEXT
+        assert len(table) == 2
+
+    def test_empty_fields_become_null(self):
+        text = "a\tb\n1\t\n"
+        table = DelimitedImporter("d").import_text(text).database.table("d")
+        assert table.row_at(0)["b"] is None
+
+    def test_field_count_mismatch_rejected(self):
+        with pytest.raises(ImportError_):
+            DelimitedImporter("d").import_text("a\tb\n1\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ImportError_):
+            DelimitedImporter("d").import_text("")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ImportError_):
+            DelimitedImporter("d").import_text("a\ta\n1\t2\n")
+
+    def test_csv_delimiter(self):
+        result = DelimitedImporter("d", delimiter=",").import_text("a,b\n1,2\n")
+        assert result.database.table("d").row_at(0) == {"a": 1, "b": 2}
+
+
+class TestObo:
+    def terms(self):
+        return [
+            OboTerm("GO:0000001", "mitochondrion inheritance", "biological_process", "def one"),
+            OboTerm("GO:0000002", "mitochondrial genome maintenance", "biological_process",
+                    "def two", is_a=["GO:0000001"]),
+        ]
+
+    def test_roundtrip(self):
+        parsed = parse_obo(write_obo(self.terms()))
+        assert len(parsed) == 2
+        assert parsed[1].is_a == ["GO:0000001"]
+        assert parsed[0].definition == "def one"
+
+    def test_non_term_stanzas_ignored(self):
+        text = "[Typedef]\nid: part_of\n\n[Term]\nid: GO:0000003\nname: x\n"
+        parsed = parse_obo(text)
+        assert len(parsed) == 1
+        assert parsed[0].term_accession == "GO:0000003"
+
+    def test_importer_builds_dag(self):
+        result = OboImporter("go").import_text(write_obo(self.terms()))
+        db = result.database
+        assert len(db.table("term")) == 2
+        assert len(db.table("term_isa")) == 1
+        edge = db.table("term_isa").row_at(0)
+        assert edge["term_id"] == 2 and edge["parent_term_id"] == 1
+
+    def test_unknown_parent_warns(self):
+        terms = [OboTerm("GO:0000009", "x", is_a=["GO:9999999"])]
+        result = OboImporter("go").import_text(write_obo(terms))
+        assert result.warnings
+        assert len(result.database.table("term_isa")) == 0
+
+
+class TestDump:
+    def test_import_directory(self, tmp_path):
+        db = Database("orig")
+        db.create_table(TableSchema("t", [Column("a", DataType.INTEGER)]))
+        db.insert("t", {"a": 1})
+        dump_database(db, tmp_path)
+        result = RelationalDumpImporter("renamed").import_directory(tmp_path)
+        assert result.database.name == "renamed"
+        assert result.database.table("t").row_at(0)["a"] == 1
+
+    def test_import_text_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            RelationalDumpImporter("x").import_text("")
+
+
+class TestRegistry:
+    def test_all_formats_registered(self):
+        for fmt in ("flatfile", "fasta", "pdb", "classification", "xml", "delimited", "obo", "dump"):
+            assert fmt in registry.formats()
+
+    def test_create_by_name(self):
+        importer = registry.create("fasta", "seqs")
+        assert importer.source_name == "seqs"
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(KeyError):
+            registry.create("nope", "x")

@@ -1,0 +1,247 @@
+"""Tests for FK inference, the relationship graph, and primary selection."""
+
+import pytest
+
+from repro.dataimport import FlatFileImporter, load_biosql, parse_flatfile, write_flatfile
+from repro.discovery import (
+    AttributeRef,
+    DiscoveryConfig,
+    RelationshipGraph,
+    Relationship,
+    choose_primary_relations,
+    detect_unique_attributes,
+    discover_structure,
+    find_accession_candidates,
+    mine_inclusion_dependencies,
+)
+from repro.relational import Column, Database, DataType, ForeignKey, TableSchema
+from repro.synth import ScenarioConfig, build_scenario
+
+
+def two_table_db(child_values, parent_values, declare_fk=False):
+    db = Database("src")
+    fks = [ForeignKey(("pid",), "parent", ("pid",))] if declare_fk else []
+    db.create_table(
+        TableSchema(
+            "parent",
+            [Column("pid", DataType.INTEGER), Column("acc", DataType.TEXT)],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "child",
+            [Column("cid", DataType.INTEGER), Column("pid", DataType.INTEGER)],
+            foreign_keys=fks,
+        )
+    )
+    for i, v in enumerate(parent_values):
+        db.insert("parent", {"pid": v, "acc": f"P{1000 + v}"})
+    for i, v in enumerate(child_values):
+        db.insert("child", {"cid": i, "pid": v})
+    return db
+
+
+class TestInclusionMining:
+    def test_subset_yields_1n_edge(self):
+        db = two_table_db(child_values=[1, 1, 2], parent_values=[1, 2, 3])
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        edge = [
+            r for r in rels
+            if r.source == AttributeRef("child", "pid")
+            and r.target == AttributeRef("parent", "pid")
+        ]
+        assert len(edge) == 1
+        assert edge[0].cardinality == "1:N"
+        assert edge[0].origin == "guessed"
+
+    def test_unique_subset_yields_11_edge(self):
+        # Extension-table pattern: child pid unique, strict subset.
+        db = two_table_db(child_values=[1, 2], parent_values=[1, 2, 3])
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        edge = [
+            r for r in rels
+            if r.source == AttributeRef("child", "pid")
+            and r.target == AttributeRef("parent", "pid")
+        ]
+        assert edge[0].cardinality == "1:1"
+
+    def test_non_contained_values_yield_no_edge(self):
+        db = two_table_db(child_values=[1, 99], parent_values=[1, 2, 3])
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        assert not any(
+            r.source == AttributeRef("child", "pid") and r.target.table == "parent"
+            for r in rels
+        )
+
+    def test_declared_fk_reported_as_declared(self):
+        db = two_table_db(child_values=[1, 1], parent_values=[1, 2], declare_fk=True)
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        declared = [r for r in rels if r.origin == "declared"]
+        assert len(declared) == 1
+        assert declared[0].source == AttributeRef("child", "pid")
+
+    def test_type_incompatible_pairs_skipped(self):
+        db = Database("src")
+        db.create_table(TableSchema("a", [Column("v", DataType.TEXT)]))
+        db.create_table(TableSchema("b", [Column("v", DataType.INTEGER)]))
+        db.insert("a", {"v": "1"})
+        db.insert("b", {"v": 1})
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        assert rels == []
+
+    def test_approximate_containment(self):
+        # 1 of 4 distinct child values missing from parent: 25% violation.
+        db = two_table_db(child_values=[1, 2, 3, 99], parent_values=[1, 2, 3])
+        unique = detect_unique_attributes(db)
+        exact = mine_inclusion_dependencies(db, unique)
+        assert not any(r.target.table == "parent" and r.source.table == "child" for r in exact)
+        approx = mine_inclusion_dependencies(
+            db, unique, DiscoveryConfig(ind_max_violation_fraction=0.3)
+        )
+        assert any(r.target.table == "parent" and r.source.table == "child" for r in approx)
+
+    def test_dictionary_table_confusion(self):
+        # Two dictionaries with identical 1..n key ranges: both directions
+        # are mined — the confusion Section 4.2 describes for equal sizes.
+        db = Database("src")
+        db.create_table(TableSchema("dict_a", [Column("id", DataType.INTEGER)]))
+        db.create_table(TableSchema("dict_b", [Column("id", DataType.INTEGER)]))
+        for i in (1, 2, 3):
+            db.insert("dict_a", {"id": i})
+            db.insert("dict_b", {"id": i})
+        unique = detect_unique_attributes(db)
+        rels = mine_inclusion_dependencies(db, unique)
+        pairs = {(r.source.qualified, r.target.qualified) for r in rels}
+        assert ("dict_a.id", "dict_b.id") in pairs
+        assert ("dict_b.id", "dict_a.id") in pairs
+
+    def test_flatfile_fk_recovery_without_constraints(self):
+        # Import with constraints (truth), strip, re-mine, compare.
+        scenario = build_scenario(ScenarioConfig(seed=31, include=("swissprot",)))
+        importer = FlatFileImporter("swissprot", declare_constraints=True)
+        declared_db = importer.import_text(scenario.source("swissprot").text).database
+        truth = {
+            (f"{t.name}.{fk.columns[0]}", f"{fk.target_table}.{fk.target_columns[0]}")
+            for t in declared_db.tables()
+            for fk in t.schema.foreign_keys
+        }
+        bare = declared_db.strip_constraints()
+        unique = detect_unique_attributes(bare)
+        rels = mine_inclusion_dependencies(bare, unique)
+        mined = {(r.source.qualified, r.target.qualified) for r in rels}
+        recovered = truth & mined
+        # Every true FK must be recovered (recall 1.0 on clean data).
+        assert recovered == truth
+
+
+class TestGraphAndPrimary:
+    def test_in_degree_excludes_self_loops(self):
+        rel = Relationship(AttributeRef("t", "a"), AttributeRef("t", "b"), "1:N")
+        graph = RelationshipGraph(["t"], [rel])
+        assert graph.in_degree("t") == 0
+
+    def test_unknown_table_rejected(self):
+        rel = Relationship(AttributeRef("x", "a"), AttributeRef("y", "b"), "1:N")
+        with pytest.raises(ValueError):
+            RelationshipGraph(["x"], [rel])
+
+    def test_paths_ignore_direction(self):
+        r1 = Relationship(AttributeRef("b", "x"), AttributeRef("a", "x"), "1:N")
+        r2 = Relationship(AttributeRef("b", "y"), AttributeRef("c", "y"), "1:N")
+        graph = RelationshipGraph(["a", "b", "c"], [r1, r2])
+        paths = graph.all_paths("a", "c", max_length=4, max_paths=4)
+        assert len(paths) == 1
+        assert [s.forward for s in paths[0]] == [False, True]
+
+    def test_primary_is_highest_in_degree_with_candidate(self):
+        scenario = build_scenario(ScenarioConfig(seed=32, include=("swissprot",)))
+        db = FlatFileImporter("swissprot", declare_constraints=False).import_text(
+            scenario.source("swissprot").text
+        ).database
+        structure = discover_structure(db)
+        assert structure.primary_relation == "entry"
+
+    def test_biosql_case_study_primary_is_bioentry(self):
+        # Figure 3 / Section 5: run on the BioSQL schema without constraints.
+        scenario = build_scenario(ScenarioConfig(seed=33, include=("swissprot",)))
+        records = parse_flatfile(scenario.source("swissprot").text)
+        db = load_biosql(records, declare_constraints=False).database
+        structure = discover_structure(db)
+        assert structure.primary_relation == "bioentry"
+        assert structure.accession_candidates["bioentry"].column == "accession"
+
+    def test_single_table_source(self):
+        db = Database("seqs")
+        db.create_table(TableSchema("seq_entry", [Column("acc", DataType.TEXT)]))
+        for i in range(5):
+            db.insert("seq_entry", {"acc": f"P1000{i}"})
+        structure = discover_structure(db)
+        assert structure.primary_relation == "seq_entry"
+
+    def test_no_candidate_means_no_primary(self):
+        db = Database("numbersonly")
+        db.create_table(TableSchema("t", [Column("n", DataType.INTEGER)]))
+        db.insert("t", {"n": 1})
+        structure = discover_structure(db)
+        assert structure.primary_relation is None
+
+    def test_multi_primary_extension(self):
+        scenario = build_scenario(ScenarioConfig(seed=34, include=("swissprot",)))
+        db = FlatFileImporter("swissprot", declare_constraints=False).import_text(
+            scenario.source("swissprot").text
+        ).database
+        config = DiscoveryConfig(allow_multiple_primaries=True, multi_primary_slack=100)
+        structure = discover_structure(db, config)
+        # With huge slack every candidate table above mean in-degree is kept,
+        # but the best one must still be first.
+        assert structure.primary_relations[0] == "entry"
+
+
+class TestSecondaryPaths:
+    def test_all_tables_connected_in_flatfile_source(self):
+        scenario = build_scenario(ScenarioConfig(seed=35, include=("swissprot",)))
+        db = FlatFileImporter("swissprot", declare_constraints=False).import_text(
+            scenario.source("swissprot").text
+        ).database
+        structure = discover_structure(db)
+        connected = set(structure.secondary_paths) | {structure.primary_relation}
+        assert connected | set(structure.unreachable_tables) == set(db.table_names())
+        # The keyword dictionary must be reachable (via the bridge).
+        assert "keyword" in structure.secondary_paths
+
+    def test_bridge_path_has_length_two(self):
+        scenario = build_scenario(ScenarioConfig(seed=36, include=("swissprot",)))
+        db = FlatFileImporter("swissprot", declare_constraints=False).import_text(
+            scenario.source("swissprot").text
+        ).database
+        structure = discover_structure(db)
+        keyword_paths = structure.secondary_paths["keyword"]
+        assert min(p.length for p in keyword_paths) == 2
+
+    def test_unreachable_table_reported(self):
+        db = Database("src")
+        db.create_table(TableSchema("main", [Column("acc", DataType.TEXT)]))
+        db.create_table(TableSchema("island", [Column("x", DataType.TEXT)]))
+        for i in range(4):
+            db.insert("main", {"acc": f"P100{i}"})
+        db.insert("island", {"x": "lonely value"})
+        structure = discover_structure(db)
+        assert structure.primary_relation == "main"
+        assert "island" in structure.unreachable_tables
+
+    def test_paths_tables_start_at_primary(self):
+        scenario = build_scenario(ScenarioConfig(seed=37, include=("swissprot",)))
+        db = FlatFileImporter("swissprot", declare_constraints=False).import_text(
+            scenario.source("swissprot").text
+        ).database
+        structure = discover_structure(db)
+        for target, paths in structure.secondary_paths.items():
+            for path in paths:
+                tables = path.tables()
+                assert tables[0] == "entry"
+                assert tables[-1] == target

@@ -1,0 +1,152 @@
+"""Tests for unique-attribute detection and the accession heuristic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.discovery import (
+    AttributeRef,
+    DiscoveryConfig,
+    detect_unique_attributes,
+    find_accession_candidates,
+    is_accession_like,
+)
+from repro.relational import Column, Database, DataType, TableSchema, UniqueConstraint
+
+
+def make_db(rows, accession_values=None, extra_columns=()):
+    db = Database("src")
+    columns = [
+        Column("rid", DataType.INTEGER),
+        Column("acc", DataType.TEXT),
+        Column("note", DataType.TEXT),
+    ]
+    columns.extend(extra_columns)
+    db.create_table(TableSchema("t", columns))
+    table = db.table("t")
+    accession_values = accession_values or [f"P{10000 + i}" for i in range(rows)]
+    for i in range(rows):
+        table.insert({"rid": i, "acc": accession_values[i], "note": "x"})
+    return db
+
+
+class TestUniqueness:
+    def test_observed_unique_detected(self):
+        db = make_db(5)
+        unique = detect_unique_attributes(db)
+        assert AttributeRef("t", "rid") in unique
+        assert AttributeRef("t", "acc") in unique
+        assert AttributeRef("t", "note") not in unique
+
+    def test_declared_unique_used_without_scan(self):
+        db = Database("src")
+        db.create_table(
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT)],
+                unique_constraints=[UniqueConstraint(("a",))],
+            )
+        )
+        db.insert("t", {"a": "x"})
+        assert AttributeRef("t", "a") in detect_unique_attributes(db)
+
+    def test_nulls_ignored_in_uniqueness(self):
+        db = Database("src")
+        db.create_table(TableSchema("t", [Column("a", DataType.TEXT)]))
+        db.insert("t", {"a": None})
+        db.insert("t", {"a": None})
+        db.insert("t", {"a": "x"})
+        assert AttributeRef("t", "a") in detect_unique_attributes(db)
+
+    def test_empty_table_yields_nothing(self):
+        db = Database("src")
+        db.create_table(TableSchema("t", [Column("a", DataType.TEXT)]))
+        assert detect_unique_attributes(db) == set()
+
+    def test_all_null_column_not_unique(self):
+        db = Database("src")
+        db.create_table(TableSchema("t", [Column("a", DataType.TEXT), Column("b", DataType.TEXT)]))
+        db.insert("t", {"a": None, "b": "x"})
+        unique = detect_unique_attributes(db)
+        assert AttributeRef("t", "a") not in unique
+
+
+class TestAccessionShape:
+    def test_uniprot_accessions_accepted(self):
+        assert is_accession_like(["P12345", "Q99999", "A0B1C2"])
+
+    def test_digit_only_rejected(self):
+        # Parser-generated surrogate keys consist only of digits.
+        assert not is_accession_like(["123456", "234567"])
+
+    def test_integers_rejected(self):
+        assert not is_accession_like([1, 2, 3])
+
+    def test_too_short_rejected(self):
+        # Four characters is the floor (PDB codes, footnote 4).
+        assert not is_accession_like(["A12", "B34"])
+
+    def test_four_char_pdb_codes_accepted(self):
+        assert is_accession_like(["1ABC", "2XYZ", "9QRS"])
+
+    def test_length_spread_over_20_percent_rejected(self):
+        # 6 vs 10 chars: spread (10-6)/10 = 40%.
+        assert not is_accession_like(["P12345", "ENSG000001"])
+
+    def test_length_spread_within_20_percent_accepted(self):
+        # 9 vs 10: spread 10%.
+        assert is_accession_like(["ABCDEFGH1", "ABCDEFGHI2"])
+
+    def test_empty_rejected(self):
+        assert not is_accession_like([])
+
+    def test_single_nondigit_char_is_enough(self):
+        assert is_accession_like(["12345X", "23456Y"])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.from_regex(r"[A-Z][0-9][A-Z0-9]{3}[0-9]", fullmatch=True), min_size=1, max_size=30))
+    def test_property_uniprot_style_always_accepted(self, values):
+        assert is_accession_like(values)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.from_regex(r"[0-9]{4,8}", fullmatch=True), min_size=1, max_size=30))
+    def test_property_digit_only_always_rejected(self, values):
+        assert not is_accession_like(values)
+
+
+class TestCandidateSelection:
+    def test_candidate_found(self):
+        db = make_db(10)
+        unique = detect_unique_attributes(db)
+        candidates = find_accession_candidates(db, unique)
+        assert candidates == {"t": AttributeRef("t", "acc")}
+
+    def test_longer_average_length_wins(self):
+        # Two qualifying columns: the longer one must be chosen.
+        db = Database("src")
+        db.create_table(
+            TableSchema("t", [Column("short_acc", DataType.TEXT), Column("long_acc", DataType.TEXT)])
+        )
+        for i in range(5):
+            db.insert("t", {"short_acc": f"A{100 + i}", "long_acc": f"ENSG0000000{i}"})
+        unique = detect_unique_attributes(db)
+        candidates = find_accession_candidates(db, unique)
+        assert candidates["t"].column == "long_acc"
+
+    def test_surrogate_key_never_candidate(self):
+        db = make_db(10)
+        unique = detect_unique_attributes(db)
+        candidates = find_accession_candidates(db, unique)
+        assert candidates["t"].column != "rid"
+
+    def test_table_without_candidate_absent(self):
+        db = Database("src")
+        db.create_table(TableSchema("t", [Column("n", DataType.INTEGER)]))
+        db.insert("t", {"n": 1})
+        unique = detect_unique_attributes(db)
+        assert find_accession_candidates(db, unique) == {}
+
+    def test_config_min_length_respected(self):
+        config = DiscoveryConfig(accession_min_length=8)
+        assert not is_accession_like(["P12345", "Q99999"], config)
+        assert is_accession_like(["ABCDEFG1", "HIJKLMN2"], config)

@@ -1,0 +1,102 @@
+"""Tests for the string-similarity library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.duplicates import (
+    damerau_levenshtein,
+    jaccard_ngrams,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    token_cosine,
+)
+
+_TEXT = st.text(alphabet="abcdefgh ", max_size=20)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("abc", "", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_similarity_normalized(self):
+        assert levenshtein_similarity("abcd", "abcd") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert 0.0 <= levenshtein_similarity("abcd", "wxyz") <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(_TEXT, _TEXT)
+    def test_property_symmetric(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_TEXT, _TEXT, _TEXT)
+    def test_property_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestDamerau:
+    def test_transposition_costs_one(self):
+        assert levenshtein("abcd", "abdc") == 2
+        assert damerau_levenshtein("abcd", "abdc") == 1
+
+    def test_equals_levenshtein_without_transpositions(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_winkler_boosts_prefix(self):
+        base = jaro("martha", "marhta")
+        boosted = jaro_winkler("martha", "marhta")
+        assert boosted > base
+
+    @settings(max_examples=50, deadline=None)
+    @given(_TEXT, _TEXT)
+    def test_property_bounded(self, a, b):
+        assert 0.0 <= jaro(a, b) <= 1.0
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestTokenMeasures:
+    def test_ngram_jaccard_identical(self):
+        assert jaccard_ngrams("protein", "protein") == 1.0
+
+    def test_ngram_jaccard_disjoint(self):
+        assert jaccard_ngrams("aaaa", "zzzz") == 0.0
+
+    def test_token_cosine_orders_by_overlap(self):
+        close = token_cosine("tumor antigen p53", "tumor antigen p53 isoform")
+        far = token_cosine("tumor antigen p53", "membrane transporter")
+        assert close > far
+
+    def test_monge_elkan_tolerates_token_typos(self):
+        score = monge_elkan("celular tumor antigen", "cellular tumor antigen")
+        assert score > 0.9
+
+    def test_monge_elkan_empty(self):
+        assert monge_elkan("", "") == 1.0
+        assert monge_elkan("a", "") == 0.0

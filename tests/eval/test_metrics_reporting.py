@@ -1,0 +1,68 @@
+"""Tests for the evaluation metrics, reporting, and baseline cost models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import f1_score, format_table, precision_recall_f1
+from repro.eval.metrics import confusion
+
+
+class TestMetrics:
+    def test_perfect_match(self):
+        prf = precision_recall_f1({1, 2, 3}, {1, 2, 3})
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0
+        assert prf.f1 == 1.0
+
+    def test_half_precision(self):
+        prf = precision_recall_f1({1, 2}, {1})
+        assert prf.precision == 0.5
+        assert prf.recall == 1.0
+
+    def test_half_recall(self):
+        prf = precision_recall_f1({1}, {1, 2})
+        assert prf.recall == 0.5
+
+    def test_empty_found_empty_truth_is_perfect(self):
+        prf = precision_recall_f1(set(), set())
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0
+
+    def test_findings_against_empty_truth(self):
+        prf = precision_recall_f1({1}, set())
+        assert prf.precision == 0.0
+
+    def test_f1_zero_when_both_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_confusion_counts(self):
+        assert confusion({1, 2, 3}, {2, 3, 4}) == (2, 1, 1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=30)),
+        st.sets(st.integers(min_value=0, max_value=30)),
+    )
+    def test_property_bounds_and_consistency(self, found, truth):
+        prf = precision_recall_f1(found, truth)
+        assert 0.0 <= prf.precision <= 1.0
+        assert 0.0 <= prf.recall <= 1.0
+        assert min(prf.precision, prf.recall) - 1e-9 <= prf.f1 <= max(
+            prf.precision, prf.recall
+        ) + 1e-9
+        assert prf.true_positives + prf.false_negatives == len(truth)
+        assert prf.true_positives + prf.false_positives == len(found)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows have the same width.
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,33 @@
+"""Shared fixtures: an imported + discovered two-source world."""
+
+import pytest
+
+from repro.dataimport import registry
+from repro.discovery import discover_structure
+from repro.linking import LinkDiscoveryEngine
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def import_scenario(scenario, declare_constraints=False):
+    """Import every source of a scenario; returns {name: (db, structure)}."""
+    out = {}
+    for source in scenario.sources:
+        importer = registry.create(source.format_name, source.name, declare_constraints)
+        for key, value in source.facts.import_options.items():
+            setattr(importer, key, value)
+        database = importer.import_text(source.text)  # ImportResult
+        structure = discover_structure(database.database)
+        out[source.name] = (database.database, structure)
+    return out
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A full 8-source scenario, imported bare and discovered."""
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=101,
+            universe=UniverseConfig(n_families=8, members_per_family=3, seed=101),
+        )
+    )
+    return scenario, import_scenario(scenario)

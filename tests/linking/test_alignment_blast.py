@@ -1,0 +1,142 @@
+"""Tests for exact alignment and the BLAST-like index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linking import BlastIndex, needleman_wunsch, smith_waterman
+from repro.linking.matrices import dna_score, protein_score
+from repro.synth import mutate_sequence, random_protein
+
+_PROTEIN = "ACDEFGHIKLMNPQRSTVWY"
+
+
+class TestAlignment:
+    def test_identical_sequences_full_identity(self):
+        seq = "ACDEFGHIKLMNPQRSTVWY"
+        for align in (needleman_wunsch, smith_waterman):
+            result = align(seq, seq)
+            assert result.identity == 1.0
+            assert result.score > 0
+
+    def test_empty_inputs(self):
+        assert smith_waterman("", "ACD").score == 0
+        nw = needleman_wunsch("", "ACD")
+        assert nw.identity == 0.0
+
+    def test_unrelated_sequences_low_local_identity(self):
+        rng = random.Random(1)
+        a = random_protein(rng, 80)
+        b = random_protein(rng, 80)
+        # Local alignment of random sequences finds short islands only.
+        result = smith_waterman(a, b)
+        assert result.aligned_length < 40
+
+    def test_local_alignment_finds_embedded_motif(self):
+        motif = "WWWHHHKKKFFFYYY"
+        a = "ACD" * 10 + motif + "GGG" * 5
+        b = "LMN" * 8 + motif + "PPP" * 4
+        result = smith_waterman(a, b)
+        assert result.identity > 0.9
+        assert result.aligned_length >= len(motif)
+        # The reported spans must contain the motif.
+        assert motif in a[result.start_a : result.end_a]
+        assert motif in b[result.start_b : result.end_b]
+
+    def test_global_score_penalizes_length_difference(self):
+        short = "ACDE"
+        long = "ACDE" + "W" * 20
+        aligned_same = needleman_wunsch(short, short)
+        aligned_diff = needleman_wunsch(short, long)
+        assert aligned_diff.score < aligned_same.score
+
+    def test_mutated_sequence_retains_identity(self):
+        rng = random.Random(2)
+        a = random_protein(rng, 120)
+        b = mutate_sequence(rng, a, 0.1)
+        result = smith_waterman(a, b)
+        assert result.identity > 0.75
+
+    def test_dna_scoring(self):
+        result = smith_waterman("ACGTACGTACGT", "ACGTACGTACGT", score=dna_score)
+        assert result.identity == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(alphabet=_PROTEIN, min_size=1, max_size=40))
+    def test_property_self_alignment_is_perfect(self, seq):
+        result = smith_waterman(seq, seq)
+        assert result.identity == 1.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.text(alphabet=_PROTEIN, min_size=1, max_size=30),
+        st.text(alphabet=_PROTEIN, min_size=1, max_size=30),
+    )
+    def test_property_local_score_symmetric(self, a, b):
+        assert smith_waterman(a, b).score == smith_waterman(b, a).score
+
+
+class TestBlast:
+    def build_index(self, families=6, members=3, seed=3):
+        rng = random.Random(seed)
+        index = BlastIndex(k=4)
+        truth = {}
+        for family in range(families):
+            ancestor = random_protein(rng, 150)
+            for member in range(members):
+                seq = mutate_sequence(rng, ancestor, 0.1)
+                target_id = index.add(seq)
+                truth[target_id] = family
+        return index, truth, rng
+
+    def test_finds_family_members(self):
+        index, truth, rng = self.build_index()
+        # Query with a fresh mutation of family 0's first member.
+        query = mutate_sequence(rng, index.sequence(0), 0.1)
+        hits = index.search(query)
+        assert hits, "expected at least one hit"
+        hit_families = {truth[h.target_id] for h in hits}
+        assert 0 in hit_families
+
+    def test_no_hits_for_unrelated_query(self):
+        index, _, rng = self.build_index()
+        query = random_protein(rng, 150)
+        hits = index.search(query, min_identity=0.5)
+        assert all(truthy.identity >= 0.5 for truthy in hits)
+        # Random sequences essentially never share banded seed runs.
+        assert len(hits) <= 1
+
+    def test_recall_against_exact_baseline(self):
+        # The heuristic must recover most pairs the exact aligner accepts.
+        index, truth, rng = self.build_index(families=4, members=3, seed=4)
+        recovered = 0
+        expected = 0
+        for target_id in range(len(index)):
+            query = index.sequence(target_id)
+            family = truth[target_id]
+            same_family = {t for t, f in truth.items() if f == family and t != target_id}
+            expected += len(same_family)
+            hits = {h.target_id for h in index.search(query)} - {target_id}
+            recovered += len(hits & same_family)
+        assert expected > 0
+        assert recovered / expected >= 0.8
+
+    def test_exact_rescore_changes_scores(self):
+        index, truth, rng = self.build_index(families=2, members=2, seed=5)
+        query = index.sequence(0)
+        fast = index.search(query)
+        exact = index.search(query, exact_rescore=True)
+        assert {h.target_id for h in exact} <= {h.target_id for h in fast} | {0}
+
+    def test_hits_sorted_by_score(self):
+        index, _, rng = self.build_index()
+        hits = index.search(index.sequence(0))
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_hits_respected(self):
+        index, _, rng = self.build_index(families=1, members=8, seed=6)
+        hits = index.search(index.sequence(0), max_hits=3)
+        assert len(hits) <= 3

@@ -1,0 +1,167 @@
+"""Tests for sequence/text/name/ontology link channels and the engine."""
+
+import pytest
+
+from repro.linking import LinkConfig, extract_entity_names
+from repro.linking.engine import LinkChannels, LinkDiscoveryEngine
+from repro.linking.textlinks import TfIdfIndex, tokenize
+
+
+class TestTfIdf:
+    def test_tokenize_drops_stopwords(self):
+        assert tokenize("the protein of the nucleus") == ["protein", "nucleus"]
+
+    def test_identical_documents_score_highest(self):
+        index = TfIdfIndex()
+        index.add("tumor suppressor kinase")
+        index.add("membrane transport protein")
+        index.finalize()
+        results = index.search("tumor suppressor kinase", top_k=2)
+        assert results[0][0] == 0
+        assert results[0][1] > results[-1][1] or len(results) == 1
+
+    def test_threshold_filters(self):
+        index = TfIdfIndex()
+        index.add("alpha beta gamma")
+        index.finalize()
+        assert index.search("delta epsilon", threshold=0.1) == []
+
+    def test_empty_query(self):
+        index = TfIdfIndex()
+        index.add("alpha")
+        index.finalize()
+        assert index.search("of the") == []
+
+    def test_add_after_finalize_rejected(self):
+        index = TfIdfIndex()
+        index.add("a b")
+        index.finalize()
+        with pytest.raises(RuntimeError):
+            index.add("c d")
+
+
+class TestNer:
+    def test_gene_symbol_shapes_found(self):
+        names = extract_entity_names("KIN2 phosphorylates TP53 and p53 targets")
+        assert "KIN2" in names
+        assert "TP53" in names
+        assert "p53" in names
+
+    def test_common_words_not_extracted(self):
+        names = extract_entity_names("the protein binds membranes strongly")
+        assert names == []
+
+    def test_min_length_respected(self):
+        names = extract_entity_names("AB binds CDE1", min_length=4)
+        assert names == ["CDE1"]
+
+    def test_duplicates_removed_order_kept(self):
+        names = extract_entity_names("KIN2 activates KIN2 and BRCA1")
+        assert names == ["KIN2", "BRCA1"]
+
+
+class TestEngineChannels:
+    @pytest.fixture(scope="class")
+    def protein_pair_engine(self, world):
+        scenario, imported = world
+        engine = LinkDiscoveryEngine()
+        for name in ("swissprot", "pir"):
+            db, structure = imported[name]
+            engine.register_source(db, structure)
+        return scenario, engine
+
+    def test_sequence_links_between_protein_sources(self, protein_pair_engine):
+        scenario, engine = protein_pair_engine
+        result = engine.discover_for("swissprot")
+        seq_links = result.by_kind("sequence")
+        assert seq_links, "overlapping protein sources must yield sequence links"
+        # Same-protein pairs (duplicates) must be among the sequence links:
+        # identical sequences are trivially homologous.
+        gold_duplicates = {
+            (f.accession_a, f.accession_b) if f.source_a == "pir" else (f.accession_b, f.accession_a)
+            for f in scenario.gold.duplicate_pairs()
+        }
+        found = set()
+        for link in seq_links:
+            pair = (
+                (link.accession_a, link.accession_b)
+                if link.source_a == "pir"
+                else (link.accession_b, link.accession_a)
+            )
+            found.add(pair)
+        assert gold_duplicates
+        recall = len(found & gold_duplicates) / len(gold_duplicates)
+        assert recall >= 0.9
+
+    def test_sequence_links_cover_homolog_families(self, protein_pair_engine):
+        scenario, engine = protein_pair_engine
+        result = engine.discover_for("swissprot")
+        # Every sequence link must connect members of the same family
+        # (precision of the homology channel on this universe).
+        sp = scenario.gold.sources["swissprot"].accession_to_uid
+        pir = scenario.gold.sources["pir"].accession_to_uid
+        proteins = scenario.universe.proteins
+        wrong = 0
+        total = 0
+        for link in result.by_kind("sequence"):
+            uid_a = sp.get(link.accession_a) if link.source_a == "swissprot" else pir.get(link.accession_a)
+            uid_b = pir.get(link.accession_b) if link.source_b == "pir" else sp.get(link.accession_b)
+            if uid_a is None or uid_b is None:
+                continue
+            total += 1
+            if proteins[uid_a].family != proteins[uid_b].family:
+                wrong += 1
+        assert total > 0
+        assert wrong / total <= 0.05
+
+    def test_text_links_exist_between_protein_sources(self, protein_pair_engine):
+        _, engine = protein_pair_engine
+        result = engine.discover_for("swissprot")
+        assert result.by_kind("text"), "descriptions overlap, text links expected"
+
+    def test_channels_can_be_disabled(self, world):
+        scenario, imported = world
+        engine = LinkDiscoveryEngine(
+            channels=LinkChannels(crossref=True, sequence=False, text=False,
+                                  name=False, ontology=False)
+        )
+        for name in ("swissprot", "pir"):
+            db, structure = imported[name]
+            engine.register_source(db, structure)
+        result = engine.discover_for("swissprot")
+        kinds = {l.kind for l in result.object_links}
+        assert kinds <= {"crossref"}
+
+    def test_unregistered_source_rejected(self, world):
+        engine = LinkDiscoveryEngine()
+        with pytest.raises(KeyError):
+            engine.discover_for("nope")
+
+    def test_comparisons_counter_increases(self, world):
+        scenario, imported = world
+        engine = LinkDiscoveryEngine()
+        for name in ("swissprot", "pir"):
+            db, structure = imported[name]
+            engine.register_source(db, structure)
+        before = engine.comparisons_made
+        engine.discover_for("swissprot")
+        assert engine.comparisons_made > before
+
+
+class TestOntologyChannel:
+    def test_keyword_vocabulary_links(self, world):
+        scenario, imported = world
+        engine = LinkDiscoveryEngine()
+        for name in ("swissprot", "pir"):
+            db, structure = imported[name]
+            engine.register_source(db, structure)
+        result = engine.discover_for("swissprot")
+        ontology_links = result.by_kind("ontology")
+        # Both sources draw keywords from the same GO-derived vocabulary.
+        assert ontology_links
+        attr_pairs = {
+            (l.source_attribute.qualified, l.target_attribute.qualified)
+            for l in result.attribute_links
+            if l.kind == "ontology"
+        }
+        assert any("keyword.term" in a or "keyword.term" in b for a, b in attr_pairs)

@@ -1,0 +1,151 @@
+"""Tests for the schema matchers (name, instance/features, flooding)."""
+
+import pytest
+
+from repro.discovery import AttributeRef
+from repro.linking import collect_statistics
+from repro.linking.schemamatch import (
+    instance_match,
+    match_by_names,
+    name_similarity,
+    similarity_flooding,
+    value_overlap,
+)
+from repro.linking.schemamatch.features import attribute_feature_vector, feature_similarity
+from repro.relational import Column, Database, DataType, TableSchema
+
+
+def protein_db(name="a", accession_prefix="P"):
+    db = Database(name)
+    db.create_table(
+        TableSchema(
+            "protein",
+            [
+                Column("protein_id", DataType.INTEGER),
+                Column("accession", DataType.TEXT),
+                Column("description", DataType.TEXT),
+            ],
+        )
+    )
+    for i in range(8):
+        db.insert(
+            "protein",
+            {
+                "protein_id": i,
+                "accession": f"{accession_prefix}1000{i}",
+                "description": f"kinase protein number {i}",
+            },
+        )
+    return db
+
+
+def renamed_db():
+    db = Database("b")
+    db.create_table(
+        TableSchema(
+            "prot_entry",
+            [
+                Column("entry_id", DataType.INTEGER),
+                Column("acc_number", DataType.TEXT),
+                Column("descr", DataType.TEXT),
+            ],
+        )
+    )
+    for i in range(8):
+        db.insert(
+            "prot_entry",
+            {
+                "entry_id": i,
+                "acc_number": f"P1000{i}",
+                "descr": f"kinase protein number {i}",
+            },
+        )
+    return db
+
+
+class TestNameMatch:
+    def test_identical_names_score_one(self):
+        assert name_similarity("accession", "accession") == pytest.approx(1.0)
+
+    def test_related_names_score_partial(self):
+        assert name_similarity("entry_id", "bioentry_id") > 0.4
+
+    def test_unrelated_names_score_low(self):
+        assert name_similarity("resolution", "keyword") < 0.4
+
+    def test_match_by_names_finds_accession(self):
+        matches = match_by_names(protein_db(), protein_db("b"), threshold=0.6)
+        pairs = {(m.source.qualified, m.target.qualified) for m in matches}
+        assert ("protein.accession", "protein.accession") in pairs
+
+
+class TestFeatures:
+    def test_same_population_high_similarity(self):
+        stats_a = collect_statistics(protein_db())
+        stats_b = collect_statistics(protein_db("b"))
+        sim = feature_similarity(
+            stats_a[AttributeRef("protein", "accession")],
+            stats_b[AttributeRef("protein", "accession")],
+        )
+        assert sim > 0.95
+
+    def test_different_populations_lower(self):
+        stats = collect_statistics(protein_db())
+        acc = stats[AttributeRef("protein", "accession")]
+        descr = stats[AttributeRef("protein", "description")]
+        assert feature_similarity(acc, descr) < feature_similarity(acc, acc)
+
+    def test_vector_bounds(self):
+        stats = collect_statistics(protein_db())
+        for stat in stats.values():
+            vector = attribute_feature_vector(stat)
+            assert all(0.0 <= v <= 1.0 for v in vector)
+
+
+class TestInstanceMatch:
+    def test_value_overlap_full(self):
+        a, b = protein_db(), protein_db("b")
+        assert value_overlap(a, AttributeRef("protein", "accession"), b, AttributeRef("protein", "accession")) == 1.0
+
+    def test_disjoint_overlap_zero(self):
+        a = protein_db()
+        b = protein_db("b", accession_prefix="Q")
+        assert value_overlap(a, AttributeRef("protein", "accession"), b, AttributeRef("protein", "accession")) == 0.0
+
+    def test_instance_match_ranks_true_pair_first(self):
+        a, b = protein_db(), renamed_db()
+        matches = instance_match(
+            a, collect_statistics(a), b, collect_statistics(b), threshold=0.5
+        )
+        assert matches
+        best = matches[0]
+        assert best.source.column == "accession"
+        assert best.target.column == "acc_number"
+
+
+class TestFlooding:
+    def test_identical_schemas_match_perfectly(self):
+        matches = similarity_flooding(protein_db(), protein_db("b"))
+        by_source = {}
+        for m in matches:
+            by_source.setdefault(m.source.qualified, m)
+        assert by_source["protein.accession"].target.qualified == "protein.accession"
+
+    def test_renamed_schema_still_matches_structure(self):
+        matches = similarity_flooding(protein_db(), renamed_db(), threshold=0.05)
+        # The structurally corresponding attribute must be among the top
+        # matches for the accession column.
+        acc_matches = [
+            m for m in matches if m.source.qualified == "protein.accession"
+        ]
+        assert acc_matches
+        targets = [m.target.qualified for m in acc_matches[:3]]
+        assert "prot_entry.acc_number" in targets or "prot_entry.descr" in targets
+
+    def test_scores_bounded(self):
+        for m in similarity_flooding(protein_db(), renamed_db(), threshold=0.0):
+            assert 0.0 <= m.score <= 1.0
+
+    def test_empty_database_yields_no_matches(self):
+        empty = Database("empty")
+        assert similarity_flooding(empty, protein_db()) == []

@@ -1,0 +1,127 @@
+"""Tests for attribute statistics, pruning rules, and sequence fields."""
+
+from repro.discovery import AttributeRef
+from repro.linking import (
+    LinkConfig,
+    collect_statistics,
+    detect_sequence_fields,
+    is_link_source_candidate,
+    is_link_target_candidate,
+)
+from repro.linking.stats import compute_attribute_statistics
+from repro.relational import Column, Database, DataType, TableSchema
+
+
+def build_db():
+    db = Database("src")
+    db.create_table(
+        TableSchema(
+            "t",
+            [
+                Column("id", DataType.INTEGER),
+                Column("acc", DataType.TEXT),
+                Column("seq", DataType.TEXT),
+                Column("flag", DataType.TEXT),
+                Column("note", DataType.TEXT),
+            ],
+        )
+    )
+    for i in range(10):
+        db.insert(
+            "t",
+            {
+                "id": i,
+                "acc": f"P1000{i}",
+                "seq": "ACDEFGHIKLMNPQRSTVWY" * 5,
+                "flag": "yes" if i % 2 else "no",
+                "note": f"protein number {i} with annotations",
+            },
+        )
+    return db
+
+
+class TestStatistics:
+    def test_basic_counts(self):
+        db = build_db()
+        stats = compute_attribute_statistics(db, AttributeRef("t", "acc"))
+        assert stats.row_count == 10
+        assert stats.non_null_count == 10
+        assert stats.distinct_count == 10
+        assert stats.is_unique
+
+    def test_numeric_fraction(self):
+        db = build_db()
+        assert compute_attribute_statistics(db, AttributeRef("t", "id")).numeric_fraction == 1.0
+        assert compute_attribute_statistics(db, AttributeRef("t", "acc")).numeric_fraction == 0.0
+
+    def test_alphabet_fractions(self):
+        db = build_db()
+        seq_stats = compute_attribute_statistics(db, AttributeRef("t", "seq"))
+        assert seq_stats.protein_alphabet_fraction == 1.0
+
+    def test_null_fraction(self):
+        db = Database("x")
+        db.create_table(TableSchema("t", [Column("a", DataType.TEXT)]))
+        db.insert("t", {"a": "v"})
+        db.insert("t", {"a": None})
+        stats = compute_attribute_statistics(db, AttributeRef("t", "a"))
+        assert stats.null_fraction == 0.5
+
+    def test_collect_covers_all_attributes(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert len(stats) == 5
+
+
+class TestPruning:
+    def test_numeric_only_excluded_as_source(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert not is_link_source_candidate(stats[AttributeRef("t", "id")])
+
+    def test_few_distinct_excluded_as_source(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert not is_link_source_candidate(stats[AttributeRef("t", "flag")])
+
+    def test_sequence_fields_excluded_as_source(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert not is_link_source_candidate(stats[AttributeRef("t", "seq")])
+
+    def test_accession_attribute_is_source_candidate(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert is_link_source_candidate(stats[AttributeRef("t", "acc")])
+
+    def test_target_must_be_unique(self):
+        db = build_db()
+        stats = collect_statistics(db)
+        assert is_link_target_candidate(stats[AttributeRef("t", "acc")])
+        assert not is_link_target_candidate(stats[AttributeRef("t", "flag")])
+
+
+class TestSequenceFields:
+    def test_protein_field_detected(self):
+        db = build_db()
+        fields = detect_sequence_fields(collect_statistics(db))
+        assert [f.attribute.column for f in fields] == ["seq"]
+        assert fields[0].alphabet == "protein"
+
+    def test_dna_detected_before_protein(self):
+        db = Database("x")
+        db.create_table(TableSchema("t", [Column("s", DataType.TEXT)]))
+        db.insert("t", {"s": "ACGTACGTACGTACGTACGTACGTACGTACGTACGT"})
+        fields = detect_sequence_fields(collect_statistics(db))
+        assert fields[0].alphabet == "dna"
+
+    def test_short_text_not_sequence(self):
+        db = Database("x")
+        db.create_table(TableSchema("t", [Column("s", DataType.TEXT)]))
+        db.insert("t", {"s": "ACGT"})
+        assert detect_sequence_fields(collect_statistics(db)) == []
+
+    def test_prose_not_sequence(self):
+        db = build_db()
+        fields = detect_sequence_fields(collect_statistics(db))
+        assert all(f.attribute.column != "note" for f in fields)

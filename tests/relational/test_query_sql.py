@@ -1,0 +1,216 @@
+"""Tests for the query engine and the SQL parser."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    Comparison,
+    Database,
+    DataType,
+    Like,
+    Query,
+    SqlError,
+    TableSchema,
+    col,
+    execute_sql,
+    lit,
+)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("biosrc")
+    database.create_table(
+        TableSchema(
+            "protein",
+            [
+                Column("protein_id", DataType.INTEGER),
+                Column("accession", DataType.TEXT),
+                Column("name", DataType.TEXT),
+                Column("length", DataType.INTEGER),
+            ],
+            primary_key=("protein_id",),
+        )
+    )
+    database.create_table(
+        TableSchema(
+            "feature",
+            [
+                Column("feature_id", DataType.INTEGER),
+                Column("protein_id", DataType.INTEGER),
+                Column("kind", DataType.TEXT),
+            ],
+            primary_key=("feature_id",),
+        )
+    )
+    database.insert_many(
+        "protein",
+        [
+            {"protein_id": 1, "accession": "P00001", "name": "kinase A", "length": 120},
+            {"protein_id": 2, "accession": "P00002", "name": "kinase B", "length": 340},
+            {"protein_id": 3, "accession": "Q00003", "name": "phosphatase", "length": 220},
+        ],
+    )
+    database.insert_many(
+        "feature",
+        [
+            {"feature_id": 10, "protein_id": 1, "kind": "domain"},
+            {"feature_id": 11, "protein_id": 1, "kind": "site"},
+            {"feature_id": 12, "protein_id": 3, "kind": "domain"},
+        ],
+    )
+    return database
+
+
+class TestQueryBuilder:
+    def test_full_scan(self, db):
+        result = Query(db).from_("protein").execute()
+        assert len(result) == 3
+        assert result.columns == ["protein_id", "accession", "name", "length"]
+
+    def test_where_filter(self, db):
+        result = (
+            Query(db)
+            .from_("protein")
+            .where(Comparison(col("length"), ">", lit(200)))
+            .execute()
+        )
+        assert sorted(r["protein_id"] for r in result) == [2, 3]
+
+    def test_projection(self, db):
+        result = Query(db).from_("protein").select("accession").execute()
+        assert result.columns == ["accession"]
+        assert result.column_values("accession") == ["P00001", "P00002", "Q00003"]
+
+    def test_order_by_desc_and_limit(self, db):
+        result = (
+            Query(db).from_("protein").order_by("length", descending=True).limit(2).execute()
+        )
+        assert result.column_values("length") == [340, 220]
+
+    def test_multi_column_order_is_stable(self, db):
+        db.insert("protein", {"protein_id": 4, "accession": "X1", "name": "kinase A", "length": 1})
+        result = (
+            Query(db).from_("protein").order_by("name").order_by("length").execute()
+        )
+        names = result.column_values("name")
+        assert names == sorted(names)
+
+    def test_inner_join(self, db):
+        result = (
+            Query(db)
+            .from_("protein")
+            .join("feature", "protein.protein_id", "feature.protein_id")
+            .select("protein.accession", "feature.kind")
+            .execute()
+        )
+        pairs = sorted((r["protein.accession"], r["feature.kind"]) for r in result)
+        assert pairs == [("P00001", "domain"), ("P00001", "site"), ("Q00003", "domain")]
+
+    def test_left_join_keeps_unmatched(self, db):
+        result = (
+            Query(db)
+            .from_("protein")
+            .left_join("feature", "protein.protein_id", "feature.protein_id")
+            .execute()
+        )
+        unmatched = [r for r in result if r["feature.kind"] is None]
+        assert len(unmatched) == 1
+        assert unmatched[0]["protein.accession"] == "P00002"
+
+    def test_distinct(self, db):
+        result = Query(db).from_("feature").select("kind").distinct().execute()
+        assert sorted(result.column_values("kind")) == ["domain", "site"]
+
+    def test_count(self, db):
+        assert Query(db).from_("feature").count() == 3
+
+    def test_null_comparisons_are_false(self, db):
+        db.insert("protein", {"protein_id": 5, "accession": "Z9", "name": None, "length": None})
+        result = (
+            Query(db).from_("protein").where(Comparison(col("length"), ">", lit(0))).execute()
+        )
+        assert all(r["length"] is not None for r in result)
+
+    def test_like(self, db):
+        result = Query(db).from_("protein").where(Like(col("name"), "kinase%")).execute()
+        assert len(result) == 2
+
+
+class TestSql:
+    def test_simple_select(self, db):
+        result = execute_sql(db, "SELECT accession FROM protein WHERE length > 200")
+        assert sorted(result.column_values("accession")) == ["P00002", "Q00003"]
+
+    def test_star(self, db):
+        result = execute_sql(db, "SELECT * FROM protein LIMIT 1")
+        assert result.columns == ["protein_id", "accession", "name", "length"]
+
+    def test_join_sql(self, db):
+        result = execute_sql(
+            db,
+            "SELECT protein.accession, feature.kind FROM protein "
+            "JOIN feature ON protein.protein_id = feature.protein_id "
+            "ORDER BY feature.feature_id",
+        )
+        assert result.column_values("feature.kind") == ["domain", "site", "domain"]
+
+    def test_left_join_sql(self, db):
+        result = execute_sql(
+            db,
+            "SELECT protein.accession FROM protein "
+            "LEFT JOIN feature ON protein.protein_id = feature.protein_id "
+            "WHERE feature.kind IS NULL",
+        )
+        assert result.column_values("protein.accession") == ["P00002"]
+
+    def test_in_and_between(self, db):
+        result = execute_sql(
+            db, "SELECT name FROM protein WHERE protein_id IN (1, 3) AND length BETWEEN 100 AND 250"
+        )
+        assert sorted(result.column_values("name")) == ["kinase A", "phosphatase"]
+
+    def test_like_and_or(self, db):
+        result = execute_sql(
+            db, "SELECT accession FROM protein WHERE name LIKE '%kinase%' OR length = 220"
+        )
+        assert len(result) == 3
+
+    def test_not_and_parentheses(self, db):
+        result = execute_sql(
+            db, "SELECT accession FROM protein WHERE NOT (length > 200 OR name = 'kinase A')"
+        )
+        assert result.column_values("accession") == []
+
+    def test_string_escape(self, db):
+        db.insert("protein", {"protein_id": 9, "accession": "E1", "name": "o'neil", "length": 5})
+        result = execute_sql(db, "SELECT accession FROM protein WHERE name = 'o''neil'")
+        assert result.column_values("accession") == ["E1"]
+
+    def test_order_desc(self, db):
+        result = execute_sql(db, "SELECT length FROM protein ORDER BY length DESC")
+        assert result.column_values("length") == [340, 220, 120]
+
+    def test_distinct_sql(self, db):
+        result = execute_sql(db, "SELECT DISTINCT kind FROM feature")
+        assert len(result) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT FROM protein",
+            "SELECT * protein",
+            "SELECT * FROM protein WHERE",
+            "SELECT * FROM protein LIMIT x",
+            "SELECT * FROM protein WHERE name LIKE 5",
+            "DELETE FROM protein",
+            "SELECT * FROM protein trailing",
+        ],
+    )
+    def test_bad_sql_raises(self, db, bad):
+        with pytest.raises(SqlError):
+            execute_sql(db, bad)
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(Exception):
+            execute_sql(db, "SELECT * FROM nope")

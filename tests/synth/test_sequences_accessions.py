@@ -1,0 +1,109 @@
+"""Tests for sequence generation/mutation and accession styles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    AccessionStyle,
+    make_generator,
+    mutate_sequence,
+    random_dna,
+    random_protein,
+    sequence_identity,
+)
+from repro.synth.sequences import DNA_ALPHABET, PROTEIN_ALPHABET
+
+
+class TestSequences:
+    def test_random_protein_alphabet_and_length(self):
+        rng = random.Random(1)
+        seq = random_protein(rng, 200)
+        assert len(seq) == 200
+        assert set(seq) <= set(PROTEIN_ALPHABET)
+
+    def test_random_dna_alphabet(self):
+        rng = random.Random(1)
+        assert set(random_dna(rng, 500)) <= set(DNA_ALPHABET)
+
+    def test_zero_divergence_is_identity(self):
+        rng = random.Random(2)
+        seq = random_protein(rng, 100)
+        assert mutate_sequence(rng, seq, 0.0) == seq
+
+    def test_divergence_reduces_identity_monotonically(self):
+        rng = random.Random(3)
+        seq = random_protein(rng, 150)
+        low = mutate_sequence(random.Random(4), seq, 0.05)
+        high = mutate_sequence(random.Random(4), seq, 0.6)
+        assert sequence_identity(seq, low) > sequence_identity(seq, high)
+
+    def test_small_divergence_keeps_high_identity(self):
+        rng = random.Random(5)
+        seq = random_protein(rng, 200)
+        mutated = mutate_sequence(rng, seq, 0.1)
+        assert sequence_identity(seq, mutated) > 0.8
+
+    def test_invalid_divergence_rejected(self):
+        rng = random.Random(6)
+        with pytest.raises(ValueError):
+            mutate_sequence(rng, "ACDE", 1.5)
+
+    def test_identity_bounds(self):
+        assert sequence_identity("", "") == 1.0
+        assert sequence_identity("A", "") == 0.0
+        assert sequence_identity("ACDE", "ACDE") == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.text(alphabet=PROTEIN_ALPHABET, min_size=1, max_size=60),
+        st.text(alphabet=PROTEIN_ALPHABET, min_size=1, max_size=60),
+    )
+    def test_property_identity_symmetric_and_bounded(self, a, b):
+        ab = sequence_identity(a, b)
+        ba = sequence_identity(b, a)
+        assert ab == pytest.approx(ba)
+        assert 0.0 <= ab <= 1.0
+
+
+class TestAccessions:
+    @pytest.mark.parametrize("style", list(AccessionStyle))
+    def test_generators_produce_unique_values(self, style):
+        gen = make_generator(style, random.Random(7))
+        values = [gen() for _ in range(200)]
+        assert len(set(values)) == 200
+
+    def test_uniprot_shape(self):
+        gen = make_generator(AccessionStyle.UNIPROT, random.Random(8))
+        for _ in range(50):
+            acc = gen()
+            assert len(acc) == 6
+            assert acc[0].isalpha() and acc[1].isdigit() and acc[5].isdigit()
+
+    def test_pdb_is_four_chars_starting_with_digit(self):
+        gen = make_generator(AccessionStyle.PDB, random.Random(9))
+        for _ in range(50):
+            acc = gen()
+            assert len(acc) == 4
+            assert acc[0].isdigit()
+
+    def test_go_prefix(self):
+        gen = make_generator(AccessionStyle.GO, random.Random(10))
+        assert gen().startswith("GO:")
+
+    def test_numeric_style_is_digit_only(self):
+        gen = make_generator(AccessionStyle.NUMERIC, random.Random(11))
+        for _ in range(20):
+            assert gen().isdigit()
+
+    def test_accession_heuristic_friendly_styles_have_nondigit(self):
+        # Every style except NUMERIC must contain a non-digit character
+        # (the paper's accession criterion).
+        for style in AccessionStyle:
+            if style is AccessionStyle.NUMERIC:
+                continue
+            gen = make_generator(style, random.Random(12))
+            for _ in range(20):
+                assert any(not c.isdigit() for c in gen())
