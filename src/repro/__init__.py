@@ -3,13 +3,23 @@
 Reproduction of Leser & Naumann, CIDR 2005. The top-level package exposes
 the :class:`repro.core.Aladin` system; subpackages hold the substrates:
 
-* :mod:`repro.relational` — in-memory relational database substrate
+* :mod:`repro.relational` — in-memory relational substrate with a columnar
+  core (:mod:`repro.relational.columns`): per-table ColumnStores cache
+  column arrays, frozen value sets, distinct lists, value->row_ids hash
+  indexes, and one-time ColumnProfile statistics, maintained incrementally
+  under insert/delete
 * :mod:`repro.dataimport` — flat-file / XML / dump parsers (step 1)
-* :mod:`repro.discovery` — primary & secondary relation discovery (steps 2-3)
-* :mod:`repro.linking` — cross-reference and implicit link discovery (step 4)
-* :mod:`repro.duplicates` — duplicate flagging (step 5)
-* :mod:`repro.access` — browse / search / query engine
-* :mod:`repro.metadata` — the metadata repository
+* :mod:`repro.discovery` — primary & secondary relation discovery
+  (steps 2-3), expressed over the cached column profiles
+* :mod:`repro.linking` — cross-reference and implicit link discovery
+  (step 4); per-source statistics wrap ColumnProfiles, computed once and
+  reused for every later source (Section 4.4)
+* :mod:`repro.duplicates` — duplicate flagging (step 5); blocking keys come
+  from the cached accession indexes
+* :mod:`repro.access` — browse / search / query engine; the search index
+  is maintained incrementally on source add/update/remove
+* :mod:`repro.metadata` — the metadata repository (structures, statistics,
+  ColumnProfiles, samples, links)
 * :mod:`repro.synth` — synthetic life-science data universe with gold standard
 * :mod:`repro.eval` — precision/recall harness and Table-1 baselines
 """

@@ -93,5 +93,45 @@ class InvertedIndex:
         self._primary_flags.append(True)
         return doc_id
 
+    def remove_source(self, source: str) -> int:
+        """Drop every document of one source; returns how many were removed.
+
+        Surviving documents are renumbered densely and postings remapped —
+        one pass over the postings lists, no page re-crawling or
+        re-tokenization. This is what keeps ``remove_source`` /
+        ``update_source`` from rebuilding the search index from scratch.
+        """
+        keep: Dict[int, int] = {}
+        removed = 0
+        for doc_id, (doc_source, _) in enumerate(self._documents):
+            if doc_source == source:
+                removed += 1
+            else:
+                keep[doc_id] = len(keep)
+        if not removed:
+            return 0
+        self._documents = [
+            d for doc_id, d in enumerate(self._documents) if doc_id in keep
+        ]
+        self._doc_lengths = [
+            length for doc_id, length in enumerate(self._doc_lengths) if doc_id in keep
+        ]
+        self._primary_flags = [
+            flag for doc_id, flag in enumerate(self._primary_flags) if doc_id in keep
+        ]
+        remapped: Dict[str, List[PostingField]] = defaultdict(list)
+        for token, postings in self._postings.items():
+            survivors = [
+                PostingField(
+                    doc_id=keep[p.doc_id], field=p.field, frequency=p.frequency
+                )
+                for p in postings
+                if p.doc_id in keep
+            ]
+            if survivors:
+                remapped[token] = survivors
+        self._postings = remapped
+        return removed
+
     def vocabulary_size(self) -> int:
         return len(self._postings)

@@ -61,17 +61,23 @@ class ObjectWeb:
     def attach_database(self, name: str, database: Database) -> None:
         if not self._repository.has_source(name):
             raise KeyError(f"source {name!r} not in the metadata repository")
+        self.detach_database(name)  # drop any previous attachment's caches
         self._databases[name] = database
-        self._annotation_cache = {
-            key: value for key, value in self._annotation_cache.items()
-            if key[0] != name
-        }
         try:
             self._resolvers[name] = ObjectResolver(
                 database, self._repository.structure(name)
             )
         except ValueError:
             self._resolvers.pop(name, None)  # no primary relation: no pages
+
+    def detach_database(self, name: str) -> None:
+        """Forget one source's pages; every other attachment stays live."""
+        self._databases.pop(name, None)
+        self._resolvers.pop(name, None)
+        self._annotation_cache = {
+            key: value for key, value in self._annotation_cache.items()
+            if key[0] != name
+        }
 
     @property
     def repository(self) -> MetadataRepository:

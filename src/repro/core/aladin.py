@@ -34,6 +34,7 @@ from repro.discovery.pipeline import discover_structure
 from repro.duplicates.detector import DuplicateDetector
 from repro.linking.engine import LinkDiscoveryEngine
 from repro.linking.model import ObjectLink
+from repro.linking.stats import collect_profiles
 from repro.metadata.repository import MetadataRepository
 from repro.relational.database import Database
 
@@ -94,6 +95,17 @@ class Aladin:
         self._integrate_database(database, report)
         return report
 
+    def _data_snapshot(self, database: Database):
+        """(sample rows, row counts) stored alongside a source's record."""
+        samples = {
+            table: [database.table(table).row_at(i)
+                    for i in range(min(self.config.sample_rows_per_table,
+                                       len(database.table(table))))]
+            for table in database.table_names()
+        }
+        row_counts = {t: len(database.table(t)) for t in database.table_names()}
+        return samples, row_counts
+
     def _integrate_database(self, database: Database, report: IntegrationReport) -> None:
         name = database.name
         # Steps 2+3: primary and secondary discovery (single processing
@@ -119,17 +131,14 @@ class Aladin:
                 "source cannot anchor links"
             )
         # Register: statistics are computed once here and reused for every
-        # later source addition (Section 4.4).
+        # later source addition (Section 4.4). The repository additionally
+        # keeps the storage-level ColumnProfile objects, so no later step
+        # re-derives per-column aggregates from raw rows.
         statistics = self._engine.register_source(database, structure)
-        samples = {
-            table: [database.table(table).row_at(i)
-                    for i in range(min(self.config.sample_rows_per_table,
-                                       len(database.table(table))))]
-            for table in database.table_names()
-        }
-        row_counts = {t: len(database.table(t)) for t in database.table_names()}
+        samples, row_counts = self._data_snapshot(database)
         self.repository.register_source(
-            structure, statistics, samples, row_counts
+            structure, statistics, samples, row_counts,
+            profiles=collect_profiles(database),
         )
         self._databases[name] = database
         self.web.attach_database(name, database)
@@ -171,7 +180,10 @@ class Aladin:
                 {"duplicates_flagged": flagged},
             )
         )
-        self._index = None  # search index is stale
+        # Incremental index maintenance: existing pages are untouched by a
+        # new source (links live in the repository, not in page text), so
+        # only the new source's pages are crawled and indexed.
+        self._index_add_source(name)
         self.reports.append(report)
 
     # ------------------------------------------------------------------
@@ -199,27 +211,46 @@ class Aladin:
         new_rows = new_result.database.total_rows()
         change_fraction = abs(new_rows - old_rows) / max(old_rows, 1)
         if change_fraction <= self.config.reanalysis_change_threshold:
-            # Swap data, keep structure and links (documented approximation).
-            self._databases[name] = new_result.database
-            self.web.attach_database(name, new_result.database)
+            # Swap data, keep structure and links (documented
+            # approximation) — but refresh every cached view of the data:
+            # the engine's statistics, the repository's profiles/samples,
+            # and the swapped source's slice of the search index.
+            database = new_result.database
+            self._databases[name] = database
+            self.web.attach_database(name, database)
             self._raw_inputs[name] = (format_name, text, options)
-            self._index = None
+            statistics = self._engine.refresh_source(database)
+            samples, row_counts = self._data_snapshot(database)
+            self.repository.refresh_source_data(
+                name,
+                statistics=statistics,
+                sample_rows=samples,
+                row_counts=row_counts,
+                profiles=collect_profiles(database),
+            )
+            if self._index is not None:
+                self._index.remove_source(name)
+                self._index_add_source(name)
             return None
         self.remove_source(name)
         return self.add_source(name, format_name, text, **options)
 
     def remove_source(self, name: str) -> None:
+        """Drop one source incrementally: nothing else is re-analyzed.
+
+        The engine deregisters the source (surviving sources keep their
+        cached statistics), the object web detaches it, and the search
+        index drops its documents in place — no re-registration, no
+        re-crawl of surviving sources.
+        """
         self.repository.remove_source(name)
         self._databases.pop(name, None)
         self._raw_inputs.pop(name, None)
-        self._engine = LinkDiscoveryEngine(
-            config=self.config.linking, channels=self.config.channels
-        )
-        self.web = ObjectWeb(self.repository)
-        for other, database in self._databases.items():
-            self._engine.register_source(database, self.repository.structure(other))
-            self.web.attach_database(other, database)
-        self._index = None
+        if name in self._engine.source_names():
+            self._engine.deregister_source(name)
+        self.web.detach_database(name)
+        if self._index is not None:
+            self._index.remove_source(name)
 
     def remove_link(self, link: ObjectLink) -> bool:
         """User feedback: delete one wrong link (Section 6.2)."""
@@ -238,6 +269,14 @@ class Aladin:
                 index.add_page(page)
             self._index = index
         return SearchEngine(self._index)
+
+    def _index_add_source(self, name: str) -> None:
+        """Crawl and index only ``name``'s pages into the existing index."""
+        if self._index is None:
+            return  # never built: the first search_engine() call will
+        seeds = [(name, accession) for accession in self.web.accessions(name)]
+        for page in Crawler(self.web).crawl(seeds=seeds, follow_links=False):
+            self._index.add_page(page)
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.web)

@@ -163,9 +163,7 @@ def _is_unique_column(database: Database, attr: AttributeRef) -> bool:
 
 
 def _is_unique_observed(database: Database, attr: AttributeRef) -> bool:
-    table = database.table(attr.table)
-    values = table.non_null_values(attr.column)
-    return bool(values) and len(values) == len(set(values))
+    return database.table(attr.table).column_profile(attr.column).is_unique
 
 
 def _enumerate_source_attributes(database: Database):

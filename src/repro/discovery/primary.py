@@ -40,8 +40,7 @@ def choose_primary_relations(
 
     def score(table: str):
         attr = accession_candidates[table]
-        values = database.table(table).non_null_values(attr.column)
-        avg_len = sum(len(str(v)) for v in values) / len(values) if values else 0.0
+        avg_len = database.table(table).column_profile(attr.column).avg_length
         return (
             graph.in_degree(table),
             len(database.table(table).schema.columns),

@@ -5,9 +5,11 @@ by issuing a SQL query for each attribute in the schema that has no known
 UNIQUE constraint. Attributes that are unique are marked as such."
 
 Declared UNIQUE/PK columns are taken from the catalog without scanning;
-every other column is scanned with the COUNT(col) = COUNT(DISTINCT col)
-test (NULLs ignored, per SQL semantics). Empty tables yield no unique
-attributes — vacuous uniqueness would poison the downstream heuristics.
+every other column is checked with the COUNT(col) = COUNT(DISTINCT col)
+test (NULLs ignored, per SQL semantics) served from the ColumnStore's
+cached per-column profile — the "SQL query per attribute" runs at most
+once per source. Empty tables yield no unique attributes — vacuous
+uniqueness would poison the downstream heuristics.
 """
 
 from __future__ import annotations
@@ -33,9 +35,7 @@ def detect_unique_attributes(
         if info.declared_unique:
             unique.add(AttributeRef(info.table, info.column))
             continue
-        values = table.non_null_values(info.column)
-        if not values:
-            continue
-        if len(values) == len(set(values)):
+        # ColumnProfile.is_unique is False for empty columns by design.
+        if table.column_profile(info.column).is_unique:
             unique.add(AttributeRef(info.table, info.column))
     return unique

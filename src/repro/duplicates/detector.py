@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.discovery.model import SourceStructure
-from repro.duplicates.blocking import candidate_pairs_ngram, sorted_neighborhood_pairs
+from repro.duplicates.blocking import (
+    candidate_pairs_by_key,
+    candidate_pairs_ngram,
+    sorted_neighborhood_pairs,
+)
 from repro.duplicates.record import RecordView, record_similarity
 from repro.linking.model import ObjectLink
 from repro.linking.resolve import ObjectResolver
@@ -27,7 +31,7 @@ class DuplicateConfig:
     """Thresholds of the duplicate detector."""
 
     similarity_threshold: float = 0.75
-    blocking: str = "ngram"  # "ngram" | "sorted" | "none"
+    blocking: str = "ngram"  # "ngram" | "sorted" | "key" | "none"
     ngram_size: int = 4
     max_gram_frequency: int = 30
     window: int = 7
@@ -116,6 +120,13 @@ class DuplicateDetector:
         structure_b: SourceStructure,
     ) -> List[ObjectLink]:
         """Duplicate links between two sources, deduplicated, best first."""
+        if self.config.blocking == "key" and not self._has_shared_accessions(
+            database_a, structure_a, database_b, structure_b
+        ):
+            # Key blocking compares only shared-accession pairs (the
+            # COLUMBA case); the cached accession value sets say there are
+            # none, so skip record-view construction entirely.
+            return []
         records_a = self.build_record_views(database_a, structure_a)
         records_b = self.build_record_views(database_b, structure_b)
         if not records_a or not records_b:
@@ -143,11 +154,33 @@ class DuplicateDetector:
         links.sort(key=lambda l: (-l.certainty, l.accession_a, l.accession_b))
         return links
 
+    def _has_shared_accessions(
+        self,
+        database_a: Database,
+        structure_a: SourceStructure,
+        database_b: Database,
+        structure_b: SourceStructure,
+    ) -> bool:
+        """Any accession in both primaries? Cached value sets, no copy."""
+        accession_a = structure_a.primary_accession()
+        accession_b = structure_b.primary_accession()
+        if accession_a is None or accession_b is None:
+            return False
+        return not database_a.table(accession_a.table).value_set(
+            accession_a.column
+        ).isdisjoint(
+            database_b.table(accession_b.table).value_set(accession_b.column)
+        )
+
     def _candidate_pairs(
         self, records_a: Sequence[RecordView], records_b: Sequence[RecordView]
     ) -> List[Tuple[int, int]]:
         if self.config.blocking == "none":
             return [(i, j) for i in range(len(records_a)) for j in range(len(records_b))]
+        if self.config.blocking == "key":
+            return candidate_pairs_by_key(
+                records_a, records_b, key=lambda r: r.accession
+            )
         if self.config.blocking == "sorted":
             return sorted_neighborhood_pairs(
                 records_a,

@@ -117,11 +117,9 @@ def _build_target_indexes(targets):
         accession_attr = target_structure.primary_accession()
         if accession_attr is None:
             continue
-        values = set(
-            v
-            for v in target_db.table(accession_attr.table).values(accession_attr.column)
-            if v is not None
-        )
+        # The cached frozen value set of the accession column IS the target
+        # index — no per-pair set construction.
+        values = target_db.table(accession_attr.table).value_set(accession_attr.column)
         indexes[target_structure.source_name] = (values, accession_attr, target_structure)
     return indexes
 
@@ -161,10 +159,17 @@ def _materialize_object_links(
     links: List[ObjectLink] = []
     seen: Set[Tuple[str, str]] = set()
     table = source_db.table(attr.table)
-    for row in table.rows():
-        value = row.get(attr.column)
-        if value not in matches:
-            continue
+    # Index-driven: pull only the rows holding a matched value from the
+    # ColumnStore's value->row_ids index, in row order (the order the old
+    # full scan produced, so first-wins deduplication is unchanged).
+    row_ids_index = table.columns.row_ids(attr.column)
+    matched_rows: List[Tuple[int, str]] = []
+    for value in matches:
+        for row_id in row_ids_index.get(value, ()):
+            matched_rows.append((row_id, value))
+    matched_rows.sort()
+    for row_id, value in matched_rows:
+        row = table.row_at(row_id)
         accession_b, encoded = matches[value]
         for owner in resolver.owners_of_row(attr.table, row):
             key = (owner, accession_b)

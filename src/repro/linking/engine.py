@@ -54,15 +54,46 @@ class LinkDiscoveryEngine:
         self.channels = channels or LinkChannels()
         self._sources: Dict[str, _SourceEntry] = {}
         self.comparisons_made = 0  # attribute-pair scans, for E6
+        self.registrations = 0  # register_source calls, for maintenance tests
 
     # ------------------------------------------------------------------
     def register_source(
         self, database: Database, structure: SourceStructure
     ) -> Dict[AttributeRef, AttributeStatistics]:
         """Cache a source and its one-time statistics; returns the stats."""
+        self.registrations += 1
         statistics = collect_statistics(database)
         self._sources[structure.source_name] = _SourceEntry(
             database=database, structure=structure, statistics=statistics
+        )
+        return statistics
+
+    def deregister_source(self, name: str) -> None:
+        """Forget one source; every other registration stays untouched.
+
+        This is what lets ``Aladin.remove_source`` keep the engine (and the
+        surviving sources' cached statistics) instead of rebuilding it and
+        re-profiling every remaining source.
+        """
+        if name not in self._sources:
+            raise KeyError(f"source {name!r} is not registered")
+        del self._sources[name]
+
+    def refresh_source(
+        self, database: Database
+    ) -> Dict[AttributeRef, AttributeStatistics]:
+        """Swap a registered source's database and recompute its statistics.
+
+        Below-threshold updates swap the data but keep the discovered
+        structure; the cached statistics must describe the *new* data or
+        every later ``discover_for`` would link against stale profiles.
+        """
+        entry = self._sources.get(database.name)
+        if entry is None:
+            raise KeyError(f"source {database.name!r} is not registered")
+        statistics = collect_statistics(database)
+        self._sources[database.name] = _SourceEntry(
+            database=database, structure=entry.structure, statistics=statistics
         )
         return statistics
 

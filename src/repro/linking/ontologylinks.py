@@ -128,23 +128,34 @@ def _materialize(
     shared_values: Set[str],
     config: LinkConfig,
 ) -> List[ObjectLink]:
+    # Index-driven on both sides: only rows holding a shared term are
+    # touched, located through the ColumnStore's value->row_ids index.
     by_value: Dict[str, List[str]] = defaultdict(list)
     target_table = target_db.table(target_attr.table)
-    for row in target_table.rows():
-        value = row.get(target_attr.column)
-        if isinstance(value, str) and _normalize(value) in shared_values:
-            for owner in target_resolver.owners_of_row(target_attr.table, row):
-                by_value[_normalize(value)].append(owner)
+    target_index = target_table.columns.row_ids(target_attr.column)
+    target_hits: List[Tuple[int, str]] = []
+    for raw in target_table.distinct_values(target_attr.column):
+        if isinstance(raw, str) and _normalize(raw) in shared_values:
+            for row_id in target_index.get(raw, ()):
+                target_hits.append((row_id, raw))
+    target_hits.sort()  # row order, as the old full scan produced
+    for row_id, raw in target_hits:
+        row = target_table.row_at(row_id)
+        for owner in target_resolver.owners_of_row(target_attr.table, row):
+            by_value[_normalize(raw)].append(owner)
     links: List[ObjectLink] = []
     seen: Set[Tuple[str, str]] = set()
     source_table = source_db.table(source_attr.table)
-    for row in source_table.rows():
-        value = row.get(source_attr.column)
-        if not isinstance(value, str):
-            continue
+    source_index = source_table.columns.row_ids(source_attr.column)
+    source_hits: List[Tuple[int, str]] = []
+    for raw in source_table.distinct_values(source_attr.column):
+        if isinstance(raw, str) and _normalize(raw) in by_value:
+            for row_id in source_index.get(raw, ()):
+                source_hits.append((row_id, raw))
+    source_hits.sort()
+    for row_id, value in source_hits:
+        row = source_table.row_at(row_id)
         normalized = _normalize(value)
-        if normalized not in by_value:
-            continue
         owners = source_resolver.owners_of_row(source_attr.table, row)
         for owner_a in owners:
             for owner_b in by_value[normalized]:

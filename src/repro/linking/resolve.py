@@ -4,13 +4,13 @@ Link evidence lives in annotation tables (``dbxref.accession``,
 ``participant.ref``) but links connect *primary objects* (Section 3's
 web-of-objects view). The resolver walks the secondary path discovered in
 step 3 from any table back to the primary relation and returns the
-accession(s) of the owning primary object(s); hash indexes per join column
-keep resolution linear.
+accession(s) of the owning primary object(s); the ColumnStore's shared
+``value -> row_ids`` hash indexes keep resolution linear (and every
+resolver over the same database reuses the same index).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
 from repro.discovery.model import AttributeRef, SecondaryPath, SourceStructure
@@ -24,7 +24,6 @@ class ObjectResolver:
     def __init__(self, database: Database, structure: SourceStructure):
         self._db = database
         self._structure = structure
-        self._indexes: Dict[Tuple[str, str], Dict[object, List[int]]] = {}
         primary = structure.primary_relation
         if primary is None:
             raise ValueError(
@@ -104,14 +103,4 @@ class ObjectResolver:
         return rel.target.column if side == "from" else rel.source.column
 
     def _column_index(self, table: str, column: str) -> Dict[object, List[int]]:
-        key = (table, column)
-        if key not in self._indexes:
-            index: Dict[object, List[int]] = defaultdict(list)
-            tab = self._db.table(table)
-            col_pos = tab.schema.column_index(column)
-            for i, tup in enumerate(tab.raw_rows()):
-                value = tup[col_pos]
-                if value is not None:
-                    index[value].append(i)
-            self._indexes[key] = index
-        return self._indexes[key]
+        return self._db.table(table).columns.row_ids(column)

@@ -18,15 +18,22 @@ from repro.linking.stats import AttributeStatistics
 from repro.relational.database import Database
 
 
-def value_overlap(source_db: Database, a: AttributeRef, target_db: Database, b: AttributeRef) -> float:
-    """Jaccard overlap of distinct value sets."""
-    values_a = {str(v) for v in source_db.table(a.table).distinct_values(a.column)}
-    values_b = {str(v) for v in target_db.table(b.table).distinct_values(b.column)}
+def _string_value_set(database: Database, attr: AttributeRef) -> frozenset:
+    """Distinct values as strings, from the cached column value set."""
+    return frozenset(str(v) for v in database.table(attr.table).value_set(attr.column))
+
+
+def _jaccard(values_a: frozenset, values_b: frozenset) -> float:
     if not values_a and not values_b:
         return 1.0
     if not values_a or not values_b:
         return 0.0
     return len(values_a & values_b) / len(values_a | values_b)
+
+
+def value_overlap(source_db: Database, a: AttributeRef, target_db: Database, b: AttributeRef) -> float:
+    """Jaccard overlap of distinct value sets."""
+    return _jaccard(_string_value_set(source_db, a), _string_value_set(target_db, b))
 
 
 def instance_match(
@@ -39,13 +46,20 @@ def instance_match(
 ) -> List[SchemaCorrespondence]:
     """Attribute correspondences scored by overlap and feature closeness."""
     matches: List[SchemaCorrespondence] = []
+    # String value sets are built once per attribute, not once per pair.
+    target_value_sets = {
+        attr_b: _string_value_set(target_db, attr_b)
+        for attr_b, stats_b in target_stats.items()
+        if stats_b.non_null_count > 0
+    }
     for attr_a, stats_a in sorted(source_stats.items(), key=lambda kv: kv[0].qualified):
         if stats_a.non_null_count == 0:
             continue
+        values_a = _string_value_set(source_db, attr_a)
         for attr_b, stats_b in sorted(target_stats.items(), key=lambda kv: kv[0].qualified):
             if stats_b.non_null_count == 0:
                 continue
-            overlap = value_overlap(source_db, attr_a, target_db, attr_b)
+            overlap = _jaccard(values_a, target_value_sets[attr_b])
             features = feature_similarity(stats_a, stats_b)
             score = overlap_weight * overlap + (1.0 - overlap_weight) * features
             if score >= threshold:

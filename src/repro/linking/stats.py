@@ -3,8 +3,10 @@
 Section 4.4: "Other pruning strategies ... rely on attribute value
 distributions and statistics ... These statistics need to be computed only
 once for each data source and can then be reused for subsequently added
-data sources." They are therefore computed per source and cached in the
-metadata repository, never recomputed per source pair.
+data sources." The raw column aggregates live in the storage layer's
+:class:`~repro.relational.columns.ColumnProfile` (computed once per column
+by the ColumnStore); this module wraps them with the attribute identity
+and derived fractions the pruning and matching heuristics consume.
 """
 
 from __future__ import annotations
@@ -13,11 +15,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.discovery.model import AttributeRef
+from repro.relational.columns import ColumnProfile
 from repro.relational.database import Database
 from repro.relational.types import DataType
-
-_PROTEIN_CHARS = set("ACDEFGHIKLMNPQRSTVWY")
-_DNA_CHARS = set("ACGTUN")
 
 
 @dataclass(frozen=True)
@@ -51,48 +51,48 @@ class AttributeStatistics:
         return self.distinct_count / self.non_null_count
 
 
+def statistics_from_profile(
+    attribute: AttributeRef, profile: ColumnProfile
+) -> AttributeStatistics:
+    """Wrap a storage-level ColumnProfile as attribute statistics."""
+    return AttributeStatistics(
+        attribute=attribute,
+        data_type=profile.data_type,
+        row_count=profile.row_count,
+        non_null_count=profile.non_null_count,
+        distinct_count=profile.distinct_count,
+        is_unique=profile.is_unique,
+        avg_length=profile.avg_length,
+        min_length=profile.min_length,
+        max_length=profile.max_length,
+        numeric_fraction=profile.numeric_fraction,
+        alpha_fraction=profile.alpha_fraction,
+        protein_alphabet_fraction=profile.protein_alphabet_fraction,
+        dna_alphabet_fraction=profile.dna_alphabet_fraction,
+    )
+
+
 def compute_attribute_statistics(
     database: Database, attribute: AttributeRef
 ) -> AttributeStatistics:
-    """One pass over one column."""
-    table = database.table(attribute.table)
-    data_type = table.schema.column(attribute.column).data_type
-    values = table.values(attribute.column)
-    non_null = [v for v in values if v is not None]
-    texts = [str(v) for v in non_null]
-    total_chars = sum(len(t) for t in texts)
-    alpha_chars = sum(sum(ch.isalpha() for ch in t) for t in texts)
-    protein_chars = sum(sum(ch in _PROTEIN_CHARS for ch in t) for t in texts)
-    dna_chars = sum(sum(ch in _DNA_CHARS for ch in t) for t in texts)
-    numeric = sum(
-        1
-        for v in non_null
-        if isinstance(v, (int, float)) or (isinstance(v, str) and v.isdigit())
-    )
-    lengths = [len(t) for t in texts]
-    return AttributeStatistics(
-        attribute=attribute,
-        data_type=data_type,
-        row_count=len(values),
-        non_null_count=len(non_null),
-        distinct_count=len(set(non_null)),
-        is_unique=len(non_null) == len(set(non_null)) and bool(non_null),
-        avg_length=total_chars / len(texts) if texts else 0.0,
-        min_length=min(lengths) if lengths else 0,
-        max_length=max(lengths) if lengths else 0,
-        numeric_fraction=numeric / len(non_null) if non_null else 0.0,
-        alpha_fraction=alpha_chars / total_chars if total_chars else 0.0,
-        protein_alphabet_fraction=protein_chars / total_chars if total_chars else 0.0,
-        dna_alphabet_fraction=dna_chars / total_chars if total_chars else 0.0,
-    )
+    """One column's statistics, served from the ColumnStore profile cache."""
+    profile = database.table(attribute.table).column_profile(attribute.column)
+    return statistics_from_profile(attribute, profile)
 
 
-def collect_statistics(database: Database) -> Dict[AttributeRef, AttributeStatistics]:
-    """Statistics for every attribute of every table — one source pass."""
-    stats: Dict[AttributeRef, AttributeStatistics] = {}
+def collect_profiles(database: Database) -> Dict[AttributeRef, ColumnProfile]:
+    """The one-time ColumnProfile of every attribute of every table."""
+    profiles: Dict[AttributeRef, ColumnProfile] = {}
     for table_name in database.table_names():
         table = database.table(table_name)
         for column in table.column_names:
-            attr = AttributeRef(table_name, column)
-            stats[attr] = compute_attribute_statistics(database, attr)
-    return stats
+            profiles[AttributeRef(table_name, column)] = table.column_profile(column)
+    return profiles
+
+
+def collect_statistics(database: Database) -> Dict[AttributeRef, AttributeStatistics]:
+    """Statistics for every attribute of every table — cached per source."""
+    return {
+        attr: statistics_from_profile(attr, profile)
+        for attr, profile in collect_profiles(database).items()
+    }

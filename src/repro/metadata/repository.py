@@ -9,14 +9,22 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.discovery.model import AttributeRef, SourceStructure
 from repro.linking.model import AttributeLink, ObjectLink
 from repro.linking.stats import AttributeStatistics
+from repro.relational.columns import ColumnProfile
 
 
 @dataclass
 class SourceRecord:
-    """Everything the repository knows about one source."""
+    """Everything the repository knows about one source.
+
+    ``profiles`` holds the storage-level :class:`ColumnProfile` objects —
+    the one-time per-source statistics of Section 4.4. They are computed by
+    the ColumnStore during registration and reused by every later source
+    addition; nothing above this record touches raw rows to re-derive them.
+    """
 
     structure: SourceStructure
     statistics: Dict[AttributeRef, AttributeStatistics] = field(default_factory=dict)
+    profiles: Dict[AttributeRef, ColumnProfile] = field(default_factory=dict)
     sample_rows: Dict[str, List[dict]] = field(default_factory=dict)
     row_counts: Dict[str, int] = field(default_factory=dict)
 
@@ -41,6 +49,7 @@ class MetadataRepository:
         statistics: Optional[Dict[AttributeRef, AttributeStatistics]] = None,
         sample_rows: Optional[Dict[str, List[dict]]] = None,
         row_counts: Optional[Dict[str, int]] = None,
+        profiles: Optional[Dict[AttributeRef, ColumnProfile]] = None,
     ) -> None:
         name = structure.source_name
         if name in self._sources:
@@ -48,9 +57,34 @@ class MetadataRepository:
         self._sources[name] = SourceRecord(
             structure=structure,
             statistics=statistics or {},
+            profiles=profiles or {},
             sample_rows=sample_rows or {},
             row_counts=row_counts or {},
         )
+
+    def refresh_source_data(
+        self,
+        name: str,
+        statistics: Optional[Dict[AttributeRef, AttributeStatistics]] = None,
+        sample_rows: Optional[Dict[str, List[dict]]] = None,
+        row_counts: Optional[Dict[str, int]] = None,
+        profiles: Optional[Dict[AttributeRef, ColumnProfile]] = None,
+    ) -> None:
+        """Swap the data-derived parts of a record, keeping structure/links.
+
+        Used by the below-threshold ``update_source`` path: the raw data
+        changed slightly, the discovered structure and links are kept, but
+        cached statistics must describe the *new* data.
+        """
+        record = self.source(name)
+        if statistics is not None:
+            record.statistics = statistics
+        if profiles is not None:
+            record.profiles = profiles
+        if sample_rows is not None:
+            record.sample_rows = sample_rows
+        if row_counts is not None:
+            record.row_counts = row_counts
 
     def has_source(self, name: str) -> bool:
         return name in self._sources

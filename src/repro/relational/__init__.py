@@ -14,6 +14,7 @@ relational-algebra query engine, and a small SQL parser.
 """
 
 from repro.relational.types import DataType, coerce_value, infer_type, is_null
+from repro.relational.columns import ColumnProfile, ColumnStore
 from repro.relational.schema import (
     Column,
     ForeignKey,
@@ -45,6 +46,8 @@ __all__ = [
     "Between",
     "Catalog",
     "Column",
+    "ColumnProfile",
+    "ColumnStore",
     "Comparison",
     "ConstraintViolation",
     "DataType",

@@ -1,0 +1,322 @@
+"""Columnar access paths: cached per-column arrays, sets, and indexes.
+
+Every layer above :class:`~repro.relational.table.Table` — uniqueness
+detection, inclusion-dependency mining, accession analysis, link-discovery
+statistics, vocabulary overlap, duplicate blocking — is expressed over
+per-column reads. Before this module each caller rebuilt the column it
+needed from the row store on every call; a single ``add_source`` re-derived
+the same value sets dozens of times. The :class:`ColumnStore` materializes
+each access path once, lazily, and keeps it consistent under mutation:
+
+* ``values`` / ``non_null_values`` — row-ordered arrays;
+* ``value_set`` — a frozen set for containment and overlap tests;
+* ``distinct_values`` — first-seen-order distinct list;
+* ``row_ids`` — a ``value -> [row_id, ...]`` hash index driving
+  ``find_where`` / ``lookup_unique`` without linear scans;
+* ``profile`` — a :class:`ColumnProfile` with the one-time per-source
+  statistics of Section 4.4 ("computed only once for each data source and
+  ... reused for subsequently added data sources").
+
+Invalidation is precise: ``note_insert`` extends materialized structures in
+O(1) per row (only the aggregate profile is dropped, since averages cannot
+be patched incrementally without storing partial sums — and those *are*
+stored, see ``_ProfileAccumulator``); ``note_delete`` drops caches because
+row ids shift. Callers must treat every returned container as immutable —
+they are the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, TYPE_CHECKING
+
+from repro.relational.types import DataType, is_null
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.table import Table
+
+_PROTEIN_CHARS = frozenset("ACDEFGHIKLMNPQRSTVWY")
+_DNA_CHARS = frozenset("ACGTUN")
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """One column's value statistics, computed once per source.
+
+    This is the storage-level half of
+    :class:`repro.linking.stats.AttributeStatistics`: everything derivable
+    from the column alone, with the same conventions (text lengths over
+    ``str(v)``, numeric = number or digit-only string, alphabet fractions
+    over characters).
+    """
+
+    column: str
+    data_type: DataType
+    row_count: int
+    non_null_count: int
+    distinct_count: int
+    is_unique: bool  # unique over non-null values AND non-empty
+    avg_length: float
+    min_length: int
+    max_length: int
+    numeric_fraction: float
+    alpha_fraction: float
+    protein_alphabet_fraction: float
+    dna_alphabet_fraction: float
+
+
+class _ProfileAccumulator:
+    """Running sums behind a ColumnProfile, patchable on insert."""
+
+    __slots__ = (
+        "total_chars", "alpha_chars", "protein_chars", "dna_chars",
+        "numeric_count", "min_length", "max_length",
+    )
+
+    def __init__(self) -> None:
+        self.total_chars = 0
+        self.alpha_chars = 0
+        self.protein_chars = 0
+        self.dna_chars = 0
+        self.numeric_count = 0
+        self.min_length: Optional[int] = None
+        self.max_length: Optional[int] = None
+
+    def add(self, value: Any) -> None:
+        text = str(value)
+        length = len(text)
+        self.total_chars += length
+        self.alpha_chars += sum(ch.isalpha() for ch in text)
+        self.protein_chars += sum(ch in _PROTEIN_CHARS for ch in text)
+        self.dna_chars += sum(ch in _DNA_CHARS for ch in text)
+        if isinstance(value, (int, float)) or (isinstance(value, str) and value.isdigit()):
+            self.numeric_count += 1
+        self.min_length = length if self.min_length is None else min(self.min_length, length)
+        self.max_length = length if self.max_length is None else max(self.max_length, length)
+
+
+class ColumnStore:
+    """Lazily materialized, incrementally maintained column caches.
+
+    One store per :class:`Table`. Every cache is built at most once between
+    mutations; ``hits``/``misses`` count served-from-cache vs. materializing
+    accesses so the E6 acceptance test can assert that a second discovery
+    pass performs zero recomputation.
+    """
+
+    def __init__(self, table: "Table"):
+        self._table = table
+        self._values: Dict[str, List[Any]] = {}
+        self._non_null: Dict[str, List[Any]] = {}
+        self._sets: Dict[str, Set[Any]] = {}
+        self._frozen: Dict[str, FrozenSet[Any]] = {}
+        self._distinct: Dict[str, List[Any]] = {}
+        self._row_ids: Dict[str, Dict[Any, List[int]]] = {}
+        self._accumulators: Dict[str, _ProfileAccumulator] = {}
+        self._profiles: Dict[str, ColumnProfile] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # cache accounting
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def reset_cache_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+    def values(self, column: str) -> List[Any]:
+        """Row-ordered values including NULLs. Do not mutate."""
+        column = column.lower()
+        cached = self._values.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        idx = self._table.schema.column_index(column)
+        cached = [tup[idx] for tup in self._table.raw_rows()]
+        self._values[column] = cached
+        return cached
+
+    def non_null_values(self, column: str) -> List[Any]:
+        """Row-ordered non-null values. Do not mutate."""
+        column = column.lower()
+        cached = self._non_null.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        cached = [v for v in self.values(column) if not is_null(v)]
+        self._non_null[column] = cached
+        return cached
+
+    def value_set(self, column: str) -> FrozenSet[Any]:
+        """Frozen set of the column's non-null values."""
+        column = column.lower()
+        frozen = self._frozen.get(column)
+        if frozen is not None:
+            self.hits += 1
+            return frozen
+        self.misses += 1
+        frozen = frozenset(self._mutable_set(column))
+        self._frozen[column] = frozen
+        return frozen
+
+    def distinct_values(self, column: str) -> List[Any]:
+        """Distinct non-null values in first-seen order. Do not mutate."""
+        column = column.lower()
+        cached = self._distinct.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        seen: Set[Any] = set()
+        out: List[Any] = []
+        for value in self.non_null_values(column):
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+        self._distinct[column] = out
+        return out
+
+    def row_ids(self, column: str) -> Dict[Any, List[int]]:
+        """Hash index ``value -> ascending row ids`` (non-null values only).
+
+        Do not mutate; this is the shared access path behind
+        ``find_where``, ``lookup_unique`` and the object resolver.
+        """
+        column = column.lower()
+        cached = self._row_ids.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        index: Dict[Any, List[int]] = {}
+        idx = self._table.schema.column_index(column)
+        for row_id, tup in enumerate(self._table.raw_rows()):
+            value = tup[idx]
+            if not is_null(value):
+                index.setdefault(value, []).append(row_id)
+        self._row_ids[column] = index
+        return index
+
+    def profile(self, column: str) -> ColumnProfile:
+        """The column's :class:`ColumnProfile`, cached until mutation."""
+        column = column.lower()
+        cached = self._profiles.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        non_null = self.non_null_values(column)
+        accumulator = self._accumulators.get(column)
+        if accumulator is None:
+            accumulator = _ProfileAccumulator()
+            for value in non_null:
+                accumulator.add(value)
+            self._accumulators[column] = accumulator
+        distinct_count = len(self.value_set(column))
+        profile = ColumnProfile(
+            column=column,
+            data_type=self._table.schema.column(column).data_type,
+            row_count=len(self._table),
+            non_null_count=len(non_null),
+            distinct_count=distinct_count,
+            is_unique=bool(non_null) and distinct_count == len(non_null),
+            avg_length=accumulator.total_chars / len(non_null) if non_null else 0.0,
+            min_length=accumulator.min_length or 0,
+            max_length=accumulator.max_length or 0,
+            numeric_fraction=accumulator.numeric_count / len(non_null) if non_null else 0.0,
+            alpha_fraction=(
+                accumulator.alpha_chars / accumulator.total_chars
+                if accumulator.total_chars else 0.0
+            ),
+            protein_alphabet_fraction=(
+                accumulator.protein_chars / accumulator.total_chars
+                if accumulator.total_chars else 0.0
+            ),
+            dna_alphabet_fraction=(
+                accumulator.dna_chars / accumulator.total_chars
+                if accumulator.total_chars else 0.0
+            ),
+        )
+        self._profiles[column] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # maintenance hooks (called by Table)
+    # ------------------------------------------------------------------
+    def note_insert(self, tup: tuple, row_id: int) -> None:
+        """Extend every *materialized* cache with one appended row.
+
+        Unmaterialized columns stay lazy (bulk import costs nothing);
+        materialized ones are patched in O(1) per structure instead of
+        being thrown away.
+        """
+        if not (self._values or self._non_null or self._sets or self._row_ids
+                or self._distinct or self._accumulators or self._profiles
+                or self._frozen):
+            return
+        columns = self._table.schema.column_names
+        for position, column in enumerate(columns):
+            value = tup[position]
+            values = self._values.get(column)
+            if values is not None:
+                values.append(value)
+            if is_null(value):
+                continue
+            non_null = self._non_null.get(column)
+            if non_null is not None:
+                non_null.append(value)
+            mutable = self._sets.get(column)
+            is_new = False
+            if mutable is not None:
+                is_new = value not in mutable
+                if is_new:
+                    mutable.add(value)
+                    self._frozen.pop(column, None)
+            distinct = self._distinct.get(column)
+            if distinct is not None:
+                if mutable is None:
+                    # No membership set yet: fall back to scan-free check
+                    # against the distinct list's own set materialization.
+                    mutable = set(distinct)
+                    self._sets[column] = mutable
+                    is_new = value not in mutable
+                    if is_new:
+                        mutable.add(value)
+                if is_new:
+                    distinct.append(value)
+            index = self._row_ids.get(column)
+            if index is not None:
+                index.setdefault(value, []).append(row_id)
+            accumulator = self._accumulators.get(column)
+            if accumulator is not None:
+                accumulator.add(value)
+        # A new row changes row_count for every column's profile, even
+        # all-NULL ones; the accumulators above keep profile rebuilds O(1).
+        self._profiles.clear()
+
+    def note_delete(self) -> None:
+        """Drop every cache: deletions shift row ids and remove values."""
+        self._values.clear()
+        self._non_null.clear()
+        self._sets.clear()
+        self._frozen.clear()
+        self._distinct.clear()
+        self._row_ids.clear()
+        self._accumulators.clear()
+        self._profiles.clear()
+
+    # ------------------------------------------------------------------
+    def _mutable_set(self, column: str) -> Set[Any]:
+        mutable = self._sets.get(column)
+        if mutable is None:
+            mutable = set(self.non_null_values(column))
+            self._sets[column] = mutable
+        return mutable

@@ -61,6 +61,12 @@ class Database:
     def total_rows(self) -> int:
         return sum(len(t) for t in self._tables.values())
 
+    def column_cache_stats(self) -> Dict[str, int]:
+        """Aggregate ColumnStore hit/miss counters across all tables."""
+        hits = sum(t.columns.hits for t in self._tables.values())
+        misses = sum(t.columns.misses for t in self._tables.values())
+        return {"hits": hits, "misses": misses}
+
     # ------------------------------------------------------------------
     # DML convenience
     # ------------------------------------------------------------------

@@ -7,13 +7,18 @@ frequently load referencing tables before referenced ones.
 
 The per-column accessors (``values``, ``distinct_values``, ``value_set``)
 are the workhorses of the discovery layer: uniqueness detection, accession
-analysis, and inclusion-dependency mining are all expressed over them.
+analysis, and inclusion-dependency mining are all expressed over them. They
+delegate to a per-table :class:`~repro.relational.columns.ColumnStore` that
+materializes each access path once and keeps it consistent under
+``insert``/``delete_where`` — callers must treat the returned containers
+as immutable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.relational.columns import ColumnProfile, ColumnStore
 from repro.relational.schema import TableSchema
 from repro.relational.types import coerce_value, is_null
 
@@ -35,6 +40,7 @@ class Table:
         self._unique_indexes: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], int]] = {}
         for key in self._unique_keys():
             self._unique_indexes[key] = {}
+        self.columns = ColumnStore(self)
 
     # ------------------------------------------------------------------
     # schema helpers
@@ -83,6 +89,7 @@ class Table:
         row_id = len(self._rows)
         self._rows.append(tup)
         self._index_row(tup, row_id)
+        self.columns.note_insert(tup, row_id)
 
     def insert_many(self, rows: Iterable[Row]) -> int:
         count = 0
@@ -113,20 +120,31 @@ class Table:
                 index[picked] = row_id
 
     def delete_where(self, predicate) -> int:
-        """Delete rows matching ``predicate`` (a callable on row dicts)."""
+        """Delete rows matching ``predicate`` (a callable on row dicts).
+
+        Unique indexes are maintained selectively — deleted keys are
+        dropped and surviving entries renumbered — instead of re-deriving
+        every key from every surviving row; the ColumnStore invalidates
+        its caches (row ids shift under deletion).
+        """
         kept: List[Tuple[Any, ...]] = []
+        old_to_new: Dict[int, int] = {}
         deleted = 0
-        for tup in self._rows:
+        for old_id, tup in enumerate(self._rows):
             if predicate(self._as_dict(tup)):
                 deleted += 1
             else:
+                old_to_new[old_id] = len(kept)
                 kept.append(tup)
         if deleted:
             self._rows = kept
-            for key in self._unique_indexes:
-                self._unique_indexes[key] = {}
-            for row_id, tup in enumerate(self._rows):
-                self._index_row(tup, row_id)
+            for key, index in self._unique_indexes.items():
+                self._unique_indexes[key] = {
+                    picked: old_to_new[row_id]
+                    for picked, row_id in index.items()
+                    if row_id in old_to_new
+                }
+            self.columns.note_delete()
         return deleted
 
     # ------------------------------------------------------------------
@@ -150,47 +168,56 @@ class Table:
 
     def values(self, column: str) -> List[Any]:
         """All values (including NULLs) of one column, in row order."""
-        idx = self.schema.column_index(column)
-        return [tup[idx] for tup in self._rows]
+        return self.columns.values(column)
 
     def non_null_values(self, column: str) -> List[Any]:
-        idx = self.schema.column_index(column)
-        return [tup[idx] for tup in self._rows if not is_null(tup[idx])]
+        return self.columns.non_null_values(column)
 
     def distinct_values(self, column: str) -> List[Any]:
-        seen: Set[Any] = set()
-        out: List[Any] = []
-        for value in self.non_null_values(column):
-            if value not in seen:
-                seen.add(value)
-                out.append(value)
-        return out
+        return self.columns.distinct_values(column)
 
-    def value_set(self, column: str) -> Set[Any]:
-        return set(self.non_null_values(column))
+    def value_set(self, column: str) -> FrozenSet[Any]:
+        return self.columns.value_set(column)
+
+    def column_profile(self, column: str) -> ColumnProfile:
+        """The column's cached :class:`ColumnProfile` (one-time statistics)."""
+        return self.columns.profile(column)
 
     def lookup_unique(self, column: str, value: Any) -> Optional[Row]:
-        """Find the row where a declared-unique column equals ``value``."""
+        """Find the first row where ``column`` equals ``value``.
+
+        Declared-unique columns resolve through the uniqueness index;
+        everything else goes through the ColumnStore's value->row_ids hash
+        index (no linear scan).
+        """
         key = (column.lower(),)
         index = self._unique_indexes.get(key)
         if index is not None:
             row_id = index.get((value,))
             return None if row_id is None else self.row_at(row_id)
-        idx = self.schema.column_index(column)
-        for tup in self._rows:
-            if tup[idx] == value:
-                return self._as_dict(tup)
-        return None
+        if is_null(value):
+            idx = self.schema.column_index(column)
+            for tup in self._rows:
+                if tup[idx] == value:
+                    return self._as_dict(tup)
+            return None
+        row_ids = self.columns.row_ids(column).get(value)
+        return self.row_at(row_ids[0]) if row_ids else None
 
     def find_where(self, column: str, value: Any) -> List[Row]:
-        idx = self.schema.column_index(column)
-        return [self._as_dict(tup) for tup in self._rows if tup[idx] == value]
+        """All rows where ``column`` equals ``value``, index-driven."""
+        if is_null(value):
+            idx = self.schema.column_index(column)
+            return [self._as_dict(tup) for tup in self._rows if tup[idx] == value]
+        row_ids = self.columns.row_ids(column).get(value, ())
+        return [self.row_at(i) for i in row_ids]
 
     def is_unique(self, column: str) -> bool:
         """SELECT COUNT(col) == COUNT(DISTINCT col) — ignoring NULLs.
 
         This is the "SQL query for each attribute" from Section 4.2 used to
-        mark attributes as unique.
+        mark attributes as unique. Empty columns are vacuously unique here;
+        :attr:`ColumnProfile.is_unique` additionally requires non-emptiness.
         """
-        values = self.non_null_values(column)
-        return len(values) == len(set(values))
+        profile = self.columns.profile(column)
+        return profile.non_null_count == profile.distinct_count

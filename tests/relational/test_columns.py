@@ -1,0 +1,183 @@
+"""ColumnStore: cached access paths, precise invalidation, index safety."""
+
+import pytest
+
+from repro.relational import (
+    Column,
+    ConstraintViolation,
+    Database,
+    DataType,
+    Table,
+    TableSchema,
+    UniqueConstraint,
+)
+
+
+def protein_table() -> Table:
+    schema = TableSchema(
+        name="protein",
+        columns=[
+            Column("accession", DataType.TEXT, nullable=False),
+            Column("name", DataType.TEXT),
+            Column("length", DataType.INTEGER),
+        ],
+        primary_key=["accession"],
+        unique_constraints=[UniqueConstraint(["name"])],
+    )
+    table = Table(schema)
+    table.insert({"accession": "P1", "name": "alpha", "length": 10})
+    table.insert({"accession": "P2", "name": "beta", "length": 20})
+    table.insert({"accession": "P3", "name": "gamma", "length": 10})
+    table.insert({"accession": "P4", "name": None, "length": None})
+    return table
+
+
+class TestCachedAccessPaths:
+    def test_values_cached_between_calls(self):
+        table = protein_table()
+        first = table.values("length")
+        misses = table.columns.misses
+        second = table.values("length")
+        assert second == [10, 20, 10, None]
+        assert table.columns.misses == misses
+        assert table.columns.hits >= 1
+
+    def test_value_set_is_frozen(self):
+        table = protein_table()
+        values = table.value_set("length")
+        assert values == frozenset({10, 20})
+        with pytest.raises(AttributeError):
+            values.add(30)
+
+    def test_distinct_preserves_first_seen_order(self):
+        table = protein_table()
+        assert table.distinct_values("length") == [10, 20]
+
+    def test_row_ids_index_drives_find_where(self):
+        table = protein_table()
+        assert [r["accession"] for r in table.find_where("length", 10)] == ["P1", "P3"]
+        assert table.find_where("length", 99) == []
+
+    def test_find_where_null_still_matches(self):
+        table = protein_table()
+        assert [r["accession"] for r in table.find_where("length", None)] == ["P4"]
+
+    def test_lookup_unique_without_declared_index_uses_value_index(self):
+        table = protein_table()
+        misses_before = table.columns.misses
+        assert table.lookup_unique("length", 20)["accession"] == "P2"
+        assert table.lookup_unique("length", 20)["accession"] == "P2"
+        # Second lookup is a pure cache hit.
+        assert table.columns.misses == misses_before + 1
+
+    def test_profile_matches_manual_computation(self):
+        table = protein_table()
+        profile = table.column_profile("name")
+        assert profile.row_count == 4
+        assert profile.non_null_count == 3
+        assert profile.distinct_count == 3
+        assert profile.is_unique
+        assert profile.avg_length == pytest.approx((5 + 4 + 5) / 3)
+        assert profile.min_length == 4
+        assert profile.max_length == 5
+        assert profile.numeric_fraction == 0.0
+        assert profile.alpha_fraction == 1.0
+
+    def test_profile_empty_column_not_unique(self):
+        schema = TableSchema(name="t", columns=[Column("a", DataType.TEXT)])
+        table = Table(schema)
+        assert not table.column_profile("a").is_unique
+        assert table.is_unique("a")  # SQL-style vacuous uniqueness
+
+
+class TestInsertMaintenance:
+    def test_insert_extends_materialized_caches(self):
+        table = protein_table()
+        # Materialize every access path first.
+        table.values("name")
+        table.non_null_values("name")
+        table.value_set("name")
+        table.distinct_values("name")
+        table.columns.row_ids("name")
+        table.column_profile("name")
+        table.insert({"accession": "P5", "name": "delta", "length": 30})
+        assert table.values("name") == ["alpha", "beta", "gamma", None, "delta"]
+        assert table.non_null_values("name")[-1] == "delta"
+        assert "delta" in table.value_set("name")
+        assert table.distinct_values("name")[-1] == "delta"
+        assert table.columns.row_ids("name")["delta"] == [4]
+        profile = table.column_profile("name")
+        assert profile.row_count == 5
+        assert profile.non_null_count == 4
+
+    def test_insert_duplicate_value_does_not_grow_distinct(self):
+        table = protein_table()
+        table.distinct_values("length")
+        table.insert({"accession": "P5", "name": "delta", "length": 10})
+        assert table.distinct_values("length") == [10, 20]
+        assert table.columns.row_ids("length")[10] == [0, 2, 4]
+
+    def test_insert_before_materialization_is_lazy(self):
+        table = protein_table()
+        assert table.columns.misses == 0
+        table.insert({"accession": "P5", "name": "delta", "length": 30})
+        assert table.columns.misses == 0
+
+
+class TestDeleteMaintenance:
+    """Regression: unique indexes stay consistent after delete_where."""
+
+    def test_unique_indexes_consistent_after_delete(self):
+        table = protein_table()
+        deleted = table.delete_where(lambda r: r["accession"] == "P2")
+        assert deleted == 1
+        assert len(table) == 3
+        # Survivors resolve through the renumbered indexes...
+        assert table.lookup_unique("accession", "P1")["name"] == "alpha"
+        assert table.lookup_unique("accession", "P3")["name"] == "gamma"
+        assert table.lookup_unique("name", "gamma")["accession"] == "P3"
+        # ...and the deleted key is gone.
+        assert table.lookup_unique("accession", "P2") is None
+        assert table.lookup_unique("name", "beta") is None
+
+    def test_deleted_unique_value_can_be_reinserted(self):
+        table = protein_table()
+        table.delete_where(lambda r: r["accession"] == "P2")
+        table.insert({"accession": "P2", "name": "beta", "length": 20})
+        assert table.lookup_unique("accession", "P2")["name"] == "beta"
+
+    def test_surviving_unique_value_still_rejected(self):
+        table = protein_table()
+        table.delete_where(lambda r: r["accession"] == "P2")
+        with pytest.raises(ConstraintViolation):
+            table.insert({"accession": "P1", "name": "other", "length": 1})
+        with pytest.raises(ConstraintViolation):
+            table.insert({"accession": "P9", "name": "gamma", "length": 1})
+
+    def test_delete_invalidates_column_caches(self):
+        table = protein_table()
+        table.value_set("accession")
+        table.columns.row_ids("length")
+        table.delete_where(lambda r: r["length"] == 10)
+        assert table.value_set("accession") == frozenset({"P2", "P4"})
+        assert table.columns.row_ids("length") == {20: [0]}
+        assert [r["accession"] for r in table.find_where("length", 10)] == []
+
+    def test_delete_nothing_keeps_caches(self):
+        table = protein_table()
+        table.value_set("accession")
+        misses = table.columns.misses
+        assert table.delete_where(lambda r: False) == 0
+        table.value_set("accession")
+        assert table.columns.misses == misses
+
+
+class TestDatabaseCacheStats:
+    def test_aggregation(self):
+        database = Database("db")
+        schema = TableSchema(name="t", columns=[Column("a", DataType.TEXT)])
+        database.create_table(schema)
+        database.insert("t", {"a": "x"})
+        database.table("t").value_set("a")
+        stats = database.column_cache_stats()
+        assert stats["misses"] >= 1
