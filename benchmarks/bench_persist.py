@@ -1,0 +1,118 @@
+"""Persistence — cold import-and-integrate vs. warm snapshot open.
+
+The warm-start contract of the persist subsystem: reopening the E6
+scalability corpus from a snapshot must be at least 5x faster than
+integrating it from raw text, and must execute zero discovery, linking,
+or index-build work (asserted through the engine, cache, and index
+counters). Timings are recorded to ``BENCH_persist.json`` at the repo
+root so the committed baseline tracks the code.
+"""
+
+import json
+import os
+import time
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import format_table
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_persist.json")
+
+
+def e6_corpus():
+    """The E6 incremental-addition corpus (same universe as bench_e6)."""
+    return build_scenario(
+        ScenarioConfig(
+            seed=450,
+            universe=UniverseConfig(
+                n_families=8, members_per_family=3, n_go_terms=24,
+                n_diseases=10, n_interactions=15, seed=450,
+            ),
+        )
+    )
+
+
+def cold_integrate(scenario) -> Aladin:
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    aladin.search_engine()  # the index is part of the integrated state
+    return aladin
+
+
+def test_persist_cold_vs_warm(benchmark, tmp_path):
+    scenario = e6_corpus()
+    started = time.perf_counter()
+    aladin = cold_integrate(scenario)
+    cold_seconds = time.perf_counter() - started
+
+    snapshot_path = tmp_path / "e6.snapshot"
+    started = time.perf_counter()
+    aladin.save(snapshot_path)
+    save_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = Aladin.open(snapshot_path)
+    warm_seconds = time.perf_counter() - started
+    benchmark.pedantic(
+        lambda: Aladin.open(snapshot_path), iterations=1, rounds=3
+    )
+
+    print()
+    print("Persistence: cold integrate vs warm open (E6 corpus)")
+    print(
+        format_table(
+            ["phase", "ms"],
+            [
+                ["cold import-and-integrate", f"{cold_seconds * 1000:.0f}"],
+                ["snapshot save", f"{save_seconds * 1000:.0f}"],
+                ["warm open", f"{warm_seconds * 1000:.1f}"],
+                ["speedup", f"{cold_seconds / warm_seconds:.0f}x"],
+            ],
+        )
+    )
+
+    # Warm start reproduces the integrated state...
+    assert warm.source_names() == aladin.source_names()
+    assert len(warm.repository.object_links()) == len(aladin.repository.object_links())
+    assert len(warm._index) == len(aladin._index)
+    # ...at least 5x faster (acceptance criterion; in practice ~100x)...
+    assert warm_seconds * 5 <= cold_seconds, (
+        f"warm open {warm_seconds:.3f}s not 5x faster than cold {cold_seconds:.3f}s"
+    )
+    # ...with zero discovery / linking / index-build work on open.
+    assert warm._engine.registrations == 0
+    assert warm._engine.comparisons_made == 0
+    assert warm._index.pages_indexed == 0
+    for name in warm.source_names():
+        assert warm.database(name).column_cache_stats()["misses"] == 0
+
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "benchmark": "benchmarks/bench_persist.py",
+                "command": (
+                    "PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_persist.py -q -s"
+                ),
+                "corpus": "E6 scalability corpus (seed 450, 8 families x 3)",
+                "machine_note": (
+                    "container, single run; expect ~10% run-to-run noise"
+                ),
+                "cold_integrate_seconds": round(cold_seconds, 3),
+                "snapshot_save_seconds": round(save_seconds, 3),
+                "warm_open_seconds": round(warm_seconds, 4),
+                "speedup": round(cold_seconds / warm_seconds, 1),
+                "acceptance": "warm open >= 5x faster, zero discovery/"
+                              "linking/index-build counters on open",
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

@@ -34,6 +34,10 @@ class InvertedIndex:
         self._documents: List[Tuple[str, str]] = []  # (source, accession)
         self._doc_lengths: List[int] = []
         self._primary_flags: List[bool] = []
+        # Pages tokenized by add_page. Snapshot rehydration restores
+        # postings without tokenizing, so a warm-started index keeps this
+        # at zero — the counter the warm-open assertions check.
+        self.pages_indexed = 0
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -65,6 +69,7 @@ class InvertedIndex:
     # ------------------------------------------------------------------
     def add_page(self, page: ObjectPage) -> int:
         """Index one object page, field by field."""
+        self.pages_indexed += 1
         doc_id = len(self._documents)
         self._documents.append(page.identity)
         field_tokens: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
@@ -135,3 +140,69 @@ class InvertedIndex:
 
     def vocabulary_size(self) -> int:
         return len(self._postings)
+
+    # ------------------------------------------------------------------
+    # snapshot round-trip
+    # ------------------------------------------------------------------
+    def export_documents(self, source: Optional[str] = None):
+        """Yield ``(source, accession, length, is_primary, postings)`` per
+        document in doc-id order, where ``postings`` is a list of
+        ``(token, field, frequency)`` triples.
+
+        This is the persistence export: one inversion pass over the
+        postings lists groups them per document. The scan itself is
+        O(total postings) — inherent to the inverted layout — but with a
+        ``source`` filter (the per-source checkpoint path) only that
+        source's documents are materialized, so checkpoint memory stays
+        proportional to the source's slice.
+        """
+        if source is None:
+            wanted = None
+            per_doc: Dict[int, List[Tuple[str, str, int]]] = {
+                doc_id: [] for doc_id in range(len(self._documents))
+            }
+        else:
+            wanted = {
+                doc_id
+                for doc_id, (doc_source, _) in enumerate(self._documents)
+                if doc_source == source
+            }
+            per_doc = {doc_id: [] for doc_id in wanted}
+        for token, postings in self._postings.items():
+            for posting in postings:
+                if wanted is None or posting.doc_id in wanted:
+                    per_doc[posting.doc_id].append(
+                        (token, posting.field, posting.frequency)
+                    )
+        for doc_id in sorted(per_doc):
+            doc_source, accession = self._documents[doc_id]
+            yield (
+                doc_source,
+                accession,
+                self._doc_lengths[doc_id],
+                self._primary_flags[doc_id],
+                per_doc[doc_id],
+            )
+
+    def restore_document(
+        self,
+        source: str,
+        accession: str,
+        length: int,
+        is_primary: bool,
+        postings: Iterable[Tuple[str, str, int]],
+    ) -> int:
+        """Append one exported document without re-crawling or tokenizing.
+
+        The inverse of :meth:`export_documents`: warm starts rebuild the
+        index from persisted postings, so ``pages_indexed`` stays zero.
+        """
+        doc_id = len(self._documents)
+        self._documents.append((source, accession))
+        self._doc_lengths.append(length)
+        self._primary_flags.append(bool(is_primary))
+        for token, field_name, frequency in postings:
+            self._postings[token].append(
+                PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
+            )
+        return doc_id

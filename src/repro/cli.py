@@ -9,6 +9,12 @@ Usage::
 Each positional argument names one source as ``name=format:path``; the
 five-step pipeline runs in order. Optional flags exercise the three
 access modes on the integrated warehouse (Section 4.6).
+
+Integration happens once; ``save`` persists the integrated state to a
+snapshot file and ``open`` warm-starts from one without re-importing::
+
+    python -m repro save warehouse.snapshot swissprot=flatfile:sp.dat
+    python -m repro open warehouse.snapshot --search "kinase"
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core import Aladin, AladinConfig
 from repro.dataimport import registry
+from repro.persist import SnapshotError
 
 
 def _parse_source(spec: str) -> Tuple[str, str, str]:
@@ -33,6 +40,22 @@ def _parse_source(spec: str) -> Tuple[str, str, str]:
             f"unknown format {format_name!r}; known: {', '.join(registry.formats())}"
         )
     return name, format_name, path
+
+
+def _add_access_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--search", metavar="QUERY", help="ranked full-text search after integration"
+    )
+    subparser.add_argument(
+        "--sql",
+        metavar="SOURCE:STATEMENT",
+        help="run one SQL statement against one source's imported schema",
+    )
+    subparser.add_argument(
+        "--browse",
+        metavar="SOURCE:ACCESSION",
+        help="render one object page with all four link types",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,50 +73,40 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_source,
         help="one or more name=format:path source specifications",
     )
-    integrate.add_argument(
-        "--search", metavar="QUERY", help="ranked full-text search after integration"
-    )
-    integrate.add_argument(
-        "--sql",
-        metavar="SOURCE:STATEMENT",
-        help="run one SQL statement against one source's imported schema",
-    )
-    integrate.add_argument(
-        "--browse",
-        metavar="SOURCE:ACCESSION",
-        help="render one object page with all four link types",
-    )
+    _add_access_flags(integrate)
     integrate.add_argument(
         "--declare-constraints",
         action="store_true",
         help="let importers declare PK/FK constraints (default: guess everything)",
     )
+    save = subparsers.add_parser(
+        "save", help="integrate raw sources, then persist a snapshot"
+    )
+    save.add_argument("snapshot", help="path of the snapshot file to write")
+    save.add_argument(
+        "sources",
+        nargs="+",
+        type=_parse_source,
+        help="one or more name=format:path source specifications",
+    )
+    _add_access_flags(save)
+    save.add_argument(
+        "--declare-constraints",
+        action="store_true",
+        help="let importers declare PK/FK constraints (default: guess everything)",
+    )
+    open_cmd = subparsers.add_parser(
+        "open", help="warm-start from a snapshot (no re-import, no re-analysis)"
+    )
+    open_cmd.add_argument("snapshot", help="path of the snapshot file to read")
+    _add_access_flags(open_cmd)
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
 
 
-def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
-    out = out or sys.stdout
-    args = build_parser().parse_args(argv)
-    if args.command == "formats":
-        for format_name in registry.formats():
-            print(format_name, file=out)
-        return 0
-    config = AladinConfig()
-    config.declare_constraints = args.declare_constraints
-    aladin = Aladin(config)
-    for name, format_name, path in args.sources:
-        try:
-            with open(path, encoding="utf-8") as fh:
-                text = fh.read()
-        except OSError as exc:
-            print(f"error: cannot read {path}: {exc}", file=out)
-            return 2
-        report = aladin.add_source(name, format_name, text)
-        print(report.render(), file=out)
-        print(file=out)
-    print(f"warehouse: {aladin.summary()}", file=out)
+def _run_access_modes(aladin: Aladin, args, out) -> int:
+    """Exercise the three access modes requested by the shared flags."""
     if args.search:
         print(file=out)
         print(f"search {args.search!r}:", file=out)
@@ -122,6 +135,52 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         print(file=out)
         print(view.render(), file=out)
     return 0
+
+
+def _integrate_sources(aladin: Aladin, sources, out) -> int:
+    for name, format_name, path in sources:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=out)
+            return 2
+        report = aladin.add_source(name, format_name, text)
+        print(report.render(), file=out)
+        print(file=out)
+    return 0
+
+
+def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "formats":
+        for format_name in registry.formats():
+            print(format_name, file=out)
+        return 0
+    if args.command == "open":
+        try:
+            aladin = Aladin.open(args.snapshot)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"warehouse (warm-start): {aladin.summary()}", file=out)
+        return _run_access_modes(aladin, args, out)
+    config = AladinConfig()
+    config.declare_constraints = args.declare_constraints
+    aladin = Aladin(config)
+    code = _integrate_sources(aladin, args.sources, out)
+    if code:
+        return code
+    print(f"warehouse: {aladin.summary()}", file=out)
+    if args.command == "save":
+        try:
+            aladin.save(args.snapshot)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"snapshot written: {args.snapshot}", file=out)
+    return _run_access_modes(aladin, args, out)
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

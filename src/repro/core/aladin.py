@@ -26,7 +26,7 @@ from repro.access.objects import ObjectWeb
 from repro.access.queries import QueryEngine
 from repro.access.ranking import PathRanker
 from repro.access.search import SearchEngine
-from repro.core.config import AladinConfig
+from repro.core.config import AladinConfig, config_from_dict
 from repro.core.report import IntegrationReport, StepTiming
 from repro.dataimport.base import ImportResult
 from repro.dataimport import registry
@@ -34,8 +34,9 @@ from repro.discovery.pipeline import discover_structure
 from repro.duplicates.detector import DuplicateDetector
 from repro.linking.engine import LinkDiscoveryEngine
 from repro.linking.model import ObjectLink
-from repro.linking.stats import collect_profiles
+from repro.linking.stats import collect_profiles, statistics_from_profile
 from repro.metadata.repository import MetadataRepository
+from repro.persist.snapshot import SnapshotError, SnapshotStore
 from repro.relational.database import Database
 
 
@@ -52,6 +53,7 @@ class Aladin:
         self._databases: Dict[str, Database] = {}
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
+        self._store: Optional[SnapshotStore] = None
         self.reports: List[IntegrationReport] = []
 
     # ------------------------------------------------------------------
@@ -185,6 +187,7 @@ class Aladin:
         # only the new source's pages are crawled and indexed.
         self._index_add_source(name)
         self.reports.append(report)
+        self._checkpoint(name)
 
     # ------------------------------------------------------------------
     # data changes and feedback (Section 6.2)
@@ -231,6 +234,7 @@ class Aladin:
             if self._index is not None:
                 self._index.remove_source(name)
                 self._index_add_source(name)
+            self._checkpoint(name)
             return None
         self.remove_source(name)
         return self.add_source(name, format_name, text, **options)
@@ -251,10 +255,15 @@ class Aladin:
         self.web.detach_database(name)
         if self._index is not None:
             self._index.remove_source(name)
+        if self._store is not None:
+            self._store.checkpoint_remove(name)
 
     def remove_link(self, link: ObjectLink) -> bool:
         """User feedback: delete one wrong link (Section 6.2)."""
-        return self.repository.remove_object_link(link)
+        removed = self.repository.remove_object_link(link)
+        if removed and self._store is not None:
+            self._store.remove_object_link(link)
+        return removed
 
     # ------------------------------------------------------------------
     # access modes
@@ -268,6 +277,14 @@ class Aladin:
             for page in Crawler(self.web).crawl(follow_links=False):
                 index.add_page(page)
             self._index = index
+            if self._store is not None:
+                try:
+                    self._store.write_index(index)
+                except SnapshotError:
+                    # A read-only snapshot can still serve searches; the
+                    # index stays in memory and the next real maintenance
+                    # write will surface the problem loudly.
+                    pass
         return SearchEngine(self._index)
 
     def _index_add_source(self, name: str) -> None:
@@ -277,6 +294,81 @@ class Aladin:
         seeds = [(name, accession) for accession in self.web.accessions(name)]
         for page in Crawler(self.web).crawl(seeds=seeds, follow_links=False):
             self._index.add_page(page)
+
+    # ------------------------------------------------------------------
+    # persistence (snapshot save / warm-start open)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize the entire integrated state to a snapshot file.
+
+        The store stays attached afterwards: every later ``add_source`` /
+        ``update_source`` / ``remove_source`` checkpoints just that
+        source's slice of the snapshot in place, so the file tracks the
+        live system without full rewrites.
+        """
+        store = SnapshotStore(path)
+        store.write_full(self)
+        self._store = store
+
+    @classmethod
+    def open(cls, path, config: Optional[AladinConfig] = None) -> "Aladin":
+        """Warm-start a system from a snapshot — no re-integration.
+
+        Nothing is re-imported, re-discovered, re-linked, or re-indexed:
+        rows bulk-load with their ColumnStore caches materialized, the
+        persisted ColumnProfiles become the profile caches, the engine is
+        rehydrated with statistics rebuilt arithmetically from those
+        profiles, links land back in the repository, and the inverted
+        index is restored posting by posting. The snapshot stays attached
+        for incremental checkpoints, exactly as after :meth:`save`.
+
+        Unless ``config`` overrides it, the configuration the snapshot was
+        integrated with is restored too, so later maintenance (update
+        thresholds, duplicate detection, importer constraints) behaves
+        exactly like the system that wrote the snapshot.
+        """
+        store = SnapshotStore(path)
+        state = store.load_state()
+        if config is None and state.config is not None:
+            config = config_from_dict(state.config)
+        aladin = cls(config)
+        for source in state.sources:
+            statistics = {
+                attr: statistics_from_profile(attr, profile)
+                for attr, profile in source.profiles.items()
+            }
+            aladin._engine.restore_source(
+                source.database, source.structure, statistics
+            )
+            aladin.repository.register_source(
+                source.structure,
+                statistics,
+                source.samples,
+                source.row_counts,
+                profiles=source.profiles,
+            )
+            aladin._databases[source.name] = source.database
+            aladin.web.attach_database(source.name, source.database)
+            if source.format_name is not None:
+                aladin._raw_inputs[source.name] = (
+                    source.format_name,
+                    source.raw_text,
+                    source.import_options,
+                )
+        for attribute_link in state.attribute_links:
+            aladin.repository.add_attribute_link(attribute_link)
+        aladin.repository.add_object_links(state.object_links)
+        aladin._index = state.index
+        aladin._store = store
+        return aladin
+
+    def detach_store(self) -> None:
+        """Stop checkpointing to the attached snapshot (the file remains)."""
+        self._store = None
+
+    def _checkpoint(self, name: str) -> None:
+        if self._store is not None:
+            self._store.checkpoint_source(self, name)
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.web)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
 
 from repro.discovery.model import DiscoveryConfig
 from repro.duplicates.detector import DuplicateConfig
@@ -34,3 +35,26 @@ class AladinConfig:
     declare_constraints: bool = False
     # Samples stored in the metadata repository per table.
     sample_rows_per_table: int = 3
+
+
+def config_to_dict(config: AladinConfig) -> Dict[str, Any]:
+    """JSON-safe dict of every knob (all sub-config fields are primitives)."""
+    return asdict(config)
+
+
+def config_from_dict(payload: Dict[str, Any]) -> AladinConfig:
+    """Rebuild an :class:`AladinConfig` persisted by :func:`config_to_dict`.
+
+    Snapshots carry the configuration they were integrated with, so a
+    warm-started system runs later maintenance (``update_source``
+    thresholds, importer constraint declaration, duplicate detection)
+    under the same knobs as the system that wrote them.
+    """
+    payload = dict(payload)
+    return AladinConfig(
+        discovery=DiscoveryConfig(**payload.pop("discovery")),
+        linking=LinkConfig(**payload.pop("linking")),
+        channels=LinkChannels(**payload.pop("channels")),
+        duplicates=DuplicateConfig(**payload.pop("duplicates")),
+        **payload,
+    )

@@ -68,6 +68,23 @@ class LinkDiscoveryEngine:
         )
         return statistics
 
+    def restore_source(
+        self,
+        database: Database,
+        structure: SourceStructure,
+        statistics: Dict[AttributeRef, AttributeStatistics],
+    ) -> None:
+        """Rehydrate one source from persisted state — zero recomputation.
+
+        Warm starts hand the engine statistics rebuilt from persisted
+        ColumnProfiles; nothing is profiled, compared, or counted, so a
+        reopened system shows ``registrations == 0`` and
+        ``comparisons_made == 0`` until real integration work happens.
+        """
+        self._sources[structure.source_name] = _SourceEntry(
+            database=database, structure=structure, statistics=dict(statistics)
+        )
+
     def deregister_source(self, name: str) -> None:
         """Forget one source; every other registration stays untouched.
 

@@ -1,0 +1,25 @@
+"""Persistence subsystem: durable snapshots of the integrated state.
+
+A snapshot is one SQLite file holding every layer's state — relational
+tables, column profiles, discovered structure, the link web, and the
+search index — so that :meth:`repro.core.Aladin.save` /
+:meth:`repro.core.Aladin.open` turn process restarts from a full
+re-integration into a cheap rehydration. Per-source checkpoints keep an
+attached snapshot current as sources are added, updated, and removed.
+"""
+
+from repro.persist.snapshot import (
+    FORMAT_VERSION,
+    SnapshotError,
+    SnapshotState,
+    SnapshotStore,
+    SourceState,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotState",
+    "SnapshotStore",
+    "SourceState",
+]

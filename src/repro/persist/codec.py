@@ -1,0 +1,238 @@
+"""JSON codecs for the snapshot store.
+
+Every persisted object is a small frozen dataclass from the layers below
+(schemas, column profiles, discovered structure, links). The codecs here
+turn them into plain JSON-compatible dicts and back, with two rules:
+
+* round-trips are exact — ``from_dict(to_dict(x)) == x`` for every object
+  the pipeline can produce;
+* serialization is deterministic (``canonical_json`` sorts keys), so the
+  per-source content hashes in the manifest are stable across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.discovery.model import (
+    AttributeRef,
+    PathStep,
+    Relationship,
+    SecondaryPath,
+    SourceStructure,
+)
+from repro.linking.model import AttributeLink, ObjectLink
+from repro.relational.columns import ColumnProfile
+from repro.relational.schema import (
+    Column,
+    ForeignKey,
+    TableSchema,
+    UniqueConstraint,
+)
+from repro.relational.types import DataType
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text — the unit the content hashes run over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# relational schemas
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: TableSchema) -> Dict[str, Any]:
+    return {
+        "name": schema.name,
+        "columns": [
+            {"name": c.name, "type": c.data_type.value, "nullable": c.nullable}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key) if schema.primary_key else None,
+        "unique": [list(u.columns) for u in schema.unique_constraints],
+        "foreign_keys": [
+            {
+                "columns": list(fk.columns),
+                "target_table": fk.target_table,
+                "target_columns": list(fk.target_columns),
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_dict(payload: Dict[str, Any]) -> TableSchema:
+    return TableSchema(
+        name=payload["name"],
+        columns=[
+            Column(c["name"], DataType(c["type"]), nullable=c["nullable"])
+            for c in payload["columns"]
+        ],
+        primary_key=tuple(payload["primary_key"]) if payload["primary_key"] else None,
+        unique_constraints=[UniqueConstraint(tuple(u)) for u in payload["unique"]],
+        foreign_keys=[
+            ForeignKey(
+                columns=tuple(fk["columns"]),
+                target_table=fk["target_table"],
+                target_columns=tuple(fk["target_columns"]),
+            )
+            for fk in payload["foreign_keys"]
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# column profiles
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: ColumnProfile) -> Dict[str, Any]:
+    return {
+        "column": profile.column,
+        "data_type": profile.data_type.value,
+        "row_count": profile.row_count,
+        "non_null_count": profile.non_null_count,
+        "distinct_count": profile.distinct_count,
+        "is_unique": profile.is_unique,
+        "avg_length": profile.avg_length,
+        "min_length": profile.min_length,
+        "max_length": profile.max_length,
+        "numeric_fraction": profile.numeric_fraction,
+        "alpha_fraction": profile.alpha_fraction,
+        "protein_alphabet_fraction": profile.protein_alphabet_fraction,
+        "dna_alphabet_fraction": profile.dna_alphabet_fraction,
+    }
+
+
+def profile_from_dict(payload: Dict[str, Any]) -> ColumnProfile:
+    payload = dict(payload)
+    payload["data_type"] = DataType(payload["data_type"])
+    return ColumnProfile(**payload)
+
+
+# ----------------------------------------------------------------------
+# discovered structure
+# ----------------------------------------------------------------------
+def _relationship_to_dict(relationship: Relationship) -> Dict[str, Any]:
+    return {
+        "source": relationship.source.qualified,
+        "target": relationship.target.qualified,
+        "cardinality": relationship.cardinality,
+        "origin": relationship.origin,
+    }
+
+
+def _relationship_from_dict(payload: Dict[str, Any]) -> Relationship:
+    return Relationship(
+        source=AttributeRef.parse(payload["source"]),
+        target=AttributeRef.parse(payload["target"]),
+        cardinality=payload["cardinality"],
+        origin=payload["origin"],
+    )
+
+
+def structure_to_dict(structure: SourceStructure) -> Dict[str, Any]:
+    return {
+        "source_name": structure.source_name,
+        "unique_attributes": sorted(a.qualified for a in structure.unique_attributes),
+        "accession_candidates": {
+            table: ref.qualified
+            for table, ref in structure.accession_candidates.items()
+        },
+        "relationships": [
+            _relationship_to_dict(r) for r in structure.relationships
+        ],
+        "primary_relations": list(structure.primary_relations),
+        "secondary_paths": {
+            table: [
+                {
+                    "target_table": path.target_table,
+                    "steps": [
+                        {
+                            "relationship": _relationship_to_dict(step.relationship),
+                            "forward": step.forward,
+                        }
+                        for step in path.steps
+                    ],
+                }
+                for path in paths
+            ]
+            for table, paths in structure.secondary_paths.items()
+        },
+        "unreachable_tables": list(structure.unreachable_tables),
+    }
+
+
+def structure_from_dict(payload: Dict[str, Any]) -> SourceStructure:
+    return SourceStructure(
+        source_name=payload["source_name"],
+        unique_attributes={
+            AttributeRef.parse(q) for q in payload["unique_attributes"]
+        },
+        accession_candidates={
+            table: AttributeRef.parse(q)
+            for table, q in payload["accession_candidates"].items()
+        },
+        relationships=[
+            _relationship_from_dict(r) for r in payload["relationships"]
+        ],
+        primary_relations=list(payload["primary_relations"]),
+        secondary_paths={
+            table: tuple(
+                SecondaryPath(
+                    target_table=p["target_table"],
+                    steps=tuple(
+                        PathStep(
+                            relationship=_relationship_from_dict(s["relationship"]),
+                            forward=s["forward"],
+                        )
+                        for s in p["steps"]
+                    ),
+                )
+                for p in paths
+            )
+            for table, paths in payload["secondary_paths"].items()
+        },
+        unreachable_tables=list(payload["unreachable_tables"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# links
+# ----------------------------------------------------------------------
+def attribute_link_to_dict(link: AttributeLink) -> Dict[str, Any]:
+    return {
+        "source": link.source,
+        "source_attribute": link.source_attribute.qualified,
+        "target": link.target,
+        "target_attribute": link.target_attribute.qualified,
+        "score": link.score,
+        "kind": link.kind,
+        "encoded": link.encoded,
+    }
+
+
+def attribute_link_from_dict(payload: Dict[str, Any]) -> AttributeLink:
+    return AttributeLink(
+        source=payload["source"],
+        source_attribute=AttributeRef.parse(payload["source_attribute"]),
+        target=payload["target"],
+        target_attribute=AttributeRef.parse(payload["target_attribute"]),
+        score=payload["score"],
+        kind=payload["kind"],
+        encoded=payload["encoded"],
+    )
+
+
+def object_link_to_dict(link: ObjectLink) -> Dict[str, Any]:
+    return {
+        "source_a": link.source_a,
+        "accession_a": link.accession_a,
+        "source_b": link.source_b,
+        "accession_b": link.accession_b,
+        "kind": link.kind,
+        "certainty": link.certainty,
+        "evidence": link.evidence,
+    }
+
+
+def object_link_from_dict(payload: Dict[str, Any]) -> ObjectLink:
+    return ObjectLink(**payload)

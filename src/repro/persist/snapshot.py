@@ -1,0 +1,677 @@
+"""SQLite-backed snapshot store: durable integrated state, warm starts.
+
+The paper's promise is that integration happens *once*; before this
+subsystem every process restart re-imported, re-discovered, and re-linked
+every source from raw text. A snapshot serializes the entire integrated
+state — per-source relational tables, the one-time ColumnProfile
+statistics, the discovered structure, the link web, and the BM25 inverted
+index — so reopening rehydrates everything directly into the in-memory
+caches without running a single discovery, linking, or indexing step.
+
+Layout (one SQLite file):
+
+* ``manifest`` — magic marker, format version, index-built flag;
+* ``sources`` — per-source record: content hash, raw input (format, text,
+  import options) for later ``update_source`` calls, discovered structure,
+  sample rows, row counts;
+* ``table_schemas`` / ``rows`` — the relational data, one JSON-encoded
+  tuple per row;
+* ``profiles`` — the per-column ColumnProfile statistics (Section 4.4's
+  compute-once statistics survive restarts);
+* ``attribute_links`` / ``object_links`` — the link web, each link stored
+  once with its endpoint sources as indexed columns;
+* ``index_documents`` / ``index_postings`` — the inverted index, postings
+  keyed by document so no re-tokenization happens on load.
+
+Every per-source slice is keyed by source name, which is what makes the
+incremental checkpoints cheap: ``checkpoint_source`` deletes and rewrites
+exactly one source's rows, profiles, links, and postings in place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.access.index import InvertedIndex
+from repro.discovery.model import AttributeRef, SourceStructure
+from repro.linking.model import AttributeLink, ObjectLink
+from repro.metadata.repository import MetadataRepository
+from repro.persist import codec
+from repro.relational.columns import ColumnProfile
+from repro.relational.database import Database
+
+FORMAT_VERSION = 1
+_MAGIC = "repro-aladin-snapshot"
+
+_TABLES = (
+    "manifest",
+    "sources",
+    "table_schemas",
+    "rows",
+    "profiles",
+    "attribute_links",
+    "object_links",
+    "index_documents",
+    "index_postings",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS manifest (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sources (
+    name TEXT PRIMARY KEY,
+    content_hash TEXT NOT NULL,
+    format_name TEXT,
+    raw_text TEXT,
+    import_options TEXT,
+    structure TEXT NOT NULL,
+    samples TEXT NOT NULL,
+    row_counts TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS table_schemas (
+    source TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    schema TEXT NOT NULL,
+    PRIMARY KEY (source, table_name)
+);
+CREATE TABLE IF NOT EXISTS rows (
+    source TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    row_id INTEGER NOT NULL,
+    data TEXT NOT NULL,
+    PRIMARY KEY (source, table_name, row_id)
+);
+CREATE TABLE IF NOT EXISTS profiles (
+    source TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    column_name TEXT NOT NULL,
+    profile TEXT NOT NULL,
+    PRIMARY KEY (source, table_name, column_name)
+);
+CREATE TABLE IF NOT EXISTS attribute_links (
+    source TEXT NOT NULL,
+    target TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_attribute_links_source ON attribute_links (source);
+CREATE INDEX IF NOT EXISTS idx_attribute_links_target ON attribute_links (target);
+CREATE TABLE IF NOT EXISTS object_links (
+    source_a TEXT NOT NULL,
+    source_b TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_object_links_a ON object_links (source_a);
+CREATE INDEX IF NOT EXISTS idx_object_links_b ON object_links (source_b);
+CREATE TABLE IF NOT EXISTS index_documents (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    source TEXT NOT NULL,
+    accession TEXT NOT NULL,
+    length INTEGER NOT NULL,
+    is_primary INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_index_documents_source ON index_documents (source);
+CREATE TABLE IF NOT EXISTS index_postings (
+    source TEXT NOT NULL,
+    doc INTEGER NOT NULL,
+    token TEXT NOT NULL,
+    field TEXT NOT NULL,
+    frequency INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_index_postings_source ON index_postings (source);
+CREATE INDEX IF NOT EXISTS idx_index_postings_doc ON index_postings (doc);
+"""
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, corrupted, or from another format version."""
+
+
+@dataclass
+class SourceState:
+    """One rehydrated source: warm database plus its persisted metadata."""
+
+    name: str
+    database: Database
+    structure: SourceStructure
+    profiles: Dict[AttributeRef, ColumnProfile]
+    samples: Dict[str, List[dict]]
+    row_counts: Dict[str, int]
+    format_name: Optional[str] = None
+    raw_text: Optional[str] = None
+    import_options: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SnapshotState:
+    """Everything a warm start needs, fully deserialized.
+
+    ``config`` is the raw dict of the :class:`AladinConfig` the system was
+    integrated with — the core layer rebuilds the dataclass (the persist
+    layer sits below core and does not import it).
+    """
+
+    sources: List[SourceState]
+    attribute_links: List[AttributeLink]
+    object_links: List[ObjectLink]
+    index: Optional[InvertedIndex]
+    config: Optional[Dict[str, Any]] = None
+
+
+class SnapshotStore:
+    """One snapshot file: full save/load plus per-source checkpoints."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            conn = sqlite3.connect(self.path)
+            conn.execute("PRAGMA synchronous = NORMAL")
+        except sqlite3.DatabaseError as exc:
+            raise SnapshotError(
+                f"{self.path!r} is not a readable snapshot: {exc}"
+            ) from exc
+        return conn
+
+    def _read_manifest(self, conn: sqlite3.Connection) -> Dict[str, str]:
+        try:
+            rows = conn.execute("SELECT key, value FROM manifest").fetchall()
+        except sqlite3.OperationalError as exc:
+            # A valid SQLite file without our tables: some other database.
+            raise SnapshotError(
+                f"{self.path!r} is an SQLite file but not an ALADIN snapshot "
+                f"({exc})"
+            ) from exc
+        except sqlite3.DatabaseError as exc:
+            raise SnapshotError(
+                f"{self.path!r} is not a readable snapshot: {exc}"
+            ) from exc
+        manifest = dict(rows)
+        if manifest.get("magic") != _MAGIC:
+            raise SnapshotError(
+                f"{self.path!r} is an SQLite file but not an ALADIN snapshot"
+            )
+        version = int(manifest.get("format_version", -1))
+        if version != FORMAT_VERSION:
+            raise SnapshotError(
+                f"snapshot {self.path!r} has format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        return manifest
+
+    def _set_manifest(self, conn: sqlite3.Connection, key: str, value: str) -> None:
+        conn.execute(
+            "INSERT INTO manifest (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    # ------------------------------------------------------------------
+    # full save
+    # ------------------------------------------------------------------
+    def write_full(self, aladin) -> None:
+        """Serialize the entire integrated state, replacing any previous
+        content of the snapshot file."""
+        conn = self._connect()
+        try:
+            with conn:
+                self._ensure_overwritable(conn)
+                try:
+                    conn.executescript(_SCHEMA)
+                except sqlite3.DatabaseError as exc:
+                    raise SnapshotError(
+                        f"cannot write snapshot {self.path!r}: {exc}"
+                    ) from exc
+                for table in _TABLES:
+                    conn.execute(f"DELETE FROM {table}")
+                self._set_manifest(conn, "magic", _MAGIC)
+                self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
+                self._write_config(conn, aladin)
+                for name in aladin.source_names():
+                    self._write_source(conn, aladin, name)
+                self._write_all_links(conn, aladin.repository)
+                self._write_index_full(conn, aladin._index)
+        finally:
+            conn.close()
+
+    def _ensure_overwritable(self, conn: sqlite3.Connection) -> None:
+        """Refuse to clobber an SQLite file that is not ours.
+
+        A fresh or empty file is fine; anything carrying tables must bear
+        the snapshot magic (any format version — overwriting an outdated
+        snapshot is the upgrade path). This keeps ``save`` from silently
+        deleting data out of an unrelated application database.
+        """
+        try:
+            has_tables = conn.execute(
+                "SELECT 1 FROM sqlite_master WHERE type = 'table' LIMIT 1"
+            ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            raise SnapshotError(
+                f"{self.path!r} is not a readable snapshot: {exc}"
+            ) from exc
+        if not has_tables:
+            return
+        magic = None
+        try:
+            row = conn.execute(
+                "SELECT value FROM manifest WHERE key = 'magic'"
+            ).fetchone()
+            magic = row[0] if row else None
+        except sqlite3.DatabaseError:
+            pass
+        if magic != _MAGIC:
+            raise SnapshotError(
+                f"refusing to overwrite {self.path!r}: it is an SQLite "
+                "database but not an ALADIN snapshot"
+            )
+
+    def _write_source(self, conn: sqlite3.Connection, aladin, name: str) -> None:
+        database = aladin.database(name)
+        record = aladin.repository.source(name)
+        hasher = hashlib.sha256()
+        for table_name in database.table_names():
+            table = database.table(table_name)
+            schema_json = codec.canonical_json(codec.schema_to_dict(table.schema))
+            hasher.update(schema_json.encode("utf-8"))
+            conn.execute(
+                "INSERT INTO table_schemas (source, table_name, schema) "
+                "VALUES (?, ?, ?)",
+                (name, table_name, schema_json),
+            )
+            payloads = []
+            for row_id, tup in enumerate(table.raw_rows()):
+                data = json.dumps(list(tup), separators=(",", ":"))
+                hasher.update(data.encode("utf-8"))
+                payloads.append((name, table_name, row_id, data))
+            conn.executemany(
+                "INSERT INTO rows (source, table_name, row_id, data) "
+                "VALUES (?, ?, ?, ?)",
+                payloads,
+            )
+        conn.executemany(
+            "INSERT INTO profiles (source, table_name, column_name, profile) "
+            "VALUES (?, ?, ?, ?)",
+            [
+                (
+                    name,
+                    attr.table,
+                    attr.column,
+                    codec.canonical_json(codec.profile_to_dict(profile)),
+                )
+                for attr, profile in sorted(
+                    record.profiles.items(), key=lambda item: item[0].qualified
+                )
+            ],
+        )
+        raw = aladin._raw_inputs.get(name)
+        conn.execute(
+            "INSERT INTO sources (name, content_hash, format_name, raw_text, "
+            "import_options, structure, samples, row_counts) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                name,
+                hasher.hexdigest(),
+                raw[0] if raw else None,
+                raw[1] if raw else None,
+                json.dumps(raw[2]) if raw else None,
+                codec.canonical_json(codec.structure_to_dict(record.structure)),
+                json.dumps(record.sample_rows),
+                json.dumps(record.row_counts),
+            ),
+        )
+
+    def _write_all_links(
+        self, conn: sqlite3.Connection, repository: MetadataRepository
+    ) -> None:
+        conn.executemany(
+            "INSERT INTO attribute_links (source, target, payload) VALUES (?, ?, ?)",
+            [
+                (
+                    link.source,
+                    link.target,
+                    codec.canonical_json(codec.attribute_link_to_dict(link)),
+                )
+                for link in repository.attribute_links()
+            ],
+        )
+        conn.executemany(
+            "INSERT INTO object_links (source_a, source_b, payload) VALUES (?, ?, ?)",
+            [
+                (
+                    link.source_a,
+                    link.source_b,
+                    codec.canonical_json(codec.object_link_to_dict(link)),
+                )
+                for link in repository.object_links()
+            ],
+        )
+
+    def _write_index_full(
+        self, conn: sqlite3.Connection, index: Optional[InvertedIndex]
+    ) -> None:
+        conn.execute("DELETE FROM index_postings")
+        conn.execute("DELETE FROM index_documents")
+        if index is None:
+            self._set_manifest(conn, "index_built", "0")
+            return
+        for source, accession, length, is_primary, postings in index.export_documents():
+            self._write_document(
+                conn, source, accession, length, is_primary, postings
+            )
+        self._set_manifest(conn, "index_built", "1")
+
+    def _write_document(
+        self,
+        conn: sqlite3.Connection,
+        source: str,
+        accession: str,
+        length: int,
+        is_primary: bool,
+        postings,
+    ) -> None:
+        cursor = conn.execute(
+            "INSERT INTO index_documents (source, accession, length, is_primary) "
+            "VALUES (?, ?, ?, ?)",
+            (source, accession, length, int(is_primary)),
+        )
+        doc_pk = cursor.lastrowid
+        conn.executemany(
+            "INSERT INTO index_postings (source, doc, token, field, frequency) "
+            "VALUES (?, ?, ?, ?, ?)",
+            [
+                (source, doc_pk, token, field_name, frequency)
+                for token, field_name, frequency in postings
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # per-source incremental checkpoints
+    # ------------------------------------------------------------------
+    def checkpoint_source(self, aladin, name: str) -> None:
+        """Rewrite exactly one source's slice of the snapshot in place.
+
+        Called after ``add_source`` / ``update_source``: the source's rows,
+        profiles, structure record, links touching it, and index postings
+        are replaced; every other source's slice stays byte-identical.
+        """
+        conn = self._connect()
+        try:
+            with conn:
+                self._read_manifest(conn)
+                self._write_config(conn, aladin)
+                self._delete_source_slice(conn, name)
+                self._write_source(conn, aladin, name)
+                self._write_source_links(conn, aladin.repository, name)
+                self._checkpoint_index(conn, aladin, name)
+        finally:
+            conn.close()
+
+    def _write_config(self, conn: sqlite3.Connection, aladin) -> None:
+        # asdict keeps this layer ignorant of the core config classes.
+        self._set_manifest(
+            conn, "config", json.dumps(dataclasses.asdict(aladin.config))
+        )
+
+    def checkpoint_remove(self, name: str) -> None:
+        """Drop one source's slice (rows, profiles, links, postings)."""
+        conn = self._connect()
+        try:
+            with conn:
+                self._read_manifest(conn)
+                self._delete_source_slice(conn, name)
+        finally:
+            conn.close()
+
+    def remove_object_link(self, link: ObjectLink) -> int:
+        """Delete one object link's row (link-level user feedback).
+
+        Matches the repository's semantics — normalized endpoints plus
+        kind — by scanning only the rows between the link's two endpoint
+        sources (indexed columns), not the whole table.
+        """
+        normalized = link.normalized()
+        key = (
+            normalized.source_a,
+            normalized.accession_a,
+            normalized.source_b,
+            normalized.accession_b,
+            normalized.kind,
+        )
+        conn = self._connect()
+        try:
+            with conn:
+                self._read_manifest(conn)
+                doomed = []
+                for rowid, payload in conn.execute(
+                    "SELECT rowid, payload FROM object_links "
+                    "WHERE (source_a = ? AND source_b = ?) "
+                    "OR (source_a = ? AND source_b = ?)",
+                    (link.source_a, link.source_b, link.source_b, link.source_a),
+                ):
+                    candidate = codec.object_link_from_dict(
+                        json.loads(payload)
+                    ).normalized()
+                    if (
+                        candidate.source_a,
+                        candidate.accession_a,
+                        candidate.source_b,
+                        candidate.accession_b,
+                        candidate.kind,
+                    ) == key:
+                        doomed.append(rowid)
+                for rowid in doomed:
+                    conn.execute(
+                        "DELETE FROM object_links WHERE rowid = ?", (rowid,)
+                    )
+                return len(doomed)
+        finally:
+            conn.close()
+
+    def write_index(self, index: Optional[InvertedIndex]) -> None:
+        """Persist the inverted index (first lazy build after a save)."""
+        conn = self._connect()
+        try:
+            with conn:
+                self._read_manifest(conn)
+                try:
+                    self._write_index_full(conn, index)
+                except sqlite3.DatabaseError as exc:
+                    raise SnapshotError(
+                        f"cannot write index to snapshot {self.path!r}: {exc}"
+                    ) from exc
+        finally:
+            conn.close()
+
+    def _delete_source_slice(self, conn: sqlite3.Connection, name: str) -> None:
+        conn.execute("DELETE FROM sources WHERE name = ?", (name,))
+        conn.execute("DELETE FROM table_schemas WHERE source = ?", (name,))
+        conn.execute("DELETE FROM rows WHERE source = ?", (name,))
+        conn.execute("DELETE FROM profiles WHERE source = ?", (name,))
+        conn.execute(
+            "DELETE FROM attribute_links WHERE source = ? OR target = ?",
+            (name, name),
+        )
+        conn.execute(
+            "DELETE FROM object_links WHERE source_a = ? OR source_b = ?",
+            (name, name),
+        )
+        conn.execute("DELETE FROM index_postings WHERE source = ?", (name,))
+        conn.execute("DELETE FROM index_documents WHERE source = ?", (name,))
+
+    def _write_source_links(
+        self, conn: sqlite3.Connection, repository: MetadataRepository, name: str
+    ) -> None:
+        conn.executemany(
+            "INSERT INTO attribute_links (source, target, payload) VALUES (?, ?, ?)",
+            [
+                (
+                    link.source,
+                    link.target,
+                    codec.canonical_json(codec.attribute_link_to_dict(link)),
+                )
+                for link in repository.attribute_links()
+                if name in (link.source, link.target)
+            ],
+        )
+        conn.executemany(
+            "INSERT INTO object_links (source_a, source_b, payload) VALUES (?, ?, ?)",
+            [
+                (
+                    link.source_a,
+                    link.source_b,
+                    codec.canonical_json(codec.object_link_to_dict(link)),
+                )
+                for link in repository.object_links()
+                if name in (link.source_a, link.source_b)
+            ],
+        )
+
+    def _checkpoint_index(self, conn: sqlite3.Connection, aladin, name: str) -> None:
+        index = aladin._index
+        if index is None:
+            return
+        manifest = dict(conn.execute("SELECT key, value FROM manifest").fetchall())
+        if manifest.get("index_built") != "1":
+            # The index was built lazily after the last full save: persist
+            # it whole once, then later checkpoints stay per-source.
+            self._write_index_full(conn, index)
+            return
+        for source, accession, length, is_primary, postings in index.export_documents(
+            source=name
+        ):
+            self._write_document(
+                conn, source, accession, length, is_primary, postings
+            )
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def load_state(self) -> SnapshotState:
+        """Deserialize the snapshot into warm, ready-to-attach state."""
+        if not os.path.exists(self.path):
+            raise SnapshotError(f"snapshot {self.path!r} does not exist")
+        conn = self._connect()
+        try:
+            manifest = self._read_manifest(conn)
+            try:
+                sources = [
+                    self._load_source(conn, row)
+                    for row in conn.execute(
+                        "SELECT name, content_hash, format_name, raw_text, "
+                        "import_options, structure, samples, row_counts "
+                        "FROM sources ORDER BY name"
+                    ).fetchall()
+                ]
+                attribute_links = [
+                    codec.attribute_link_from_dict(json.loads(payload))
+                    for (payload,) in conn.execute(
+                        "SELECT payload FROM attribute_links ORDER BY rowid"
+                    )
+                ]
+                object_links = [
+                    codec.object_link_from_dict(json.loads(payload))
+                    for (payload,) in conn.execute(
+                        "SELECT payload FROM object_links ORDER BY rowid"
+                    )
+                ]
+                index = (
+                    self._load_index(conn)
+                    if manifest.get("index_built") == "1"
+                    else None
+                )
+            except (sqlite3.DatabaseError, json.JSONDecodeError, KeyError,
+                    ValueError, TypeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {self.path!r} is corrupted: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        config_json = manifest.get("config")
+        return SnapshotState(
+            sources=sources,
+            attribute_links=attribute_links,
+            object_links=object_links,
+            index=index,
+            config=json.loads(config_json) if config_json else None,
+        )
+
+    def _load_source(self, conn: sqlite3.Connection, row: Tuple) -> SourceState:
+        (name, content_hash, format_name, raw_text, import_options,
+         structure_json, samples_json, row_counts_json) = row
+        hasher = hashlib.sha256()
+        database = Database(name)
+        for table_name, schema_json in conn.execute(
+            "SELECT table_name, schema FROM table_schemas "
+            "WHERE source = ? ORDER BY table_name",
+            (name,),
+        ):
+            hasher.update(schema_json.encode("utf-8"))
+            table = database.create_table(
+                codec.schema_from_dict(json.loads(schema_json))
+            )
+            tuples = []
+            for (data,) in conn.execute(
+                "SELECT data FROM rows WHERE source = ? AND table_name = ? "
+                "ORDER BY row_id",
+                (name, table_name),
+            ):
+                hasher.update(data.encode("utf-8"))
+                tuples.append(json.loads(data))
+            table.bulk_load(tuples)
+        if hasher.hexdigest() != content_hash:
+            raise SnapshotError(
+                f"snapshot {self.path!r}: content hash mismatch for source "
+                f"{name!r} — the stored rows do not match the manifest"
+            )
+        profiles: Dict[AttributeRef, ColumnProfile] = {}
+        for table_name, column_name, profile_json in conn.execute(
+            "SELECT table_name, column_name, profile FROM profiles "
+            "WHERE source = ? ORDER BY table_name, column_name",
+            (name,),
+        ):
+            profile = codec.profile_from_dict(json.loads(profile_json))
+            profiles[AttributeRef(table_name, column_name)] = profile
+            database.table(table_name).columns.restore_profile(column_name, profile)
+        return SourceState(
+            name=name,
+            database=database,
+            structure=codec.structure_from_dict(json.loads(structure_json)),
+            profiles=profiles,
+            samples=json.loads(samples_json),
+            row_counts=json.loads(row_counts_json),
+            format_name=format_name,
+            raw_text=raw_text,
+            import_options=json.loads(import_options) if import_options else {},
+        )
+
+    def _load_index(self, conn: sqlite3.Connection) -> InvertedIndex:
+        index = InvertedIndex()
+        postings_by_doc: Dict[int, List[Tuple[str, str, int]]] = {}
+        for doc, token, field_name, frequency in conn.execute(
+            "SELECT doc, token, field, frequency FROM index_postings ORDER BY rowid"
+        ):
+            postings_by_doc.setdefault(doc, []).append((token, field_name, frequency))
+        for doc_pk, source, accession, length, is_primary in conn.execute(
+            "SELECT id, source, accession, length, is_primary "
+            "FROM index_documents ORDER BY id"
+        ):
+            index.restore_document(
+                source,
+                accession,
+                length,
+                bool(is_primary),
+                postings_by_doc.get(doc_pk, []),
+            )
+        return index

@@ -220,18 +220,34 @@ class ColumnStore:
             for value in non_null:
                 accumulator.add(value)
             self._accumulators[column] = accumulator
-        distinct_count = len(self.value_set(column))
-        profile = ColumnProfile(
+        profile = self._profile_from(
+            column, len(non_null), len(self.value_set(column)), accumulator
+        )
+        self._profiles[column] = profile
+        return profile
+
+    def _profile_from(
+        self,
+        column: str,
+        non_null_count: int,
+        distinct_count: int,
+        accumulator: _ProfileAccumulator,
+    ) -> ColumnProfile:
+        return ColumnProfile(
             column=column,
             data_type=self._table.schema.column(column).data_type,
             row_count=len(self._table),
-            non_null_count=len(non_null),
+            non_null_count=non_null_count,
             distinct_count=distinct_count,
-            is_unique=bool(non_null) and distinct_count == len(non_null),
-            avg_length=accumulator.total_chars / len(non_null) if non_null else 0.0,
+            is_unique=non_null_count > 0 and distinct_count == non_null_count,
+            avg_length=(
+                accumulator.total_chars / non_null_count if non_null_count else 0.0
+            ),
             min_length=accumulator.min_length or 0,
             max_length=accumulator.max_length or 0,
-            numeric_fraction=accumulator.numeric_count / len(non_null) if non_null else 0.0,
+            numeric_fraction=(
+                accumulator.numeric_count / non_null_count if non_null_count else 0.0
+            ),
             alpha_fraction=(
                 accumulator.alpha_chars / accumulator.total_chars
                 if accumulator.total_chars else 0.0
@@ -245,8 +261,85 @@ class ColumnStore:
                 if accumulator.total_chars else 0.0
             ),
         )
-        self._profiles[column] = profile
-        return profile
+
+    # ------------------------------------------------------------------
+    # bulk materialization and rehydration
+    # ------------------------------------------------------------------
+    def materialize_all(self, with_profiles: bool = True) -> None:
+        """Build every missing access path for every column in one pass.
+
+        This is the bulk-load fast path: after a batch insert (or a
+        snapshot rehydration) nothing is materialized yet, so one
+        column-major sweep builds values, non-null arrays, sets, distinct
+        lists, row-id indexes — and, unless ``with_profiles`` is False,
+        the accumulators and profiles — without the per-access laziness.
+        Structures that already exist (kept consistent by ``note_insert``)
+        are left untouched. Materialization is load work, not query work:
+        it counts as neither a hit nor a miss, so a warm-started table
+        reports zero misses until something genuinely recomputes.
+        """
+        for column in self._table.schema.column_names:
+            self._materialize_column(column, with_profiles)
+
+    def _materialize_column(self, column: str, with_profiles: bool) -> None:
+        values = self._values.get(column)
+        if values is None:
+            idx = self._table.schema.column_index(column)
+            values = [tup[idx] for tup in self._table.raw_rows()]
+            self._values[column] = values
+        non_null = self._non_null.get(column)
+        row_index = self._row_ids.get(column)
+        if non_null is None or row_index is None:
+            new_non_null: Optional[List[Any]] = [] if non_null is None else None
+            new_index: Optional[Dict[Any, List[int]]] = (
+                {} if row_index is None else None
+            )
+            for row_id, value in enumerate(values):
+                if is_null(value):
+                    continue
+                if new_non_null is not None:
+                    new_non_null.append(value)
+                if new_index is not None:
+                    new_index.setdefault(value, []).append(row_id)
+            if new_non_null is not None:
+                non_null = new_non_null
+                self._non_null[column] = non_null
+            if new_index is not None:
+                self._row_ids[column] = new_index
+        mutable = self._sets.get(column)
+        if mutable is None:
+            mutable = set(non_null)
+            self._sets[column] = mutable
+        if column not in self._frozen:
+            self._frozen[column] = frozenset(mutable)
+        if column not in self._distinct:
+            seen: Set[Any] = set()
+            distinct: List[Any] = []
+            for value in non_null:
+                if value not in seen:
+                    seen.add(value)
+                    distinct.append(value)
+            self._distinct[column] = distinct
+        if with_profiles and column not in self._profiles:
+            accumulator = self._accumulators.get(column)
+            if accumulator is None:
+                accumulator = _ProfileAccumulator()
+                for value in non_null:
+                    accumulator.add(value)
+                self._accumulators[column] = accumulator
+            self._profiles[column] = self._profile_from(
+                column, len(non_null), len(mutable), accumulator
+            )
+
+    def restore_profile(self, column: str, profile: ColumnProfile) -> None:
+        """Install a deserialized :class:`ColumnProfile` as the cached one.
+
+        Snapshot rehydration calls this instead of recomputing: the
+        restored object becomes the cache, so the first ``profile()`` read
+        after a warm start is a hit. The accumulator is left unset — it is
+        only rebuilt if the table mutates later.
+        """
+        self._profiles[column.lower()] = profile
 
     # ------------------------------------------------------------------
     # maintenance hooks (called by Table)

@@ -62,7 +62,14 @@ class Database:
         return sum(len(t) for t in self._tables.values())
 
     def column_cache_stats(self) -> Dict[str, int]:
-        """Aggregate ColumnStore hit/miss counters across all tables."""
+        """Aggregate ColumnStore hit/miss counters across all tables.
+
+        Bulk materialization and snapshot rehydration count as *warm*: a
+        database whose caches were built by ``materialize_all`` or restored
+        from a snapshot reports zero misses, and every subsequent read is a
+        hit. A non-zero miss count therefore always means something was
+        genuinely recomputed from the row store.
+        """
         hits = sum(t.columns.hits for t in self._tables.values())
         misses = sum(t.columns.misses for t in self._tables.values())
         return {"hits": hits, "misses": misses}

@@ -91,11 +91,51 @@ class Table:
         self._index_row(tup, row_id)
         self.columns.note_insert(tup, row_id)
 
-    def insert_many(self, rows: Iterable[Row]) -> int:
+    def insert_many(self, rows: Iterable[Row], materialize: bool = True) -> int:
+        """Bulk insert with the cache-materializing fast path.
+
+        Rows are validated and coerced exactly like :meth:`insert`, but the
+        ColumnStore caches are built eagerly in one column-major sweep after
+        the load instead of lazily on first access — discovery reads every
+        column anyway, so bulk loads (importers, snapshot rehydration) pay
+        the materialization cost once, here, where it is cheapest.
+        """
         count = 0
         for row in rows:
             self.insert(row)
             count += 1
+        if materialize and count:
+            self.columns.materialize_all()
+        return count
+
+    def bulk_load(self, tuples: Iterable[Sequence[Any]], materialize: bool = True) -> int:
+        """Append pre-coerced row tuples directly (snapshot rehydration path).
+
+        Values must already conform to the schema — they were coerced by
+        :meth:`insert` before being serialized — so type coercion is
+        skipped; unique indexes are still rebuilt and enforced. With
+        ``materialize`` the ColumnStore access paths are built in one pass
+        (profiles excluded: rehydration restores the persisted ones).
+        """
+        width = len(self.schema.columns)
+        count = 0
+        for values in tuples:
+            tup = tuple(values)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row of width {len(tup)} for table {self.name!r} "
+                    f"with {width} columns"
+                )
+            self._check_unique(tup)
+            row_id = len(self._rows)
+            self._rows.append(tup)
+            self._index_row(tup, row_id)
+            # No-op on a fresh table; keeps already-materialized caches
+            # consistent if someone bulk-loads into a read table.
+            self.columns.note_insert(tup, row_id)
+            count += 1
+        if materialize and count:
+            self.columns.materialize_all(with_profiles=False)
         return count
 
     def _key_values(self, tup: Tuple[Any, ...], key: Tuple[str, ...]) -> Optional[Tuple[Any, ...]]:

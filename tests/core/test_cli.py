@@ -111,3 +111,65 @@ class TestCli:
             out=out,
         )
         assert code == 2
+
+
+class TestCliPersistence:
+    def test_save_then_open_without_reimport(self, source_files, tmp_path):
+        scenario, sp_path, pdb_path = source_files
+        snapshot = tmp_path / "warehouse.snapshot"
+        out = io.StringIO()
+        code = run(
+            [
+                "save",
+                str(snapshot),
+                f"swissprot=flatfile:{sp_path}",
+                f"pdb=pdb:{pdb_path}",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert f"snapshot written: {snapshot}" in out.getvalue()
+        assert snapshot.exists()
+        out = io.StringIO()
+        code = run(
+            [
+                "open",
+                str(snapshot),
+                "--search",
+                "kinase",
+                "--sql",
+                "swissprot:SELECT accession FROM entry LIMIT 2",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "warehouse (warm-start): 2 sources" in text
+        assert "search 'kinase':" in text
+        assert "accession" in text
+
+    def test_save_to_unwritable_path_fails_cleanly(self, source_files, tmp_path):
+        scenario, sp_path, _ = source_files
+        out = io.StringIO()
+        code = run(
+            [
+                "save",
+                str(tmp_path / "no" / "such" / "dir" / "x.snapshot"),
+                f"swissprot=flatfile:{sp_path}",
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in out.getvalue()
+
+    def test_open_missing_snapshot_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        assert run(["open", str(tmp_path / "none.snapshot")], out=out) == 2
+        assert "does not exist" in out.getvalue()
+
+    def test_open_corrupted_snapshot_fails_cleanly(self, tmp_path):
+        path = tmp_path / "bad.snapshot"
+        path.write_text("garbage")
+        out = io.StringIO()
+        assert run(["open", str(path)], out=out) == 2
+        assert "error:" in out.getvalue()

@@ -1,0 +1,182 @@
+"""Per-source incremental checkpoints keep an attached snapshot current.
+
+After ``save``, every maintenance operation rewrites only the affected
+source's slice of the snapshot; reopening at any point must reproduce the
+live system exactly.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def small_scenario(include, seed):
+    return build_scenario(
+        ScenarioConfig(
+            seed=seed,
+            include=include,
+            universe=UniverseConfig(
+                n_families=4, members_per_family=2, n_go_terms=10,
+                n_diseases=4, n_interactions=5, seed=seed,
+            ),
+        )
+    )
+
+
+def integrate(scenario, names=None):
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        if names is not None and source.name not in names:
+            continue
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    return aladin
+
+
+def fingerprint(aladin):
+    rows = {
+        name: {
+            table: list(aladin.database(name).table(table).raw_rows())
+            for table in aladin.database(name).table_names()
+        }
+        for name in aladin.source_names()
+    }
+    links = sorted(
+        (
+            link.kind,
+            *sorted(
+                [
+                    (link.source_a, link.accession_a),
+                    (link.source_b, link.accession_b),
+                ]
+            ),
+        )
+        for link in aladin.repository.object_links()
+    )
+    return aladin.source_names(), rows, links
+
+
+def source_args(scenario, name):
+    source = scenario.source(name)
+    return (name, source.facts.format_name, source.text)
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    scenario = small_scenario(include=("swissprot", "pdb", "go"), seed=78)
+    aladin = integrate(scenario, names=("swissprot", "pdb"))
+    aladin.search_engine()
+    path = tmp_path / "live.snapshot"
+    aladin.save(path)
+    return scenario, aladin, path
+
+
+class TestCheckpointAfterMaintenance:
+    def test_add_source_checkpoints_only_that_source(self, saved):
+        scenario, aladin, path = saved
+        before = {
+            name: row_slice(path, name) for name in ("swissprot", "pdb")
+        }
+        name, format_name, text = source_args(scenario, "go")
+        aladin.add_source(name, format_name, text)
+        assert fingerprint(Aladin.open(path)) == fingerprint(aladin)
+        # The other sources' persisted slices were not rewritten.
+        for other in ("swissprot", "pdb"):
+            assert row_slice(path, other) == before[other]
+
+    def test_remove_source_checkpoints(self, saved):
+        scenario, aladin, path = saved
+        aladin.remove_source("pdb")
+        reopened = Aladin.open(path)
+        assert reopened.source_names() == ["swissprot"]
+        assert fingerprint(reopened) == fingerprint(aladin)
+
+    def test_update_source_below_threshold_checkpoints(self, saved):
+        scenario, aladin, path = saved
+        report = aladin.update_source("swissprot", scenario.source("swissprot").text)
+        assert report is None
+        assert fingerprint(Aladin.open(path)) == fingerprint(aladin)
+
+    def test_update_source_above_threshold_checkpoints(self, saved):
+        scenario, aladin, path = saved
+        # A much larger flat file pushes the row delta over the threshold:
+        # the source is dropped and re-integrated, both of which checkpoint.
+        bigger = build_scenario(
+            ScenarioConfig(
+                seed=79,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=8, members_per_family=3, seed=79),
+            )
+        )
+        report = aladin.update_source("swissprot", bigger.source("swissprot").text)
+        assert report is not None
+        assert fingerprint(Aladin.open(path)) == fingerprint(aladin)
+
+    def test_reopened_system_keeps_checkpointing(self, saved):
+        scenario, aladin, path = saved
+        reopened = Aladin.open(path)
+        name, format_name, text = source_args(scenario, "go")
+        reopened.add_source(name, format_name, text)
+        third = Aladin.open(path)
+        assert fingerprint(third) == fingerprint(reopened)
+
+    def test_remove_link_rewrites_links(self, saved):
+        _, aladin, path = saved
+        link = aladin.repository.object_links(kind="crossref")[0]
+        assert aladin.remove_link(link)
+        assert fingerprint(Aladin.open(path)) == fingerprint(aladin)
+
+    def test_search_results_track_checkpoints(self, saved):
+        scenario, aladin, path = saved
+        name, format_name, text = source_args(scenario, "go")
+        aladin.add_source(name, format_name, text)
+        aladin.remove_source("pdb")
+        reopened = Aladin.open(path)
+        for query in ("kinase", "binding"):
+            live = {
+                (h.source, h.accession, round(h.score, 9))
+                for h in aladin.search_engine().search(query, top_k=50)
+            }
+            warm = {
+                (h.source, h.accession, round(h.score, 9))
+                for h in reopened.search_engine().search(query, top_k=50)
+            }
+            assert warm == live
+
+    def test_index_built_after_save_is_persisted(self, tmp_path):
+        scenario = small_scenario(include=("swissprot", "pdb"), seed=80)
+        aladin = integrate(scenario)
+        path = tmp_path / "lazy-index.snapshot"
+        aladin.save(path)  # saved without an index
+        assert Aladin.open(path)._index is None
+        aladin.search_engine()  # lazy build persists through the store
+        reopened = Aladin.open(path)
+        assert reopened._index is not None
+        assert reopened._index.pages_indexed == 0
+        assert len(reopened._index) == len(aladin._index)
+
+    def test_detach_store_stops_checkpointing(self, saved):
+        scenario, aladin, path = saved
+        aladin.detach_store()
+        aladin.remove_source("pdb")
+        assert "pdb" in Aladin.open(path).source_names()
+
+
+def row_slice(path, source):
+    """The persisted (table, row_id, data) slice of one source."""
+    conn = sqlite3.connect(path)
+    try:
+        return conn.execute(
+            "SELECT table_name, row_id, data FROM rows WHERE source = ? "
+            "ORDER BY table_name, row_id",
+            (source,),
+        ).fetchall()
+    finally:
+        conn.close()

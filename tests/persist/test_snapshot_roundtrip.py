@@ -1,0 +1,220 @@
+"""Full round-trip: a reopened system is indistinguishable from the saved one.
+
+The warm-start contract: ``Aladin.open`` rehydrates sources, profiles,
+links, duplicates, and search state exactly, and does so without running
+a single discovery, linking, or index-build step (checked through the
+engine, cache, and index counters).
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.persist import FORMAT_VERSION, SnapshotError
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def link_fingerprint(aladin, kind=None):
+    return sorted(
+        (
+            link.kind,
+            link.certainty,
+            *sorted(
+                [
+                    (link.source_a, link.accession_a),
+                    (link.source_b, link.accession_b),
+                ]
+            ),
+        )
+        for link in aladin.repository.object_links(kind)
+    )
+
+
+@pytest.fixture(scope="module")
+def reopened(integrated_world, tmp_path_factory):
+    scenario, aladin = integrated_world
+    path = tmp_path_factory.mktemp("snap") / "world.snapshot"
+    aladin.save(path)
+    aladin.detach_store()  # later tests mutate `aladin` without checkpoints
+    return scenario, aladin, Aladin.open(path)
+
+
+class TestRoundTripEquality:
+    def test_sources_and_rows_match(self, reopened):
+        _, original, warm = reopened
+        assert warm.source_names() == original.source_names()
+        for name in original.source_names():
+            cold_db = original.database(name)
+            warm_db = warm.database(name)
+            assert warm_db.table_names() == cold_db.table_names()
+            for table_name in cold_db.table_names():
+                assert (
+                    list(warm_db.table(table_name).raw_rows())
+                    == list(cold_db.table(table_name).raw_rows())
+                )
+
+    def test_structures_match(self, reopened):
+        _, original, warm = reopened
+        for name in original.source_names():
+            assert warm.repository.structure(name) == original.repository.structure(name)
+
+    def test_profiles_match_and_are_the_cached_objects(self, reopened):
+        _, original, warm = reopened
+        for name in original.source_names():
+            cold_record = original.repository.source(name)
+            warm_record = warm.repository.source(name)
+            assert warm_record.profiles == cold_record.profiles
+            assert warm_record.row_counts == cold_record.row_counts
+            # The identity invariant of the metadata repository survives
+            # rehydration: the record's profiles ARE the ColumnStore caches.
+            database = warm.database(name)
+            for attr, profile in warm_record.profiles.items():
+                assert profile is database.table(attr.table).column_profile(attr.column)
+
+    def test_engine_statistics_match(self, reopened):
+        _, original, warm = reopened
+        for name in original.source_names():
+            assert (
+                warm._engine.statistics_for(name)
+                == original._engine.statistics_for(name)
+            )
+
+    def test_links_and_duplicates_match(self, reopened):
+        _, original, warm = reopened
+        assert link_fingerprint(warm) == link_fingerprint(original)
+        duplicates = link_fingerprint(original, kind="duplicate")
+        assert duplicates  # the scenario must actually exercise step 5
+        assert link_fingerprint(warm, kind="duplicate") == duplicates
+        assert sorted(
+            l.key() for l in warm.repository.attribute_links()
+        ) == sorted(l.key() for l in original.repository.attribute_links())
+
+    def test_search_results_match(self, reopened):
+        scenario, original, warm = reopened
+        queries = [p.name for p in scenario.universe.proteins[:5]] + ["kinase"]
+        for query in queries:
+            cold_hits = {
+                (h.source, h.accession, round(h.score, 9))
+                for h in original.search_engine().search(query, top_k=50)
+            }
+            warm_hits = {
+                (h.source, h.accession, round(h.score, 9))
+                for h in warm.search_engine().search(query, top_k=50)
+            }
+            assert warm_hits == cold_hits
+
+
+class TestWarmStartDoesNoIntegrationWork:
+    def test_zero_engine_and_cache_counters(self, reopened):
+        _, _, warm = reopened
+        assert warm._engine.registrations == 0
+        assert warm._engine.comparisons_made == 0
+        for name in warm.source_names():
+            assert warm.database(name).column_cache_stats()["misses"] == 0
+        assert warm.reports == []  # no pipeline step ran
+
+    def test_index_restored_without_crawling(self, reopened):
+        _, original, warm = reopened
+        assert warm._index is not None
+        assert warm._index.pages_indexed == 0
+        assert len(warm._index) == len(original._index)
+        assert warm._index.vocabulary_size() == original._index.vocabulary_size()
+
+    def test_raw_inputs_survive_for_update_source(self, reopened):
+        scenario, _, warm = reopened
+        # Below-threshold update works on a reopened system: the raw text
+        # and import options were persisted with the source.
+        report = warm.update_source("swissprot", scenario.source("swissprot").text)
+        assert report is None
+
+    def test_config_round_trips(self, tmp_path):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=81,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=81),
+            )
+        )
+        config = AladinConfig()
+        config.detect_duplicates = False
+        config.reanalysis_change_threshold = 0.5
+        config.linking.min_match_fraction = 0.25
+        config.channels.sequence = False
+        aladin = Aladin(config)
+        for source in scenario.sources:
+            aladin.add_source(source.name, source.facts.format_name, source.text)
+        path = tmp_path / "configured.snapshot"
+        aladin.save(path)
+        # The snapshot carries the knobs it was integrated with...
+        warm = Aladin.open(path)
+        assert warm.config == config
+        # ...unless the caller explicitly overrides them.
+        override = AladinConfig()
+        assert Aladin.open(path, config=override).config is override
+
+
+class TestSnapshotValidation:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SnapshotError, match="does not exist"):
+            Aladin.open(tmp_path / "nope.snapshot")
+
+    def test_corrupted_file_raises(self, tmp_path):
+        path = tmp_path / "garbage.snapshot"
+        path.write_text("this is not a snapshot at all")
+        with pytest.raises(SnapshotError, match="not a readable snapshot"):
+            Aladin.open(path)
+
+    def test_foreign_sqlite_file_raises(self, tmp_path):
+        path = tmp_path / "other.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SnapshotError, match="not an ALADIN snapshot"):
+            Aladin.open(path)
+
+    def test_save_refuses_to_overwrite_foreign_sqlite(self, integrated_world, tmp_path):
+        _, aladin = integrated_world
+        path = tmp_path / "app.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE precious (x INTEGER)")
+        conn.execute("INSERT INTO precious VALUES (42)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(SnapshotError, match="refusing to overwrite"):
+            aladin.save(path)
+        # The foreign database was left untouched.
+        conn = sqlite3.connect(path)
+        assert conn.execute("SELECT x FROM precious").fetchall() == [(42,)]
+        conn.close()
+
+    def test_version_mismatch_raises(self, integrated_world, tmp_path):
+        _, aladin = integrated_world
+        path = tmp_path / "versioned.snapshot"
+        aladin.save(path)
+        aladin.detach_store()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE manifest SET value = ? WHERE key = 'format_version'",
+            (str(FORMAT_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(SnapshotError, match="format version"):
+            Aladin.open(path)
+
+    def test_tampered_rows_fail_the_content_hash(self, integrated_world, tmp_path):
+        _, aladin = integrated_world
+        path = tmp_path / "tampered.snapshot"
+        aladin.save(path)
+        aladin.detach_store()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE rows SET data = '[\"corrupted\"]' WHERE rowid = "
+            "(SELECT rowid FROM rows LIMIT 1)"
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(SnapshotError):
+            Aladin.open(path)

@@ -124,6 +124,91 @@ class TestInsertMaintenance:
         assert table.columns.misses == 0
 
 
+class TestBulkMaterialization:
+    """insert_many / bulk_load build the caches during load, not lazily."""
+
+    ROWS = [
+        {"accession": "P1", "name": "alpha", "length": 10},
+        {"accession": "P2", "name": "beta", "length": 20},
+        {"accession": "P3", "name": None, "length": 10},
+    ]
+
+    def fresh_table(self) -> Table:
+        schema = TableSchema(
+            name="protein",
+            columns=[
+                Column("accession", DataType.TEXT, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("length", DataType.INTEGER),
+            ],
+            primary_key=["accession"],
+        )
+        return Table(schema)
+
+    def test_insert_many_materializes_every_access_path(self):
+        table = self.fresh_table()
+        table.insert_many(self.ROWS)
+        # Load work counts as neither hits nor misses...
+        assert table.columns.misses == 0
+        assert table.columns.hits == 0
+        # ...and every subsequent read is served warm.
+        assert table.values("length") == [10, 20, 10]
+        assert table.value_set("length") == frozenset({10, 20})
+        assert table.distinct_values("length") == [10, 20]
+        assert table.columns.row_ids("length")[10] == [0, 2]
+        profile = table.column_profile("name")
+        assert profile.non_null_count == 2
+        assert table.columns.misses == 0
+        assert table.columns.hits == 5
+
+    def test_insert_many_patches_already_materialized_caches(self):
+        table = self.fresh_table()
+        table.insert_many(self.ROWS[:2])
+        misses_before = table.columns.misses
+        table.insert_many(self.ROWS[2:])
+        assert table.columns.misses == misses_before
+        assert table.values("accession") == ["P1", "P2", "P3"]
+        assert table.columns.row_ids("length")[10] == [0, 2]
+        assert table.column_profile("length").row_count == 3
+
+    def test_insert_many_still_enforces_constraints(self):
+        table = self.fresh_table()
+        with pytest.raises(ConstraintViolation):
+            table.insert_many(self.ROWS + [{"accession": "P1", "name": "dup"}])
+
+    def test_bulk_load_appends_pre_coerced_tuples_warm(self):
+        table = self.fresh_table()
+        count = table.bulk_load(
+            [("P1", "alpha", 10), ("P2", "beta", 20), ("P3", None, 10)]
+        )
+        assert count == 3
+        assert table.columns.misses == 0
+        assert table.lookup_unique("accession", "P2")["name"] == "beta"
+        assert table.columns.row_ids("length")[10] == [0, 2]
+        assert table.columns.misses == 0
+
+    def test_bulk_load_rejects_wrong_width(self):
+        table = self.fresh_table()
+        with pytest.raises(ValueError, match="width"):
+            table.bulk_load([("P1", "alpha")])
+
+    def test_bulk_load_enforces_unique_keys(self):
+        table = self.fresh_table()
+        with pytest.raises(ConstraintViolation):
+            table.bulk_load([("P1", "a", 1), ("P1", "b", 2)])
+
+    def test_restore_profile_installs_the_cache(self):
+        table = self.fresh_table()
+        table.insert_many(self.ROWS)
+        reference = table.column_profile("name")
+        restored_table = self.fresh_table()
+        restored_table.bulk_load([("P1", "alpha", 10), ("P2", "beta", 20),
+                                  ("P3", None, 10)])
+        restored_table.columns.restore_profile("name", reference)
+        assert restored_table.column_profile("name") is reference
+        assert restored_table.columns.misses == 0
+
+
 class TestDeleteMaintenance:
     """Regression: unique indexes stay consistent after delete_where."""
 
