@@ -115,11 +115,19 @@ class ObjectWeb:
         key = (source, table_name)
         cached = self._annotation_cache.get(key)
         if cached is None:
+            # Secondary-path-aware index: the resolver maps the whole
+            # table to its owners in one forward sweep over the shared
+            # ColumnStore value indexes — no per-row backward path walks.
             cached = {}
             table = self._databases[source].table(table_name)
-            for candidate in table.rows():
-                for owner in resolver.owners_of_row(table_name, candidate):
-                    cached.setdefault(owner, []).append(dict(candidate))
+            owners_by_row = resolver.owners_index(table_name)
+            for row_id in range(len(table)):
+                owners = owners_by_row.get(row_id)
+                if not owners:
+                    continue
+                row = table.row_at(row_id)
+                for owner in owners:
+                    cached.setdefault(owner, []).append(dict(row))
             self._annotation_cache[key] = cached
         return cached
 

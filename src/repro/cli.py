@@ -42,6 +42,24 @@ def _parse_source(spec: str) -> Tuple[str, str, str]:
     return name, format_name, path
 
 
+def _add_exec_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="execution backend for the pipeline's fan-outs "
+        "(default: REPRO_EXEC_BACKEND or serial)",
+    )
+    subparser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the thread/process backends "
+        "(default: REPRO_EXEC_WORKERS or 4)",
+    )
+
+
 def _add_access_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--search", metavar="QUERY", help="ranked full-text search after integration"
@@ -74,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="one or more name=format:path source specifications",
     )
     _add_access_flags(integrate)
+    _add_exec_flags(integrate)
     integrate.add_argument(
         "--declare-constraints",
         action="store_true",
@@ -90,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="one or more name=format:path source specifications",
     )
     _add_access_flags(save)
+    _add_exec_flags(save)
     save.add_argument(
         "--declare-constraints",
         action="store_true",
@@ -100,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     open_cmd.add_argument("snapshot", help="path of the snapshot file to read")
     _add_access_flags(open_cmd)
+    _add_exec_flags(open_cmd)
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
@@ -164,10 +185,16 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         except SnapshotError as exc:
             print(f"error: {exc}", file=out)
             return 2
+        if args.backend is not None or args.workers is not None:
+            aladin.configure_execution(backend=args.backend, workers=args.workers)
         print(f"warehouse (warm-start): {aladin.summary()}", file=out)
         return _run_access_modes(aladin, args, out)
     config = AladinConfig()
     config.declare_constraints = args.declare_constraints
+    if args.backend is not None:
+        config.execution.backend = args.backend
+    if args.workers is not None:
+        config.execution.workers = max(1, args.workers)
     aladin = Aladin(config)
     code = _integrate_sources(aladin, args.sources, out)
     if code:

@@ -12,12 +12,21 @@
 
 Everything discovered lands in the metadata repository; browsing,
 searching, and querying run on top of it.
+
+Orchestration runs on the execution subsystem (:mod:`repro.exec`): each
+``add_source`` is a task graph (structure discovery → registration →
+{link fan-out, duplicate fan-out, index update} → checkpoint) whose
+fan-outs dispatch to the configured worker pool, and
+:meth:`Aladin.integrate_many` pipelines whole batches of independent
+sources through the same stages. Results are byte-identical across
+backends: fan-out results merge in fixed source order, and repository
+writes happen in the exact order of the sequential loop.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.access.browser import Browser
 from repro.access.crawler import Crawler
@@ -31,13 +40,105 @@ from repro.core.report import IntegrationReport, StepTiming
 from repro.dataimport.base import ImportResult
 from repro.dataimport import registry
 from repro.discovery.pipeline import discover_structure
-from repro.duplicates.detector import DuplicateDetector
-from repro.linking.engine import LinkDiscoveryEngine
+from repro.duplicates.batch import BoundedRecordScorer
+from repro.duplicates.detector import DuplicateConfig, DuplicateDetector
+from repro.exec.graph import TaskGraph
+from repro.exec.pool import Executor, create_executor
+from repro.linking.engine import LinkDiscoveryEngine, _pair_task
 from repro.linking.model import ObjectLink
-from repro.linking.stats import collect_profiles, statistics_from_profile
+from repro.linking.stats import collect_profiles, collect_statistics, statistics_from_profile
 from repro.metadata.repository import MetadataRepository
 from repro.persist.snapshot import SnapshotError, SnapshotStore
 from repro.relational.database import Database
+
+
+# ----------------------------------------------------------------------
+# worker task bodies (module level: the process backend ships them by
+# reference; shared state arrives via fork inheritance, results are the
+# only thing pickled back)
+# ----------------------------------------------------------------------
+def _import_task(_state: Any, spec: Tuple) -> Tuple:
+    """Step 1-3 for one source: import raw text, discover its structure.
+
+    Pure per source — nothing here touches another source — which is what
+    makes the bulk import stage embarrassingly parallel. Statistics are
+    collected in the worker so the database's ColumnStore caches travel
+    back warm; the parent's registration then runs entirely on cache hits.
+    """
+    name, format_name, text, options, discovery_config, declare_constraints = spec
+    started = time.perf_counter()
+    importer = registry.create(
+        format_name, name, declare_constraints=declare_constraints
+    )
+    for key, value in options.items():
+        setattr(importer, key, value)
+    result: ImportResult = importer.import_text(text)
+    import_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    structure = discover_structure(result.database, discovery_config)
+    collect_statistics(result.database)  # warm the profile caches for the trip home
+    discover_seconds = time.perf_counter() - started
+    return (
+        result.database,
+        structure,
+        list(result.warnings),
+        result.tables_created,
+        result.records_read,
+        import_seconds,
+        discover_seconds,
+    )
+
+
+def _dup_pair_task(engine: LinkDiscoveryEngine, spec: Tuple[str, str, DuplicateConfig]):
+    """Step 5 for one source pair, exactly as the sequential pass runs it."""
+    name_a, name_b, config = spec
+    started = time.perf_counter()
+    detector = DuplicateDetector(config)
+    links = detector.detect(
+        engine.database_for(name_a),
+        engine.structure_for(name_a),
+        engine.database_for(name_b),
+        engine.structure_for(name_b),
+    )
+    return links, time.perf_counter() - started
+
+
+def _dup_chunk_task(
+    engine: LinkDiscoveryEngine, spec: Tuple[str, Tuple[str, ...], DuplicateConfig]
+):
+    """Step 5 for one new source against an ordered list of counterparts.
+
+    The batch scheduler's unit of work: all pairs of the chunk share one
+    :class:`BoundedRecordScorer` (value-pair cache + exact best-match
+    pruning), so a chunk does substantially less similarity work than the
+    same pairs scored independently — with provably identical links.
+    """
+    name, others, config = spec
+    started = time.perf_counter()
+    detector = DuplicateDetector(config, scorer=BoundedRecordScorer())
+    links = [
+        detector.detect(
+            engine.database_for(name),
+            engine.structure_for(name),
+            engine.database_for(other),
+            engine.structure_for(other),
+        )
+        for other in others
+    ]
+    return links, time.perf_counter() - started
+
+
+def _batch_scan_task(engine: LinkDiscoveryEngine, tagged: Tuple[str, Tuple]):
+    """Dispatcher for the batch pipeline's single combined fan-out.
+
+    Link pair scans and duplicate chunks only *read* engine state, so one
+    pool serves both — one fork instead of two, and no barrier where
+    workers idle between the stages.
+    """
+    tag, payload = tagged
+    if tag == "link":
+        return _pair_task(engine, payload)
+    return _dup_chunk_task(engine, payload)
 
 
 class Aladin:
@@ -47,14 +148,37 @@ class Aladin:
         self.config = config or AladinConfig()
         self.repository = MetadataRepository()
         self.web = ObjectWeb(self.repository)
+        self._executor: Executor = create_executor(self.config.execution)
         self._engine = LinkDiscoveryEngine(
-            config=self.config.linking, channels=self.config.channels
+            config=self.config.linking,
+            channels=self.config.channels,
+            executor=self._executor,
         )
         self._databases: Dict[str, Database] = {}
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
         self._store: Optional[SnapshotStore] = None
         self.reports: List[IntegrationReport] = []
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor
+
+    def configure_execution(
+        self, backend: Optional[str] = None, workers: Optional[int] = None
+    ) -> None:
+        """Re-point the system at another execution backend at runtime.
+
+        Used by the CLI's ``--backend``/``--workers`` flags (including on
+        warm-started systems, whose snapshot carried the writing system's
+        configuration).
+        """
+        if backend is not None:
+            self.config.execution.backend = backend
+        if workers is not None:
+            self.config.execution.workers = max(1, int(workers))
+        self._executor = create_executor(self.config.execution)
+        self._engine.executor = self._executor
 
     # ------------------------------------------------------------------
     # the five-step pipeline
@@ -97,6 +221,250 @@ class Aladin:
         self._integrate_database(database, report)
         return report
 
+    def integrate_many(self, sources: Iterable[Tuple]) -> List[IntegrationReport]:
+        """Integrate a batch of independent sources through one pipeline.
+
+        ``sources`` is an iterable of ``(name, format_name, text)`` or
+        ``(name, format_name, text, import_options)`` tuples. The batch
+        runs in four scheduled stages:
+
+        1. *import + structure discovery* — per-source and pure, fanned
+           across the worker pool;
+        2. *registration* — ordered and sequential (shared state);
+        3. *link scans and duplicate chunks* — every pair of the batch in
+           two pool fan-outs; duplicate chunks share a
+           :class:`BoundedRecordScorer` per new source;
+        4. *stores, index updates, checkpoints* — applied strictly in
+           batch order.
+
+        The resulting repository, object web, and index are byte-identical
+        to calling :meth:`add_source` once per tuple in the same order —
+        that is the contract the determinism tests pin down.
+
+        The batch is atomic: if any stage fails (a worker dying mid
+        fan-out included), every source of the batch is unwound via
+        :meth:`remove_source` before the error propagates, so the system
+        is left exactly as before the call and the batch can be retried.
+
+        Report semantics: per-source ``StepTiming`` values in batch
+        reports are seconds spent *inside the worker tasks* (work time).
+        Under parallel execution they overlap, so their sum can exceed —
+        and the batch wall clock can undercut — the equivalent sequential
+        run; compare wall clock via ``BENCH_parallel.json``, not by
+        summing report steps.
+        """
+        specs: List[Tuple[str, str, str, Dict[str, Any]]] = []
+        for item in sources:
+            if len(item) == 3:
+                name, format_name, text = item
+                options: Dict[str, Any] = {}
+            else:
+                name, format_name, text, options = item
+                options = dict(options)
+            specs.append((name, format_name, text, options))
+        names = [spec[0] for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("integrate_many got duplicate source names")
+        for name in names:
+            if self.repository.has_source(name):
+                raise ValueError(f"source {name!r} already integrated")
+        if not specs:
+            return []
+        existing = self._engine.source_names()  # sorted, pre-batch
+
+        # Stage 1: parallel import + discovery (pure per source).
+        import_items = [
+            (name, format_name, text, options,
+             self.config.discovery, self.config.declare_constraints)
+            for name, format_name, text, options in specs
+        ]
+        imported = self._executor.map_ordered(
+            _import_task,
+            import_items,
+            labels=[f"import:{name}" for name in names],
+        )
+
+        registered: List[str] = []
+        try:
+            return self._integrate_batch(specs, names, existing, imported, registered)
+        except BaseException:
+            # Unwind every batch source that made it into shared state —
+            # half-registered ones included — so the failure leaves the
+            # in-memory system as before the call and the batch is
+            # retryable as-is. (An attached snapshot store is scrubbed
+            # best-effort: if the store itself is what failed, its slices
+            # may need a fresh save once the store is healthy again.)
+            for name in reversed(registered):
+                self._unregister_source_state(name)
+            raise
+
+    def _integrate_batch(
+        self,
+        specs: List[Tuple[str, str, str, Dict[str, Any]]],
+        names: List[str],
+        existing: List[str],
+        imported: List[Tuple],
+        registered: List[str],
+    ) -> List[IntegrationReport]:
+        # Stage 2: ordered registration (engine, repository, object web).
+        reports: List[IntegrationReport] = []
+        for (name, format_name, text, options), result in zip(specs, imported):
+            (database, structure, warnings, tables_created, records_read,
+             import_seconds, discover_seconds) = result
+            report = IntegrationReport(source_name=name)
+            report.warnings.extend(warnings)
+            report.steps.append(
+                StepTiming(
+                    "import",
+                    import_seconds,
+                    {"tables": tables_created, "records": records_read},
+                )
+            )
+            self._describe_structure(report, structure, discover_seconds)
+            registered.append(name)  # before: a partial registration must unwind too
+            self._register_source_state(database, structure)
+            self._raw_inputs[name] = (format_name, text, options)
+            reports.append(report)
+
+        # Stage 3: every link-discovery pair scan and duplicate chunk of
+        # the batch in ONE fan-out — both only read engine state, so one
+        # pool serves both (a single fork, no inter-stage barrier).
+        # Source k targets exactly what a sequential loop would have
+        # registered before it: the pre-batch sources plus the batch
+        # sources ahead of it, in sorted order.
+        per_source_targets = [
+            sorted(existing + names[:position]) for position in range(len(names))
+        ]
+        per_source_specs = [
+            self._engine.pair_specs(name, against=targets)
+            for name, targets in zip(names, per_source_targets)
+        ]
+        link_specs = [
+            spec for source_specs in per_source_specs for spec in source_specs
+        ]
+        tagged = [("link", spec) for spec in link_specs]
+        labels = [f"link:{mode}:{a}->{b}" for mode, a, b in link_specs]
+        if self.config.detect_duplicates:
+            tagged.extend(
+                ("dup", (name, tuple(targets), self.config.duplicates))
+                for name, targets in zip(names, per_source_targets)
+            )
+            labels.extend(f"duplicates:{name}" for name in names)
+        scan_results = self._executor.map_ordered(
+            _batch_scan_task, tagged, state=self._engine, labels=labels
+        )
+        link_results = scan_results[: len(link_specs)]
+        dup_results: List[Optional[Tuple[List[List[ObjectLink]], float]]]
+        if self.config.detect_duplicates:
+            dup_results = scan_results[len(link_specs):]
+        else:
+            dup_results = [None] * len(names)
+
+        # Stage 4: ordered stores, index updates, and checkpoints — the
+        # exact write order of the sequential loop.
+        offset = 0
+        for position, (name, report) in enumerate(zip(names, reports)):
+            source_specs = per_source_specs[position]
+            source_results = link_results[offset:offset + len(source_specs)]
+            offset += len(source_specs)
+            links = self._engine.merge_pair_results(source_results)
+            for attribute_link in links.attribute_links:
+                self.repository.add_attribute_link(attribute_link)
+            stored = self.repository.add_object_links(links.object_links)
+            report.steps.append(
+                StepTiming(
+                    "link_discovery",
+                    sum(seconds for _links, _count, seconds in source_results),
+                    {
+                        "attribute_links": len(links.attribute_links),
+                        "object_links": stored,
+                    },
+                )
+            )
+            flagged = 0
+            duplicate_seconds = 0.0
+            if dup_results[position] is not None:
+                link_lists, duplicate_seconds = dup_results[position]
+                flagged = sum(
+                    self.repository.add_object_links(link_list)
+                    for link_list in link_lists
+                )
+            report.steps.append(
+                StepTiming(
+                    "duplicate_detection",
+                    duplicate_seconds,
+                    {"duplicates_flagged": flagged},
+                )
+            )
+            self._index_add_source(name)
+            self._checkpoint(name)
+        self.reports.extend(reports)
+        return reports
+
+    def _register_source_state(self, database: Database, structure) -> None:
+        """Install one discovered source into every shared structure.
+
+        Statistics are computed once here and reused for every later
+        source addition (Section 4.4); the repository additionally keeps
+        the storage-level ColumnProfile objects, so no later step
+        re-derives per-column aggregates from raw rows. Both integration
+        paths (incremental graph and batch pipeline) go through this one
+        helper so they cannot diverge.
+        """
+        statistics = self._engine.register_source(database, structure)
+        samples, row_counts = self._data_snapshot(database)
+        self.repository.register_source(
+            structure, statistics, samples, row_counts,
+            profiles=collect_profiles(database),
+        )
+        self._databases[database.name] = database
+        self.web.attach_database(database.name, database)
+
+    def _unregister_source_state(self, name: str) -> None:
+        """Best-effort unwind of one (possibly partially) registered source.
+
+        Used by the batch failure path: each subsystem is scrubbed
+        independently and cleanup errors are swallowed so the *original*
+        failure propagates and the unwind always reaches every source.
+        """
+        for cleanup in (
+            lambda: self.repository.has_source(name)
+            and self.repository.remove_source(name),
+            lambda: name in self._engine.source_names()
+            and self._engine.deregister_source(name),
+            lambda: self._databases.pop(name, None),
+            lambda: self._raw_inputs.pop(name, None),
+            lambda: self.web.detach_database(name),
+            lambda: self._index is not None and self._index.remove_source(name),
+            lambda: self._store is not None and self._store.checkpoint_remove(name),
+        ):
+            try:
+                cleanup()
+            except Exception:  # noqa: BLE001 - the original error must win
+                continue
+
+    @staticmethod
+    def _describe_structure(report: IntegrationReport, structure, seconds: float) -> None:
+        """The discover-step report entry, shared by both integration paths."""
+        report.primary_relation = structure.primary_relation
+        report.steps.append(
+            StepTiming(
+                "discover_structure",
+                seconds,
+                {
+                    "unique_attributes": len(structure.unique_attributes),
+                    "accession_candidates": len(structure.accession_candidates),
+                    "relationships": len(structure.relationships),
+                    "paths": sum(len(p) for p in structure.secondary_paths.values()),
+                },
+            )
+        )
+        if structure.primary_relation is None:
+            report.warnings.append(
+                f"no primary relation found for {report.source_name!r}; objects "
+                "of this source cannot anchor links"
+            )
+
     def _data_snapshot(self, database: Database):
         """(sample rows, row counts) stored alongside a source's record."""
         samples = {
@@ -109,85 +477,121 @@ class Aladin:
         return samples, row_counts
 
     def _integrate_database(self, database: Database, report: IntegrationReport) -> None:
+        """Steps 2-5 as a task graph on the configured executor.
+
+        Stage order (and therefore every repository write) is fixed by the
+        dependency edges; under the thread backend independent stages
+        overlap — the index update runs off the link/duplicate critical
+        path — and under any backend the two fan-outs (pair scans,
+        duplicate pairs) dispatch to the worker pool.
+        """
         name = database.name
-        # Steps 2+3: primary and secondary discovery (single processing
-        # step, Section 3).
-        started = time.perf_counter()
-        structure = discover_structure(database, self.config.discovery)
-        report.primary_relation = structure.primary_relation
-        report.steps.append(
-            StepTiming(
-                "discover_structure",
-                time.perf_counter() - started,
-                {
-                    "unique_attributes": len(structure.unique_attributes),
-                    "accession_candidates": len(structure.accession_candidates),
-                    "relationships": len(structure.relationships),
-                    "paths": sum(len(p) for p in structure.secondary_paths.values()),
-                },
+        graph = TaskGraph()
+
+        def run_discover(_results):
+            # Steps 2+3: primary and secondary discovery (single
+            # processing step, Section 3); per-source, nothing else read.
+            started = time.perf_counter()
+            structure = discover_structure(database, self.config.discovery)
+            return structure, time.perf_counter() - started
+
+        def run_register(results):
+            structure, _seconds = results["discover_structure"]
+            self._register_source_state(database, structure)
+
+        def run_links(_results):
+            # Step 4: link discovery against all existing sources, fanned
+            # across the worker pool in fixed pair order.
+            started = time.perf_counter()
+            links = self._engine.discover_for(name)
+            return links, time.perf_counter() - started
+
+        def run_store_links(results):
+            links, _seconds = results["link_discovery"]
+            for attribute_link in links.attribute_links:
+                self.repository.add_attribute_link(attribute_link)
+            return self.repository.add_object_links(links.object_links)
+
+        def run_duplicates(_results):
+            # Step 5: duplicate detection against every existing source,
+            # one worker task per source pair.
+            started = time.perf_counter()
+            link_lists = self._detect_duplicates_for(name)
+            return link_lists, time.perf_counter() - started
+
+        def run_store_duplicates(results):
+            link_lists, _seconds = results["duplicate_detection"]
+            return sum(
+                self.repository.add_object_links(links) for links in link_lists
             )
+
+        def run_index(_results):
+            # Incremental index maintenance: existing pages are untouched
+            # by a new source (links live in the repository, not in page
+            # text), so only the new source's pages are crawled/indexed.
+            self._index_add_source(name)
+
+        def run_checkpoint(_results):
+            self._checkpoint(name)
+
+        graph.add("discover_structure", run_discover)
+        graph.add("register", run_register, deps=("discover_structure",))
+        graph.add("link_discovery", run_links, deps=("register",))
+        graph.add("store_links", run_store_links, deps=("link_discovery",))
+        graph.add("duplicate_detection", run_duplicates, deps=("register",))
+        # Duplicates land after the discovered links, as in the serial
+        # loop, so repository ordering is backend-independent.
+        graph.add(
+            "store_duplicates",
+            run_store_duplicates,
+            deps=("store_links", "duplicate_detection"),
         )
-        if structure.primary_relation is None:
-            report.warnings.append(
-                f"no primary relation found for {name!r}; objects of this "
-                "source cannot anchor links"
-            )
-        # Register: statistics are computed once here and reused for every
-        # later source addition (Section 4.4). The repository additionally
-        # keeps the storage-level ColumnProfile objects, so no later step
-        # re-derives per-column aggregates from raw rows.
-        statistics = self._engine.register_source(database, structure)
-        samples, row_counts = self._data_snapshot(database)
-        self.repository.register_source(
-            structure, statistics, samples, row_counts,
-            profiles=collect_profiles(database),
+        graph.add("index_update", run_index, deps=("register",))
+        graph.add(
+            "checkpoint", run_checkpoint, deps=("store_duplicates", "index_update")
         )
-        self._databases[name] = database
-        self.web.attach_database(name, database)
-        # Step 4: link discovery against all existing sources.
-        started = time.perf_counter()
-        links = self._engine.discover_for(name)
-        for attribute_link in links.attribute_links:
-            self.repository.add_attribute_link(attribute_link)
-        stored = self.repository.add_object_links(links.object_links)
+        results = graph.run(self._executor)
+
+        structure, discover_seconds = results["discover_structure"]
+        self._describe_structure(report, structure, discover_seconds)
+        links, link_seconds = results["link_discovery"]
         report.steps.append(
             StepTiming(
                 "link_discovery",
-                time.perf_counter() - started,
+                link_seconds,
                 {
                     "attribute_links": len(links.attribute_links),
-                    "object_links": stored,
+                    "object_links": results["store_links"],
                 },
             )
         )
-        # Step 5: duplicate detection against every existing source.
-        started = time.perf_counter()
-        flagged = 0
-        if self.config.detect_duplicates:
-            detector = DuplicateDetector(self.config.duplicates)
-            for other_name in self.repository.source_names():
-                if other_name == name:
-                    continue
-                duplicates = detector.detect(
-                    database,
-                    self.repository.structure(name),
-                    self._databases[other_name],
-                    self.repository.structure(other_name),
-                )
-                flagged += self.repository.add_object_links(duplicates)
+        _link_lists, duplicate_seconds = results["duplicate_detection"]
         report.steps.append(
             StepTiming(
                 "duplicate_detection",
-                time.perf_counter() - started,
-                {"duplicates_flagged": flagged},
+                duplicate_seconds,
+                {"duplicates_flagged": results["store_duplicates"]},
             )
         )
-        # Incremental index maintenance: existing pages are untouched by a
-        # new source (links live in the repository, not in page text), so
-        # only the new source's pages are crawled and indexed.
-        self._index_add_source(name)
         self.reports.append(report)
-        self._checkpoint(name)
+
+    def _detect_duplicates_for(self, name: str) -> List[List[ObjectLink]]:
+        """Step-5 fan-out: one task per (new source, existing source) pair.
+
+        Returns one link list per counterpart in repository order; the
+        caller stores them in that order, matching the sequential pass.
+        """
+        if not self.config.detect_duplicates:
+            return []
+        others = [o for o in self.repository.source_names() if o != name]
+        if not others:
+            return []
+        specs = [(name, other, self.config.duplicates) for other in others]
+        labels = [f"duplicates:{name}<->{other}" for other in others]
+        results = self._executor.map_ordered(
+            _dup_pair_task, specs, state=self._engine, labels=labels
+        )
+        return [links for links, _seconds in results]
 
     # ------------------------------------------------------------------
     # data changes and feedback (Section 6.2)
@@ -274,8 +678,10 @@ class Aladin:
     def search_engine(self) -> SearchEngine:
         if self._index is None:
             index = InvertedIndex()
-            for page in Crawler(self.web).crawl(follow_links=False):
-                index.add_page(page)
+            index.add_pages(
+                Crawler(self.web).crawl(follow_links=False),
+                executor=self._executor,
+            )
             self._index = index
             if self._store is not None:
                 try:
@@ -292,8 +698,10 @@ class Aladin:
         if self._index is None:
             return  # never built: the first search_engine() call will
         seeds = [(name, accession) for accession in self.web.accessions(name)]
-        for page in Crawler(self.web).crawl(seeds=seeds, follow_links=False):
-            self._index.add_page(page)
+        self._index.add_pages(
+            Crawler(self.web).crawl(seeds=seeds, follow_links=False),
+            executor=self._executor,
+        )
 
     # ------------------------------------------------------------------
     # persistence (snapshot save / warm-start open)

@@ -7,6 +7,7 @@ from typing import Any, Dict
 
 from repro.discovery.model import DiscoveryConfig
 from repro.duplicates.detector import DuplicateConfig
+from repro.exec.pool import ExecConfig
 from repro.linking.engine import LinkChannels
 from repro.linking.model import LinkConfig
 
@@ -23,6 +24,11 @@ class AladinConfig:
     linking: LinkConfig = field(default_factory=LinkConfig)
     channels: LinkChannels = field(default_factory=LinkChannels)
     duplicates: DuplicateConfig = field(default_factory=DuplicateConfig)
+    # Execution backend for pair fan-outs and the pipelined add_source
+    # graph: "serial" (default), "thread", or "process"; defaults honor
+    # REPRO_EXEC_BACKEND / REPRO_EXEC_WORKERS so a whole run can switch
+    # backends from the environment.
+    execution: ExecConfig = field(default_factory=ExecConfig)
     # Step 5 runs between every source pair by default; it can be disabled
     # for ablations.
     detect_duplicates: bool = True
@@ -51,10 +57,17 @@ def config_from_dict(payload: Dict[str, Any]) -> AladinConfig:
     under the same knobs as the system that wrote them.
     """
     payload = dict(payload)
+    # The execution backend is a property of the *host*, not of the
+    # integrated data: a snapshot written on a 16-core build box must not
+    # fork 16 workers on the laptop that opens it. Any persisted
+    # "execution" entry is dropped and the reading environment's defaults
+    # (REPRO_EXEC_BACKEND/REPRO_EXEC_WORKERS, or the CLI flags) apply.
+    payload.pop("execution", None)
     return AladinConfig(
         discovery=DiscoveryConfig(**payload.pop("discovery")),
         linking=LinkConfig(**payload.pop("linking")),
         channels=LinkChannels(**payload.pop("channels")),
         duplicates=DuplicateConfig(**payload.pop("duplicates")),
+        execution=ExecConfig(),
         **payload,
     )

@@ -1,0 +1,123 @@
+"""Batch-scoped record scoring for the parallel duplicate pass.
+
+The incremental ``add_source`` path scores one source pair at a time with
+:func:`~repro.duplicates.record.record_similarity`. The bulk path
+(``Aladin.integrate_many``) hands the execution subsystem *chunks* of
+pairs that share a source, and this scorer exploits that shape twice —
+without changing a single result:
+
+* **Value-pair cache.** Record values repeat heavily inside a source
+  (shared GO terms, keywords, organism names), so the same value pair is
+  scored again and again across the records of a chunk. The cache is
+  keyed on the sorted value pair (every measure used is symmetric) and
+  shared across all pairs of the chunk — on worker pools it lives in the
+  worker process, so it needs no locking.
+* **Best-match bound.** ``record_similarity`` needs, per value, only the
+  *maximum* similarity against the other record's values. For the
+  expensive long-value path (token cosine blended with Levenshtein) the
+  cosine half plus the length-difference Levenshtein bound
+  (``distance >= |len(a) - len(b)|``) yields a cheap upper bound; sorted
+  best-bound-first, candidates are only scored exactly while their bound
+  exceeds the best exact score so far. A skipped candidate's similarity
+  is provably <= the running best, so the maximum — and therefore every
+  emitted link — is byte-identical to the unbounded scorer.
+
+Exactness over the float domain: the bound and the real score share the
+subexpression ``0.5*cos + 0.5*(1 - x/max_len)`` with ``x`` only growing
+from the length difference to the true distance, and IEEE division and
+addition are monotone, so ``bound >= score`` holds for the computed
+floats, not just the real numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.duplicates.record import RecordView
+from repro.duplicates.similarity import (
+    jaro_winkler,
+    levenshtein_similarity,
+    token_cosine,
+)
+
+_SHORT = 25  # same shape split as record._value_similarity
+
+
+class BoundedRecordScorer:
+    """Drop-in ``record_similarity`` with a shared cache and exact pruning.
+
+    One instance per batch chunk; pass it to
+    :class:`~repro.duplicates.detector.DuplicateDetector` as ``scorer``.
+    """
+
+    def __init__(self, cache: Optional[Dict[Tuple[str, str], float]] = None):
+        self.cache: Dict[Tuple[str, str], float] = cache if cache is not None else {}
+        self.exact_scores = 0  # similarity computations actually performed
+        self.pruned = 0  # candidates skipped via the upper bound
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def __call__(self, a: RecordView, b: RecordView) -> float:
+        if not a.values and not b.values:
+            return 1.0
+        if not a.values or not b.values:
+            return 0.0
+        smaller, larger = (a, b) if len(a.values) <= len(b.values) else (b, a)
+        total_weight = 0.0
+        total_score = 0.0
+        for value in smaller.values:
+            best = self._best_match(value, larger.values)
+            weight = float(len(value))
+            total_weight += weight
+            total_score += best * weight
+        return total_score / total_weight if total_weight else 0.0
+
+    # ------------------------------------------------------------------
+    def _best_match(self, value: str, candidates: List[str]) -> float:
+        cache = self.cache
+        vlen = len(value)
+        # The Levenshtein half is scored over *lowercased* strings, and
+        # lowercasing can change a string's length (e.g. 'İ' -> 'i̇'), so
+        # the length-difference bound must use the lowercased lengths or
+        # it stops being an upper bound.
+        value_lower = value.lower()
+        best = -1.0
+        deferred: List[Tuple[float, str, float, Tuple[str, str]]] = []
+        for other in candidates:
+            key = (value, other) if value <= other else (other, value)
+            hit = cache.get(key)
+            if hit is not None:
+                self.cache_hits += 1
+                if hit > best:
+                    best = hit
+                continue
+            if vlen <= _SHORT and len(other) <= _SHORT:
+                # Short values: Jaro-Winkler is cheap, score directly.
+                score = jaro_winkler(value_lower, other.lower())
+                cache[key] = score
+                self.exact_scores += 1
+                if score > best:
+                    best = score
+            else:
+                cosine = token_cosine(value, other)
+                other_lower = other.lower()
+                longest = max(len(value_lower), len(other_lower))
+                bound = 0.5 * cosine + 0.5 * (
+                    1.0 - abs(len(value_lower) - len(other_lower)) / longest
+                )
+                deferred.append((bound, other_lower, cosine, key))
+        # Best bound first: as soon as a bound cannot beat the running
+        # best, neither can anything after it.
+        deferred.sort(key=lambda entry: -entry[0])
+        for position, (bound, other_lower, cosine, key) in enumerate(deferred):
+            if bound <= best:
+                self.pruned += len(deferred) - position
+                break
+            score = 0.5 * cosine + 0.5 * levenshtein_similarity(
+                value_lower, other_lower
+            )
+            cache[key] = score
+            self.exact_scores += 1
+            if score > best:
+                best = score
+        return best if best >= 0.0 else 0.0

@@ -10,7 +10,7 @@ structure-agnostic record similarity, and emits ``duplicate``-kind
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.discovery.model import SourceStructure
 from repro.duplicates.blocking import (
@@ -41,10 +41,22 @@ class DuplicateConfig:
 
 
 class DuplicateDetector:
-    """Pairwise duplicate flagging between two sources' primary objects."""
+    """Pairwise duplicate flagging between two sources' primary objects.
 
-    def __init__(self, config: Optional[DuplicateConfig] = None):
+    ``scorer`` swaps the record-pair similarity function; the default is
+    :func:`~repro.duplicates.record.record_similarity`. The batch
+    integration path passes a chunk-scoped
+    :class:`~repro.duplicates.batch.BoundedRecordScorer`, which must (and
+    does) return the identical floats.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DuplicateConfig] = None,
+        scorer: Optional[Callable[[RecordView, RecordView], float]] = None,
+    ):
         self.config = config or DuplicateConfig()
+        self.scorer = scorer or record_similarity
         self.pairs_compared = 0  # exposed for the blocking ablation (E6)
 
     # ------------------------------------------------------------------
@@ -135,7 +147,7 @@ class DuplicateDetector:
         links: List[ObjectLink] = []
         for i, j in pairs:
             self.pairs_compared += 1
-            similarity = record_similarity(records_a[i], records_b[j])
+            similarity = self.scorer(records_a[i], records_b[j])
             if similarity < self.config.similarity_threshold:
                 continue
             links.append(

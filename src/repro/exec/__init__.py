@@ -1,0 +1,34 @@
+"""Parallel execution subsystem: task graphs over pluggable worker pools.
+
+Two halves: :mod:`repro.exec.pool` provides the ``Executor`` API with
+serial, thread, and fork-process backends behind one ordered fan-out
+contract; :mod:`repro.exec.graph` schedules named task DAGs onto it.
+Everything above (link discovery fan-out, the pipelined ``add_source``
+graph, bulk ``integrate_many``) is written against these two and is
+byte-identical across backends by construction.
+"""
+
+from repro.exec.graph import Task, TaskGraph
+from repro.exec.pool import (
+    BACKENDS,
+    ExecConfig,
+    ExecError,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    create_executor,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecConfig",
+    "ExecError",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "Task",
+    "TaskGraph",
+    "ThreadExecutor",
+    "create_executor",
+]

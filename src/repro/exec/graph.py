@@ -1,0 +1,177 @@
+"""Deterministic task graphs: dependencies, topological dispatch, error capture.
+
+The execution subsystem's upper half. A :class:`TaskGraph` names the
+stages of one pipeline run (``import -> statistics -> linking -> ...``),
+declares who waits on whom, and dispatches ready tasks onto an
+:class:`~repro.exec.pool.Executor`. Task bodies are closures over shared
+in-process state, so graph concurrency is thread-based and only enabled
+when the executor's :attr:`parallel_graph` says the backend can overlap
+stages safely; otherwise tasks run inline in deterministic topological
+order (insertion order among ready tasks). Either way the *results* are
+identical — only wall-clock overlap differs.
+
+Failures are captured per task. After the in-flight tasks drain, the
+scheduler raises :class:`~repro.exec.pool.ExecError` for the first failed
+task in insertion order, naming it; tasks downstream of a failure are
+never started.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.pool import ExecError, Executor
+
+# A task body receives the results-so-far dict; its declared dependencies
+# are guaranteed to be present, nothing else may be read.
+TaskFn = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class Task:
+    """One named unit of work with declared dependencies."""
+
+    name: str
+    fn: TaskFn
+    deps: Tuple[str, ...] = ()
+
+
+class TaskGraph:
+    """A small DAG of named tasks dispatched in dependency order."""
+
+    def __init__(self) -> None:
+        self._tasks: List[Task] = []
+        self._by_name: Dict[str, Task] = {}
+
+    def add(self, name: str, fn: TaskFn, deps: Sequence[str] = ()) -> None:
+        if name in self._by_name:
+            raise ValueError(f"task {name!r} already in the graph")
+        task = Task(name=name, fn=fn, deps=tuple(deps))
+        self._tasks.append(task)
+        self._by_name[name] = task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def names(self) -> List[str]:
+        return [task.name for task in self._tasks]
+
+    # ------------------------------------------------------------------
+    def run(self, executor: Optional[Executor] = None) -> Dict[str, Any]:
+        """Execute every task; returns ``{task name: result}``.
+
+        With a thread-capable executor, independent tasks overlap (the
+        pipelining that takes index updates and snapshot checkpoints off
+        the critical path); otherwise execution is inline topological.
+        """
+        self._validate()
+        if executor is not None and executor.parallel_graph and executor.workers > 1:
+            return self._run_threaded(executor)
+        return self._run_serial()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for task in self._tasks:
+            for dep in task.deps:
+                if dep not in self._by_name:
+                    raise ValueError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        # Kahn's algorithm; anything left over sits on a cycle.
+        pending = {task.name: len(task.deps) for task in self._tasks}
+        children = self._children()
+        ready = [task.name for task in self._tasks if not task.deps]
+        seen = 0
+        while ready:
+            name = ready.pop()
+            seen += 1
+            for child in children.get(name, ()):
+                pending[child] -= 1
+                if pending[child] == 0:
+                    ready.append(child)
+        if seen != len(self._tasks):
+            cyclic = sorted(name for name, count in pending.items() if count > 0)
+            raise ValueError(f"task graph has a cycle through {', '.join(cyclic)}")
+
+    def _children(self) -> Dict[str, List[str]]:
+        children: Dict[str, List[str]] = {}
+        for task in self._tasks:
+            for dep in task.deps:
+                children.setdefault(dep, []).append(task.name)
+        return children
+
+    # ------------------------------------------------------------------
+    def _run_serial(self) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        remaining = list(self._tasks)
+        while remaining:
+            progressed = False
+            for task in list(remaining):
+                if any(dep not in results for dep in task.deps):
+                    continue
+                results[task.name] = self._invoke(task, results)
+                remaining.remove(task)
+                progressed = True
+            if not progressed:  # pragma: no cover - _validate rules this out
+                raise ExecError(
+                    "task graph stalled (cycle?) with "
+                    + ", ".join(t.name for t in remaining)
+                )
+        return results
+
+    def _run_threaded(self, executor: Executor) -> Dict[str, Any]:
+        results: Dict[str, Any] = {}
+        failures: Dict[str, BaseException] = {}
+        children = self._children()
+        pending = {task.name: len(task.deps) for task in self._tasks}
+        order = {task.name: position for position, task in enumerate(self._tasks)}
+        running: Dict[concurrent.futures.Future, str] = {}
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=executor.workers
+        ) as pool:
+
+            def submit_ready(names):
+                for name in sorted(names, key=order.__getitem__):
+                    task = self._by_name[name]
+                    running[pool.submit(task.fn, results)] = name
+
+            submit_ready([t.name for t in self._tasks if not t.deps])
+            while running:
+                done, _ = concurrent.futures.wait(
+                    running, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                newly_ready = []
+                for future in done:
+                    name = running.pop(future)
+                    try:
+                        results[name] = future.result()
+                    except BaseException as exc:  # noqa: BLE001 - captured per task
+                        failures[name] = exc
+                        continue
+                    for child in children.get(name, ()):
+                        pending[child] -= 1
+                        if pending[child] == 0 and not failures:
+                            newly_ready.append(child)
+                if newly_ready and not failures:
+                    submit_ready(newly_ready)
+
+        if failures:
+            name = min(failures, key=order.__getitem__)
+            exc = failures[name]
+            if isinstance(exc, ExecError):
+                raise exc
+            raise ExecError(f"task {name!r} failed: {exc!r}", task=name) from exc
+        return results
+
+    def _invoke(self, task: Task, results: Dict[str, Any]) -> Any:
+        try:
+            return task.fn(results)
+        except ExecError:
+            raise
+        except BaseException as exc:
+            raise ExecError(
+                f"task {task.name!r} failed: {exc!r}", task=task.name
+            ) from exc

@@ -1,0 +1,319 @@
+"""Pluggable worker pools behind one ``Executor`` API.
+
+The execution subsystem's lower half: three interchangeable backends run
+the same *ordered fan-out* contract, so every caller (link discovery,
+duplicate detection, bulk import, index tokenization) is written once and
+parallelizes by configuration:
+
+* ``serial`` — everything inline, zero concurrency. The reference
+  backend: parallel results are required to be byte-identical to it.
+* ``thread`` — a per-call :class:`ThreadPoolExecutor`. Threads share the
+  interpreter, so coordination tasks (the task graph) can overlap and
+  I/O-bound work (snapshot checkpoints) leaves the critical path; pure
+  Python CPU work stays GIL-bound.
+* ``process`` — a per-call fork-based :class:`ProcessPoolExecutor`.
+  Workers inherit the parent's memory at fork time, so large shared
+  read-only state (the link engine with every registered source) crosses
+  into workers without being pickled; only task specs and results travel.
+
+Determinism contract: :meth:`Executor.map_ordered` returns results in
+*item order*, never in completion order, and a failing item raises
+:class:`ExecError` for the first failed item in item order — regardless
+of backend and scheduling. Callers merge results in a fixed order, which
+is what makes parallel runs byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+BACKENDS = ("serial", "thread", "process")
+
+_DEFAULT_WORKERS = 4
+
+
+def _env_backend() -> str:
+    backend = os.environ.get("REPRO_EXEC_BACKEND", "serial").strip().lower()
+    return backend if backend in BACKENDS else "serial"
+
+
+def _env_workers() -> int:
+    raw = os.environ.get("REPRO_EXEC_WORKERS", "")
+    try:
+        workers = int(raw)
+    except ValueError:
+        return _DEFAULT_WORKERS
+    return max(1, workers) if workers else _DEFAULT_WORKERS
+
+
+@dataclass
+class ExecConfig:
+    """The execution knob: which backend, how many workers.
+
+    Defaults come from ``REPRO_EXEC_BACKEND`` / ``REPRO_EXEC_WORKERS`` so
+    an entire test suite (or CI job) can be rerun under another backend
+    without touching code. ``serial`` remains the default default: the
+    system behaves exactly as before unless parallelism is asked for.
+    """
+
+    backend: str = field(default_factory=_env_backend)
+    workers: int = field(default_factory=_env_workers)
+
+
+class ExecError(RuntimeError):
+    """One task of a fan-out or task graph failed.
+
+    ``task`` names the failed unit (its label); the original exception is
+    chained as ``__cause__``. Schedulers capture per-task failures and
+    re-raise the *first failed task in submission order*, so the surfaced
+    error does not depend on completion timing.
+    """
+
+    def __init__(self, message: str, task: Optional[str] = None):
+        super().__init__(message)
+        self.task = task
+
+
+# ----------------------------------------------------------------------
+# worker-side trampoline (module level: picklable by reference)
+# ----------------------------------------------------------------------
+
+# Fork-inherited state: set in the parent immediately before the worker
+# processes fork, read by every task in the children. Guarded by a lock so
+# two concurrent fan-outs cannot clobber each other's state mid-fork.
+_FORK_STATE: Any = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_chunk_with_state(
+    fn: Callable[[Any, Any], Any], state: Any, chunk: Sequence[Any], offset: int
+) -> Tuple[str, Any]:
+    """Run one chunk of items; never raise — failures become values.
+
+    Capturing the exception (instead of letting the pool surface it in
+    completion order) is what lets the coordinator raise deterministically
+    for the first failed *item*, and lets sibling tasks finish cleanly.
+    """
+    results = []
+    for position, item in enumerate(chunk):
+        try:
+            results.append(fn(state, item))
+        except BaseException as exc:  # noqa: BLE001 - transported, not hidden
+            return ("err", offset + position, repr(exc), exc)
+    return ("ok", results)
+
+
+def _run_chunk_forked(
+    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], offset: int
+) -> Tuple[str, Any]:
+    """Process-pool entry point: state comes from the forked snapshot."""
+    return _run_chunk_with_state(fn, _FORK_STATE, chunk, offset)
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+class Executor:
+    """Ordered fan-out over a worker pool.
+
+    ``map_ordered(fn, items, state=...)`` calls ``fn(state, item)`` for
+    every item and returns the results in item order. ``fn`` must be a
+    module-level function when the process backend may run it (it crosses
+    the pool pickled by reference); ``state`` is shared worker state —
+    passed directly under serial/thread, inherited via fork under process.
+    """
+
+    name = "serial"
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, int(workers))
+
+    @property
+    def parallel_graph(self) -> bool:
+        """May the task graph overlap independent coordination tasks?
+
+        Only the thread backend says yes: coordination tasks are closures
+        over shared state (no process can run them), and forking *while*
+        sibling threads mutate the heap would hand workers a torn memory
+        snapshot — so the process backend keeps the graph sequential and
+        parallelizes inside each fan-out instead.
+        """
+        return False
+
+    @property
+    def cpu_parallel(self) -> bool:
+        """Do fan-outs actually run pure-Python CPU work concurrently?
+
+        Only the process backend: threads share the GIL, so purely
+        CPU-bound fan-outs (e.g. index tokenization) should stay inline
+        rather than pay dispatch overhead for no speedup.
+        """
+        return False
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: Iterable[Any],
+        state: Any = None,
+        labels: Optional[Sequence[str]] = None,
+        chunksize: int = 1,
+    ) -> List[Any]:
+        items = list(items)
+        results: List[Any] = []
+        for index, item in enumerate(items):
+            try:
+                results.append(fn(state, item))
+            except ExecError:
+                raise
+            except BaseException as exc:
+                raise ExecError(
+                    f"task {_label(labels, index)!r} failed: {exc!r}",
+                    task=_label(labels, index),
+                ) from exc
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(Executor):
+    """Inline execution; the determinism reference."""
+
+
+class ThreadExecutor(Executor):
+    """Per-call thread pool: overlapping stages and I/O off the critical path."""
+
+    name = "thread"
+
+    @property
+    def parallel_graph(self) -> bool:
+        return True
+
+    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1:
+            return super().map_ordered(fn, items, state=state, labels=labels)
+        chunks = _chunk(items, chunksize)
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.workers, len(chunks))
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                for chunk, offset in chunks
+            ]
+            outcomes = [future.result() for future in futures]
+        return _collect(outcomes, chunks, labels)
+
+
+class ProcessExecutor(Executor):
+    """Per-call fork pool: CPU-bound fan-outs across real processes.
+
+    The pool is created *per fan-out* so the children always fork from the
+    caller's current state — no staleness tracking, no leaked processes.
+    Fork is required (state crosses by memory inheritance, not pickling);
+    where fork is unavailable the executor degrades to inline execution
+    rather than failing.
+    """
+
+    name = "process"
+
+    @property
+    def cpu_parallel(self) -> bool:
+        return True
+
+    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1:
+            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+        chunks = _chunk(items, chunksize)
+        global _FORK_STATE
+        with _FORK_LOCK:
+            _FORK_STATE = state
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks)), mp_context=context
+                ) as pool:
+                    futures = [
+                        pool.submit(_run_chunk_forked, fn, chunk, offset)
+                        for chunk, offset in chunks
+                    ]
+                    outcomes = []
+                    for index, future in enumerate(futures):
+                        try:
+                            outcomes.append(future.result())
+                        except ExecError:
+                            raise
+                        except BaseException as exc:
+                            # The pool itself failed (unpicklable result,
+                            # dead worker): attribute it to the chunk's
+                            # first item — the closest deterministic label.
+                            offset = chunks[index][1]
+                            raise ExecError(
+                                f"task {_label(labels, offset)!r} failed in the "
+                                f"worker pool: {exc!r}",
+                                task=_label(labels, offset),
+                            ) from exc
+            finally:
+                _FORK_STATE = None
+        return _collect(outcomes, chunks, labels)
+
+
+def _chunk(items: List[Any], chunksize: int) -> List[Tuple[List[Any], int]]:
+    chunksize = max(1, int(chunksize))
+    return [
+        (items[start : start + chunksize], start)
+        for start in range(0, len(items), chunksize)
+    ]
+
+
+def _label(labels: Optional[Sequence[str]], index: int) -> str:
+    if labels is not None and index < len(labels):
+        return labels[index]
+    return f"task[{index}]"
+
+
+def _collect(outcomes, chunks, labels) -> List[Any]:
+    """Flatten chunk outcomes in item order; raise for the first failure."""
+    failure: Optional[Tuple[int, str, BaseException]] = None
+    results: List[Any] = []
+    for outcome in outcomes:
+        if outcome[0] == "ok":
+            results.extend(outcome[1])
+            continue
+        _, index, rendered, exc = outcome
+        if failure is None or index < failure[0]:
+            failure = (index, rendered, exc)
+    if failure is not None:
+        index, rendered, exc = failure
+        raise ExecError(
+            f"task {_label(labels, index)!r} failed: {rendered}",
+            task=_label(labels, index),
+        ) from exc
+    return results
+
+
+def create_executor(config: Optional[ExecConfig] = None) -> Executor:
+    """Build the executor a configuration asks for."""
+    config = config or ExecConfig()
+    backend = (config.backend or "serial").lower()
+    if backend == "thread":
+        return ThreadExecutor(config.workers)
+    if backend == "process":
+        return ProcessExecutor(config.workers)
+    if backend != "serial":
+        raise ValueError(
+            f"unknown execution backend {config.backend!r}; known: {', '.join(BACKENDS)}"
+        )
+    # Always 1: ``workers`` doubles as the "is this parallel" signal for
+    # fan-out gates (e.g. InvertedIndex.add_pages), and a serial executor
+    # must never make them take the fan-out path.
+    return SerialExecutor(1)

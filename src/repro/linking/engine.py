@@ -5,14 +5,23 @@ sequence similarity, text similarity, name recognition, shared vocabulary
 — against every previously integrated source, reusing cached per-source
 statistics. Channels can be toggled for the pruning/ablation experiments
 (E6).
+
+Pair scans are *pure*: a ``(mode, source, target)`` spec reads only the
+two sources' cached entries and returns a fresh ``LinkSet`` plus its
+comparison count. ``discover_for`` therefore fans specs across an
+:class:`~repro.exec.pool.Executor` (thread or fork-process workers) and
+merges the results in a fixed source/channel order, so parallel link webs
+are byte-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.discovery.model import AttributeRef, SourceStructure
+from repro.exec.pool import Executor
 from repro.linking.crossref import discover_crossref_links
 from repro.linking.model import LinkConfig, LinkSet
 from repro.linking.ner import discover_name_links
@@ -22,6 +31,30 @@ from repro.linking.seqlinks import discover_sequence_links
 from repro.linking.stats import AttributeStatistics, collect_statistics
 from repro.linking.textlinks import discover_text_links
 from repro.relational.database import Database
+
+# One unit of fan-out work: ("pair" | "directional", source, target).
+PairSpec = Tuple[str, str, str]
+
+
+def _pair_task(engine: "LinkDiscoveryEngine", spec: PairSpec):
+    """Worker entry point for one pair scan.
+
+    Module-level so the process backend can ship it by reference; the
+    engine itself reaches workers through fork inheritance, never pickled.
+    Returns ``(links, comparisons, seconds)`` — counters travel back as
+    data because a forked worker's increments would otherwise be lost.
+    """
+    mode, source_name, target_name = spec
+    source = engine._sources[source_name]
+    target = engine._sources[target_name]
+    started = time.perf_counter()
+    if mode == "pair":
+        links, comparisons = engine._pair_links(source, target)
+    elif mode == "directional":
+        links, comparisons = engine._directional_links(source, target)
+    else:
+        raise ValueError(f"unknown pair-scan mode {mode!r}")
+    return links, comparisons, time.perf_counter() - started
 
 
 @dataclass
@@ -49,9 +82,11 @@ class LinkDiscoveryEngine:
         self,
         config: Optional[LinkConfig] = None,
         channels: Optional[LinkChannels] = None,
+        executor: Optional[Executor] = None,
     ):
         self.config = config or LinkConfig()
         self.channels = channels or LinkChannels()
+        self.executor = executor  # None = inline (serial) pair scans
         self._sources: Dict[str, _SourceEntry] = {}
         self.comparisons_made = 0  # attribute-pair scans, for E6
         self.registrations = 0  # register_source calls, for maintenance tests
@@ -120,33 +155,82 @@ class LinkDiscoveryEngine:
     def statistics_for(self, name: str) -> Dict[AttributeRef, AttributeStatistics]:
         return self._sources[name].statistics
 
+    def database_for(self, name: str) -> Database:
+        return self._sources[name].database
+
+    def structure_for(self, name: str) -> SourceStructure:
+        return self._sources[name].structure
+
     # ------------------------------------------------------------------
+    def pair_specs(
+        self, source_name: str, against: Optional[Sequence[str]] = None
+    ) -> List[PairSpec]:
+        """The fixed-order fan-out plan for one source's link discovery.
+
+        Two specs per counterpart — the symmetric+outgoing scan and the
+        incoming directional scan — in sorted counterpart order. Merging
+        results in exactly this order reproduces the serial link web.
+        """
+        others = (
+            list(against)
+            if against is not None
+            else [name for name in self.source_names() if name != source_name]
+        )
+        specs: List[PairSpec] = []
+        for other_name in others:
+            specs.append(("pair", source_name, other_name))
+            specs.append(("directional", other_name, source_name))
+        return specs
+
+    def run_pair_specs(self, specs: Sequence[PairSpec]) -> List[Tuple[LinkSet, int, float]]:
+        """Execute pair scans — fanned across workers when an executor is set.
+
+        Results come back in spec order regardless of backend; nothing is
+        merged or counted here, so callers control ordering end to end.
+        """
+        specs = list(specs)
+        if self.executor is None:
+            return [_pair_task(self, spec) for spec in specs]
+        labels = [f"link:{mode}:{a}->{b}" for mode, a, b in specs]
+        return self.executor.map_ordered(_pair_task, specs, state=self, labels=labels)
+
+    def merge_pair_results(
+        self, results: Iterable[Tuple[LinkSet, int, float]]
+    ) -> LinkSet:
+        """Fold ordered scan results into one LinkSet; book the comparisons."""
+        merged = LinkSet()
+        for links, comparisons, _seconds in results:
+            merged.extend(links)
+            self.comparisons_made += comparisons
+        return merged
+
     def discover_for(self, source_name: str) -> LinkSet:
         """All links between ``source_name`` and every *other* source.
 
         Both directions are explored (the new source may reference old
         sources and vice versa — Section 5's PDB→Swiss-Prot and
-        Swiss-Prot→PDB cases both exist).
+        Swiss-Prot→PDB cases both exist). The pair scans run on the
+        configured executor; the merge order is fixed, so the result is
+        identical whichever backend ran them.
         """
         if source_name not in self._sources:
             raise KeyError(f"source {source_name!r} is not registered")
-        new = self._sources[source_name]
-        result = LinkSet()
-        for other_name in self.source_names():
-            if other_name == source_name:
-                continue
-            other = self._sources[other_name]
-            result.extend(self._pair_links(new, other))
-            result.extend(self._directional_links(other, new))
-        return result
+        return self.merge_pair_results(self.run_pair_specs(self.pair_specs(source_name)))
 
-    def _pair_links(self, source: _SourceEntry, target: _SourceEntry) -> LinkSet:
-        """Symmetric channels + source->target directional channels."""
-        result = self._directional_links(source, target)
+    def _pair_links(
+        self, source: _SourceEntry, target: _SourceEntry
+    ) -> Tuple[LinkSet, int]:
+        """Symmetric channels + source->target directional channels.
+
+        Pure with respect to the engine: returns the links and the number
+        of attribute-pair comparisons instead of bumping shared counters,
+        so the scan can run in any worker and merge deterministically.
+        """
+        result, comparisons = self._directional_links(source, target)
         if self.channels.sequence:
             source_fields = detect_sequence_fields(source.statistics, self.config)
             target_fields = detect_sequence_fields(target.statistics, self.config)
-            self.comparisons_made += len(source_fields) * len(target_fields)
+            comparisons += len(source_fields) * len(target_fields)
             result.extend(
                 discover_sequence_links(
                     source.database,
@@ -182,13 +266,16 @@ class LinkDiscoveryEngine:
                     self.config,
                 )
             )
-        return result
+        return result, comparisons
 
-    def _directional_links(self, source: _SourceEntry, target: _SourceEntry) -> LinkSet:
+    def _directional_links(
+        self, source: _SourceEntry, target: _SourceEntry
+    ) -> Tuple[LinkSet, int]:
         """Channels where the evidence lives on the source side only."""
         result = LinkSet()
+        comparisons = 0
         if self.channels.crossref:
-            self.comparisons_made += len(source.statistics)
+            comparisons += len(source.statistics)
             result.extend(
                 discover_crossref_links(
                     source.database,
@@ -209,4 +296,4 @@ class LinkDiscoveryEngine:
                     self.config,
                 )
             )
-        return result
+        return result, comparisons

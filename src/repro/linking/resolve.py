@@ -94,6 +94,57 @@ class ObjectResolver:
                 accessions.append(accession)
         return accessions
 
+    def owners_index(self, table: str) -> Dict[int, List[str]]:
+        """``row_id -> owning accessions`` for *every* row of ``table``.
+
+        The bulk counterpart of :meth:`owners_of_row`: instead of walking
+        the secondary path backwards once per row, the whole table is
+        resolved in one forward sweep per path step over the shared
+        ColumnStore structures — the row-ordered value arrays on the
+        "from" side and the ``value -> row_ids`` hash index on the "to"
+        side. Per-row accession lists are first-seen ordered and
+        de-duplicated, and the primary relation owns itself, mirroring the
+        per-row method. Tables without a discovered path map to ``{}``.
+        """
+        if table == self._primary:
+            return self._primary_owner_seed()
+        paths = self._structure.secondary_paths.get(table)
+        if not paths:
+            return {}
+        path = min(paths, key=lambda p: p.length)
+        # Seed: every primary row owns itself. Each step then pushes the
+        # ownership one table outward along the path.
+        current = self._primary_owner_seed()
+        for step in path.steps:
+            from_values = self._db.table(step.from_table).columns.values(
+                self._join_column(step, "from")
+            )
+            to_index = self._column_index(step.to_table, self._join_column(step, "to"))
+            forwarded: Dict[int, List[str]] = {}
+            for from_row_id, accessions in current.items():
+                value = from_values[from_row_id]
+                if value is None:
+                    continue
+                for to_row_id in to_index.get(value, ()):
+                    bucket = forwarded.setdefault(to_row_id, [])
+                    for accession in accessions:
+                        if accession not in bucket:
+                            bucket.append(accession)
+            current = forwarded
+            if not current:
+                break
+        return current
+
+    def _primary_owner_seed(self) -> Dict[int, List[str]]:
+        """Every primary row mapped to its own accession (the sweep seed)."""
+        return {
+            row_id: [value]
+            for row_id, value in enumerate(
+                self._db.table(self._primary).columns.values(self._accession_column)
+            )
+            if value is not None
+        }
+
     # ------------------------------------------------------------------
     def _join_column(self, step, side: str) -> str:
         rel = step.relationship

@@ -177,11 +177,23 @@ class SnapshotStore:
     def _connect(self) -> sqlite3.Connection:
         try:
             conn = sqlite3.connect(self.path)
+            # Concurrent-writer safety: WAL keeps readers unblocked while
+            # an off-critical-path checkpoint (the pipelined add_source's
+            # final task) writes, and the busy timeout makes two stores on
+            # the same file queue instead of failing fast.
+            conn.execute("PRAGMA busy_timeout = 5000")
             conn.execute("PRAGMA synchronous = NORMAL")
         except sqlite3.DatabaseError as exc:
             raise SnapshotError(
                 f"{self.path!r} is not a readable snapshot: {exc}"
             ) from exc
+        try:
+            conn.execute("PRAGMA journal_mode = WAL")
+        except sqlite3.DatabaseError:
+            # Read-only media (or a file that is not a database at all —
+            # the manifest check reports that case properly): rollback
+            # journaling still serves plain reads.
+            pass
         return conn
 
     def _read_manifest(self, conn: sqlite3.Connection) -> Dict[str, str]:

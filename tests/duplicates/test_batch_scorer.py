@@ -1,0 +1,61 @@
+"""BoundedRecordScorer must be a drop-in for record_similarity — exactly."""
+
+import random
+
+import pytest
+
+from repro.duplicates.batch import BoundedRecordScorer
+from repro.duplicates.record import RecordView, record_similarity
+
+
+def view(*values):
+    return RecordView(source="s", accession="x", values=list(values))
+
+
+WORDS = [
+    "kinase", "binding", "protein", "serine", "threonine", "domain",
+    "mitochondrion", "phosphorylation", "transcription", "membrane",
+]
+
+
+def random_value(rng):
+    if rng.random() < 0.4:
+        return "".join(rng.choices("ABCDEFGHIKLMNPQRSTVWY", k=rng.randint(1, 20)))
+    return " ".join(rng.choices(WORDS, k=rng.randint(1, 8)))
+
+
+class TestExactEquivalence:
+    def test_randomized_records_match_reference(self):
+        rng = random.Random(4451)
+        scorer = BoundedRecordScorer()  # one shared cache across all pairs
+        for _ in range(60):
+            a = view(*(random_value(rng) for _ in range(rng.randint(0, 6))))
+            b = view(*(random_value(rng) for _ in range(rng.randint(0, 6))))
+            assert scorer(a, b) == record_similarity(a, b)
+
+    def test_lowercase_length_changing_characters(self):
+        # 'İ'.lower() is two characters, so the Levenshtein length-diff
+        # bound must be computed over the lowercased strings — computed
+        # over the raw lengths it would wrongly prune the true best match.
+        value = "İ" * 30
+        decoy = value[:-1] + "Q"
+        exact_lower = value.lower()
+        a = view(value)
+        b = view(decoy, exact_lower)
+        assert BoundedRecordScorer()(a, b) == record_similarity(a, b)
+
+    def test_empty_and_one_sided_records(self):
+        scorer = BoundedRecordScorer()
+        assert scorer(view(), view()) == record_similarity(view(), view()) == 1.0
+        assert scorer(view("abc"), view()) == 0.0
+        assert scorer(view(), view("abc")) == 0.0
+
+    def test_cache_is_shared_and_hit(self):
+        scorer = BoundedRecordScorer()
+        a = view("mitochondrial serine kinase with a long description value")
+        b = view("mitochondrial serine kinase with a long description value!")
+        first = scorer(a, b)
+        computed = scorer.exact_scores
+        assert scorer(a, b) == first
+        assert scorer.exact_scores == computed  # second pass fully cached
+        assert scorer.cache_hits > 0

@@ -1,0 +1,162 @@
+"""Unit tests for the execution subsystem: pools, ordering, graphs, errors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec import (
+    ExecConfig,
+    ExecError,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskGraph,
+    ThreadExecutor,
+    create_executor,
+)
+
+
+# Module-level task bodies: the process backend ships them by reference,
+# and fork children resolve them from the inherited module table.
+def _double(state, item):
+    base = state or 0
+    return (item + base) * 2
+
+
+def _boom_on_three(state, item):
+    if item == 3:
+        raise ValueError(f"bad item {item}")
+    return item
+
+
+def _slow_identity(state, item):
+    time.sleep(0.01 * (5 - item))  # later items finish first
+    return item
+
+
+ALL_EXECUTORS = [
+    SerialExecutor(1),
+    ThreadExecutor(4),
+    ProcessExecutor(4),
+]
+
+
+class TestMapOrdered:
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_results_in_item_order(self, executor):
+        assert executor.map_ordered(_double, range(10)) == [i * 2 for i in range(10)]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_state_reaches_workers(self, executor):
+        assert executor.map_ordered(_double, [1, 2], state=100) == [202, 204]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_completion_order_does_not_leak(self, executor):
+        assert executor.map_ordered(_slow_identity, range(5)) == list(range(5))
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_chunking_preserves_order(self, executor):
+        assert executor.map_ordered(_double, range(17), chunksize=4) == [
+            i * 2 for i in range(17)
+        ]
+
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    def test_failure_raises_exec_error_naming_the_task(self, executor):
+        with pytest.raises(ExecError) as excinfo:
+            executor.map_ordered(
+                _boom_on_three,
+                range(6),
+                labels=[f"scan:{i}" for i in range(6)],
+            )
+        assert excinfo.value.task == "scan:3"
+        assert "scan:3" in str(excinfo.value)
+
+    def test_default_labels(self):
+        with pytest.raises(ExecError) as excinfo:
+            SerialExecutor().map_ordered(_boom_on_three, [3])
+        assert excinfo.value.task == "task[0]"
+
+
+class TestCreateExecutor:
+    def test_backends(self):
+        assert isinstance(create_executor(ExecConfig("serial", 1)), SerialExecutor)
+        assert isinstance(create_executor(ExecConfig("thread", 2)), ThreadExecutor)
+        assert isinstance(create_executor(ExecConfig("process", 2)), ProcessExecutor)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            create_executor(ExecConfig("gpu", 2))
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "7")
+        config = ExecConfig()
+        assert config.backend == "thread"
+        assert config.workers == 7
+
+    def test_bad_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "quantum")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "many")
+        config = ExecConfig()
+        assert config.backend == "serial"
+        assert config.workers == 4
+
+
+class TestTaskGraph:
+    def _linear_graph(self, log):
+        graph = TaskGraph()
+        graph.add("a", lambda results: log.append("a") or 1)
+        graph.add("b", lambda results: log.append("b") or results["a"] + 1, deps=("a",))
+        graph.add("c", lambda results: log.append("c") or results["b"] + 1, deps=("b",))
+        return graph
+
+    def test_serial_topological_order(self):
+        log = []
+        results = self._linear_graph(log).run(SerialExecutor())
+        assert log == ["a", "b", "c"]
+        assert results == {"a": 1, "b": 2, "c": 3}
+
+    def test_threaded_results_match_serial(self):
+        results = self._linear_graph([]).run(ThreadExecutor(4))
+        assert results == {"a": 1, "b": 2, "c": 3}
+
+    def test_independent_tasks_overlap_under_threads(self):
+        barrier = threading.Barrier(2, timeout=5)
+        graph = TaskGraph()
+        graph.add("left", lambda results: barrier.wait())
+        graph.add("right", lambda results: barrier.wait())
+        # If left and right were serialized the barrier would time out.
+        graph.run(ThreadExecutor(2))
+
+    def test_unknown_dependency(self):
+        graph = TaskGraph()
+        graph.add("a", lambda results: 1, deps=("ghost",))
+        with pytest.raises(ValueError, match="unknown task"):
+            graph.run(SerialExecutor())
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.add("a", lambda results: 1, deps=("b",))
+        graph.add("b", lambda results: 1, deps=("a",))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.run(SerialExecutor())
+
+    def test_duplicate_task_name(self):
+        graph = TaskGraph()
+        graph.add("a", lambda results: 1)
+        with pytest.raises(ValueError, match="already"):
+            graph.add("a", lambda results: 2)
+
+    @pytest.mark.parametrize(
+        "executor", [SerialExecutor(), ThreadExecutor(4)], ids=lambda e: e.name
+    )
+    def test_failure_names_task_and_skips_dependents(self, executor):
+        ran = []
+        graph = TaskGraph()
+        graph.add("ok", lambda results: ran.append("ok"))
+        graph.add("bad", lambda results: 1 / 0, deps=("ok",))
+        graph.add("downstream", lambda results: ran.append("downstream"), deps=("bad",))
+        with pytest.raises(ExecError) as excinfo:
+            graph.run(executor)
+        assert excinfo.value.task == "bad"
+        assert "downstream" not in ran

@@ -1,0 +1,237 @@
+"""Parallel execution must be invisible in the results.
+
+The contract of the execution subsystem: the link web, the object web,
+and BM25 search rankings produced with ``backend=process, workers=4`` are
+*identical* to the serial backend on the E6 corpus — for the bulk
+``integrate_many`` path and the incremental ``add_source`` path alike —
+and a worker exception surfaces as a clean :class:`ExecError` naming the
+failed task.
+"""
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.exec import ExecConfig, ExecError
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+QUERIES = ("kinase", "protein structure", "binding domain", "homo sapiens")
+
+
+def e6_scenario():
+    """The E6 scalability corpus (same universe as bench_e6)."""
+    return build_scenario(
+        ScenarioConfig(
+            seed=450,
+            universe=UniverseConfig(
+                n_families=8, members_per_family=3, n_go_terms=24,
+                n_diseases=10, n_interactions=15, seed=450,
+            ),
+        )
+    )
+
+
+def source_specs(scenario):
+    return [
+        (source.name, source.facts.format_name, source.text,
+         source.facts.import_options)
+        for source in scenario.sources
+    ]
+
+
+def integrate(scenario, backend, workers, bulk):
+    config = AladinConfig()
+    config.execution = ExecConfig(backend=backend, workers=workers)
+    aladin = Aladin(config)
+    specs = source_specs(scenario)
+    if bulk:
+        aladin.integrate_many(specs)
+    else:
+        for name, format_name, text, options in specs:
+            aladin.add_source(name, format_name, text, **options)
+    return aladin
+
+
+def link_web(aladin):
+    """The exact object/attribute link lists, order included."""
+    return (
+        [
+            (l.source_a, l.accession_a, l.source_b, l.accession_b,
+             l.kind, l.certainty, l.evidence)
+            for l in aladin.repository.object_links()
+        ],
+        [(l.key(), l.score, l.kind, l.encoded)
+         for l in aladin.repository.attribute_links()],
+    )
+
+
+def object_web(aladin):
+    """Every page of every source: fields, annotations, and link types."""
+    snapshot = {}
+    for source in aladin.web.sources_with_pages():
+        for accession in aladin.web.accessions(source):
+            page = aladin.web.page(source, accession)
+            snapshot[(source, accession)] = (
+                page.fields,
+                page.annotations,
+                [l.endpoints() for l in aladin.web.duplicates(source, accession)],
+                [l.endpoints() for l in aladin.web.linked(source, accession)],
+            )
+    return snapshot
+
+
+def rankings(aladin):
+    """Exact BM25 result lists — order and scores included."""
+    engine = aladin.search_engine()
+    return {
+        query: [(h.source, h.accession, h.score, h.matched_fields)
+                for h in engine.search(query, top_k=50)]
+        for query in QUERIES
+    }
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    scenario = e6_scenario()
+    serial = integrate(scenario, "serial", 1, bulk=True)
+    parallel = integrate(scenario, "process", 4, bulk=True)
+    return serial, parallel
+
+
+class TestProcessBackendIsByteIdentical:
+    def test_link_web(self, corpora):
+        serial, parallel = corpora
+        assert link_web(parallel) == link_web(serial)
+
+    def test_object_web(self, corpora):
+        serial, parallel = corpora
+        assert object_web(parallel) == object_web(serial)
+
+    def test_bm25_rankings(self, corpora):
+        serial, parallel = corpora
+        ranked = rankings(serial)
+        assert rankings(parallel) == ranked
+        assert any(hits for hits in ranked.values())  # queries actually hit
+
+    def test_comparison_counters_match(self, corpora):
+        serial, parallel = corpora
+        assert parallel._engine.comparisons_made == serial._engine.comparisons_made
+
+    def test_bulk_path_matches_incremental_loop(self, corpora):
+        """integrate_many == add_source-per-source, write order included."""
+        serial, _ = corpora
+        loop = integrate(e6_scenario(), "serial", 1, bulk=False)
+        assert link_web(loop) == link_web(serial)
+        assert rankings(loop) == rankings(serial)
+
+
+class TestBatchAtomicity:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_failed_batch_unwinds_and_is_retryable(self, backend, monkeypatch):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=12, include=("swissprot", "pdb", "go"),
+                universe=UniverseConfig(n_families=2, members_per_family=2, seed=12),
+            )
+        )
+        config = AladinConfig()
+        config.execution = ExecConfig(backend=backend, workers=4)
+        aladin = Aladin(config)
+        specs = source_specs(scenario)
+        aladin.add_source(*specs[0][:3], **specs[0][3])
+        before = (aladin.source_names(), link_web(aladin), len(aladin.reports))
+
+        def broken_channel(*args, **kwargs):
+            raise RuntimeError("channel blew up mid-batch")
+
+        monkeypatch.setattr(
+            "repro.linking.engine.discover_crossref_links", broken_channel
+        )
+        with pytest.raises(ExecError):
+            aladin.integrate_many(specs[1:])
+        # Nothing half-integrated: state is exactly the pre-batch state.
+        assert (aladin.source_names(), link_web(aladin), len(aladin.reports)) == before
+        monkeypatch.undo()
+        # And the batch is retryable as-is.
+        reports = aladin.integrate_many(specs[1:])
+        assert [r.source_name for r in reports] == [s[0] for s in specs[1:]]
+        assert sorted(aladin.source_names()) == sorted(s[0] for s in specs)
+
+
+    def test_partial_registration_unwinds_engine_state(self, monkeypatch):
+        """A failure *inside* registration must not leak engine entries."""
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=13, include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=2, members_per_family=2, seed=13),
+            )
+        )
+        aladin = Aladin(AladinConfig())
+        specs = source_specs(scenario)
+        from repro.metadata.repository import MetadataRepository
+
+        original = MetadataRepository.register_source
+        second_name = specs[1][0]
+
+        def failing_register(self, structure, *args, **kwargs):
+            if structure.source_name == second_name:
+                raise RuntimeError("repository exploded mid-registration")
+            return original(self, structure, *args, **kwargs)
+
+        monkeypatch.setattr(MetadataRepository, "register_source", failing_register)
+        with pytest.raises(RuntimeError, match="mid-registration"):
+            aladin.integrate_many(specs)
+        # The first source fully unwound, the second's half-registered
+        # engine/web entries scrubbed: nothing of the batch remains.
+        assert aladin.source_names() == []
+        assert aladin._engine.source_names() == []
+        assert aladin._databases == {}
+        monkeypatch.undo()
+        reports = aladin.integrate_many(specs)
+        assert [r.source_name for r in reports] == [s[0] for s in specs]
+
+
+class TestExecutionConfigIsHostLocal:
+    def test_snapshot_execution_config_is_not_resurrected(self, monkeypatch):
+        from repro.core.config import config_from_dict, config_to_dict
+
+        config = AladinConfig()
+        config.execution = ExecConfig(backend="process", workers=16)
+        payload = config_to_dict(config)
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+        restored = config_from_dict(payload)
+        # The reading host's defaults win, not the writer's 16 processes.
+        assert restored.execution.backend == "serial"
+        assert restored.execution.workers == 4
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        assert config_from_dict(payload).execution.backend == "thread"
+
+
+class TestWorkerErrors:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_channel_failure_surfaces_as_exec_error(self, backend, monkeypatch):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=11, include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=2, members_per_family=2, seed=11),
+            )
+        )
+        config = AladinConfig()
+        config.execution = ExecConfig(backend=backend, workers=4)
+        aladin = Aladin(config)
+        first, second = source_specs(scenario)
+        aladin.add_source(first[0], first[1], first[2], **first[3])
+
+        def broken_channel(*args, **kwargs):
+            raise RuntimeError("channel blew up")
+
+        # Forked workers inherit the patched module, so the failure
+        # happens inside a real worker under the process backend.
+        monkeypatch.setattr(
+            "repro.linking.engine.discover_crossref_links", broken_channel
+        )
+        with pytest.raises(ExecError) as excinfo:
+            aladin.add_source(second[0], second[1], second[2], **second[3])
+        assert excinfo.value.task is not None
+        assert excinfo.value.task.startswith("link:")
+        assert "channel blew up" in str(excinfo.value)
