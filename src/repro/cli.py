@@ -58,6 +58,12 @@ def _add_exec_flags(subparser: argparse.ArgumentParser) -> None:
         help="worker count for the thread/process backends "
         "(default: REPRO_EXEC_WORKERS or 4)",
     )
+    subparser.add_argument(
+        "--resident-pool",
+        action="store_true",
+        help="keep the worker pool alive across pipeline fan-outs instead "
+        "of re-creating it per step (default: REPRO_EXEC_RESIDENT)",
+    )
 
 
 def _add_access_flags(subparser: argparse.ArgumentParser) -> None:
@@ -185,8 +191,12 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         except SnapshotError as exc:
             print(f"error: {exc}", file=out)
             return 2
-        if args.backend is not None or args.workers is not None:
-            aladin.configure_execution(backend=args.backend, workers=args.workers)
+        if args.backend is not None or args.workers is not None or args.resident_pool:
+            aladin.configure_execution(
+                backend=args.backend,
+                workers=args.workers,
+                resident=True if args.resident_pool else None,
+            )
         print(f"warehouse (warm-start): {aladin.summary()}", file=out)
         return _run_access_modes(aladin, args, out)
     config = AladinConfig()
@@ -195,6 +205,8 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         config.execution.backend = args.backend
     if args.workers is not None:
         config.execution.workers = max(1, args.workers)
+    if args.resident_pool:
+        config.execution.resident = True
     aladin = Aladin(config)
     code = _integrate_sources(aladin, args.sources, out)
     if code:

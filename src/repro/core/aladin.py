@@ -21,6 +21,17 @@ fan-outs dispatch to the configured worker pool, and
 sources through the same stages. Results are byte-identical across
 backends: fan-out results merge in fixed source order, and repository
 writes happen in the exact order of the sequential loop.
+
+The incremental path is engineered to the same cost profile as the batch
+path, so the Nth ``add_source`` stays cheap as sources keep arriving:
+duplicate detection runs as one chunk per new source on a *session-wide*
+:class:`~repro.duplicates.batch.BoundedRecordScorer` whose value-pair
+cache persists across maintenance calls, and under a resident executor
+(``ExecConfig.resident``) every fan-out — link pair scans, the
+``discover_for`` sweep, index tokenization, checkpoint row encoding —
+reuses one long-lived worker pool instead of paying per-fan-out pool
+spin-up. The engine calls ``refresh_state()`` whenever its registry
+mutates, so resident fork workers never scan a stale snapshot.
 """
 
 from __future__ import annotations
@@ -103,29 +114,67 @@ def _dup_pair_task(engine: LinkDiscoveryEngine, spec: Tuple[str, str, DuplicateC
     return links, time.perf_counter() - started
 
 
-def _dup_chunk_task(
-    engine: LinkDiscoveryEngine, spec: Tuple[str, Tuple[str, ...], DuplicateConfig]
+def _contiguous_groups(items: List[str], groups: int) -> List[List[str]]:
+    """Split into at most ``groups`` contiguous runs; flattening restores order."""
+    count = min(groups, len(items))
+    size = -(-len(items) // count)  # ceil division
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _run_dup_chunk(
+    engine: LinkDiscoveryEngine,
+    scorer: Optional[BoundedRecordScorer],
+    spec: Tuple[str, Tuple[str, ...], DuplicateConfig],
 ):
     """Step 5 for one new source against an ordered list of counterparts.
 
-    The batch scheduler's unit of work: all pairs of the chunk share one
-    :class:`BoundedRecordScorer` (value-pair cache + exact best-match
-    pruning), so a chunk does substantially less similarity work than the
-    same pairs scored independently — with provably identical links.
+    The shared unit of work of every duplicate pass: all pairs of the
+    chunk share one :class:`BoundedRecordScorer` (value-pair cache + exact
+    best-match pruning, chunk-local unless ``scorer`` is provided) and the
+    new source's record views are built once for the whole chunk — so a
+    chunk does substantially less similarity work than the same pairs
+    scored independently, with provably identical links. Both task
+    adapters below delegate here, so the batch and incremental passes
+    cannot diverge in shape.
     """
     name, others, config = spec
     started = time.perf_counter()
-    detector = DuplicateDetector(config, scorer=BoundedRecordScorer())
-    links = [
-        detector.detect(
-            engine.database_for(name),
-            engine.structure_for(name),
-            engine.database_for(other),
-            engine.structure_for(other),
-        )
-        for other in others
-    ]
+    detector = DuplicateDetector(
+        config, scorer=scorer if scorer is not None else BoundedRecordScorer()
+    )
+    links = detector.detect_chunk(
+        engine.database_for(name),
+        engine.structure_for(name),
+        [(engine.database_for(other), engine.structure_for(other)) for other in others],
+    )
     return links, time.perf_counter() - started
+
+
+def _dup_chunk_task(
+    engine: LinkDiscoveryEngine, spec: Tuple[str, Tuple[str, ...], DuplicateConfig]
+):
+    """Chunk task on engine state alone: a fresh chunk-local scorer.
+
+    Used by the batch pipeline's combined fan-out and by the incremental
+    pass's multi-core fan-out — the state is the engine itself, the same
+    object the link pair scans share, so one resident fork serves both.
+    """
+    return _run_dup_chunk(engine, None, spec)
+
+
+def _dup_session_task(
+    state: Tuple[LinkDiscoveryEngine, BoundedRecordScorer],
+    spec: Tuple[str, Tuple[str, ...], DuplicateConfig],
+):
+    """Chunk task on the *session* scorer owned by the Aladin instance.
+
+    Its value-pair cache survives across successive ``add_source`` calls,
+    so the Nth incremental addition reuses every similarity the first N-1
+    already paid for. Dispatched as a single task, which the executor
+    runs inline — cache growth therefore lands in the parent.
+    """
+    engine, scorer = state
+    return _run_dup_chunk(engine, scorer, spec)
 
 
 def _batch_scan_task(engine: LinkDiscoveryEngine, tagged: Tuple[str, Tuple]):
@@ -158,6 +207,12 @@ class Aladin:
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
         self._store: Optional[SnapshotStore] = None
+        # The maintenance session's duplicate scorer: one value-pair cache
+        # shared by every incremental add_source of this system's
+        # lifetime. The (engine, scorer) pair is built once so resident
+        # fork pools see a stable state identity across fan-outs.
+        self._dup_scorer = BoundedRecordScorer()
+        self._dup_state = (self._engine, self._dup_scorer)
         self.reports: List[IntegrationReport] = []
 
     @property
@@ -165,20 +220,27 @@ class Aladin:
         return self._executor
 
     def configure_execution(
-        self, backend: Optional[str] = None, workers: Optional[int] = None
+        self,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        resident: Optional[bool] = None,
     ) -> None:
         """Re-point the system at another execution backend at runtime.
 
-        Used by the CLI's ``--backend``/``--workers`` flags (including on
-        warm-started systems, whose snapshot carried the writing system's
-        configuration).
+        Used by the CLI's ``--backend``/``--workers``/``--resident-pool``
+        flags (including on warm-started systems, whose snapshot carried
+        the writing system's configuration).
         """
         if backend is not None:
             self.config.execution.backend = backend
         if workers is not None:
             self.config.execution.workers = max(1, int(workers))
+        if resident is not None:
+            self.config.execution.resident = bool(resident)
+        previous = self._executor
         self._executor = create_executor(self.config.execution)
         self._engine.executor = self._executor
+        previous.shutdown()  # release any resident workers of the old pool
 
     # ------------------------------------------------------------------
     # the five-step pipeline
@@ -576,22 +638,56 @@ class Aladin:
         self.reports.append(report)
 
     def _detect_duplicates_for(self, name: str) -> List[List[ObjectLink]]:
-        """Step-5 fan-out: one task per (new source, existing source) pair.
+        """Step-5 for one new source against every existing source.
 
         Returns one link list per counterpart in repository order; the
         caller stores them in that order, matching the sequential pass.
+
+        The default path scores the whole counterpart chunk through the
+        session-wide :class:`BoundedRecordScorer` (exact pruning plus a
+        value-pair cache that persists across ``add_source`` calls), the
+        same scorer shape the batch pipeline uses — so the Nth incremental
+        addition does bounded work instead of re-scoring every candidate
+        pair from scratch. ``config.incremental_shared_scorer = False``
+        restores the pre-scorer per-pair fan-out for benchmarking.
         """
         if not self.config.detect_duplicates:
             return []
         others = [o for o in self.repository.source_names() if o != name]
         if not others:
             return []
-        specs = [(name, other, self.config.duplicates) for other in others]
-        labels = [f"duplicates:{name}<->{other}" for other in others]
+        if not self.config.incremental_shared_scorer:
+            specs = [(name, other, self.config.duplicates) for other in others]
+            labels = [f"duplicates:{name}<->{other}" for other in others]
+            results = self._executor.map_ordered(
+                _dup_pair_task, specs, state=self._engine, labels=labels
+            )
+            return [links for links, _seconds in results]
+        if self._executor.cpu_parallel and self._executor.workers > 1 and len(others) > 1:
+            # A backend with real CPU parallelism: worker parallelism
+            # beats the session cache (whose growth could not cross fork
+            # boundaries from workers anyway), so fan contiguous
+            # counterpart chunks across the pool, each with a chunk-local
+            # scorer — the exact shape of the batch pipeline's duplicate
+            # stage, byte-identical results in counterpart order.
+            groups = _contiguous_groups(others, self._executor.workers)
+            specs = [(name, tuple(group), self.config.duplicates) for group in groups]
+            labels = [
+                f"duplicates:{name}:{group[0]}..{group[-1]}" for group in groups
+            ]
+            results = self._executor.map_ordered(
+                _dup_chunk_task, specs, state=self._engine, labels=labels
+            )
+            return [links for link_lists, _seconds in results for links in link_lists]
+        spec = (name, tuple(others), self.config.duplicates)
         results = self._executor.map_ordered(
-            _dup_pair_task, specs, state=self._engine, labels=labels
+            _dup_session_task,
+            [spec],
+            state=self._dup_state,
+            labels=[f"duplicates:{name}"],
         )
-        return [links for links, _seconds in results]
+        link_lists, _seconds = results[0]
+        return link_lists
 
     # ------------------------------------------------------------------
     # data changes and feedback (Section 6.2)
@@ -776,7 +872,10 @@ class Aladin:
 
     def _checkpoint(self, name: str) -> None:
         if self._store is not None:
-            self._store.checkpoint_source(self, name)
+            # The checkpoint's row encoding fans across the same (resident)
+            # pool as the pipeline's other stages — no fresh pool spin-up
+            # on the maintenance path.
+            self._store.checkpoint_source(self, name, executor=self._executor)
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.web)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict
 
 from repro.discovery.model import DiscoveryConfig
@@ -32,6 +32,12 @@ class AladinConfig:
     # Step 5 runs between every source pair by default; it can be disabled
     # for ablations.
     detect_duplicates: bool = True
+    # Incremental add_source scores its duplicate pass through one
+    # session-wide BoundedRecordScorer (value-pair cache + exact
+    # best-match pruning, shared across successive maintenance calls).
+    # False restores the pre-scorer per-pair path — kept only so
+    # BENCH_incremental can measure old vs. new on one build.
+    incremental_shared_scorer: bool = True
     # Section 6.2: "We envisage a threshold on the number of changes to a
     # data source before a new analysis is carried out." Fraction of rows
     # that must change before update_source() triggers full re-analysis.
@@ -63,11 +69,25 @@ def config_from_dict(payload: Dict[str, Any]) -> AladinConfig:
     # "execution" entry is dropped and the reading environment's defaults
     # (REPRO_EXEC_BACKEND/REPRO_EXEC_WORKERS, or the CLI flags) apply.
     payload.pop("execution", None)
-    return AladinConfig(
-        discovery=DiscoveryConfig(**payload.pop("discovery")),
-        linking=LinkConfig(**payload.pop("linking")),
-        channels=LinkChannels(**payload.pop("channels")),
-        duplicates=DuplicateConfig(**payload.pop("duplicates")),
+    config = AladinConfig(
+        discovery=_tolerant(DiscoveryConfig, payload.pop("discovery")),
+        linking=_tolerant(LinkConfig, payload.pop("linking")),
+        channels=_tolerant(LinkChannels, payload.pop("channels")),
+        duplicates=_tolerant(DuplicateConfig, payload.pop("duplicates")),
         execution=ExecConfig(),
-        **payload,
     )
+    # Apply whatever scalar knobs the payload carries and ignore unknown
+    # keys, so a snapshot written by a build with *newer* config fields —
+    # top-level or nested — still opens here (the snapshot format version
+    # gates real layout changes; extra knobs degrade to this build's
+    # defaults).
+    for key, value in payload.items():
+        if hasattr(config, key):
+            setattr(config, key, value)
+    return config
+
+
+def _tolerant(cls, payload: Dict[str, Any]):
+    """Build a sub-config from persisted fields, ignoring unknown keys."""
+    known = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in known})

@@ -44,10 +44,11 @@ class DuplicateDetector:
     """Pairwise duplicate flagging between two sources' primary objects.
 
     ``scorer`` swaps the record-pair similarity function; the default is
-    :func:`~repro.duplicates.record.record_similarity`. The batch
-    integration path passes a chunk-scoped
-    :class:`~repro.duplicates.batch.BoundedRecordScorer`, which must (and
-    does) return the identical floats.
+    :func:`~repro.duplicates.record.record_similarity`. Both integration
+    paths pass a :class:`~repro.duplicates.batch.BoundedRecordScorer` —
+    chunk-scoped in ``integrate_many``, session-scoped in the incremental
+    ``add_source`` pass — which must (and does) return the identical
+    floats.
     """
 
     def __init__(
@@ -141,6 +142,45 @@ class DuplicateDetector:
             return []
         records_a = self.build_record_views(database_a, structure_a)
         records_b = self.build_record_views(database_b, structure_b)
+        return self._detect_pairs(records_a, records_b)
+
+    def detect_chunk(
+        self,
+        database_a: Database,
+        structure_a: SourceStructure,
+        counterparts: Sequence[Tuple[Database, SourceStructure]],
+    ) -> List[List[ObjectLink]]:
+        """:meth:`detect` of one anchor source against many counterparts.
+
+        Returns one link list per counterpart, in counterpart order, each
+        byte-identical to the corresponding :meth:`detect` call. The chunk
+        shape is what both integration paths fan out (one chunk per new
+        source), and it pays once for what the pairwise loop re-did per
+        counterpart: the anchor's record views are built a single time —
+        lazily, so the key-blocking short-circuit still skips view
+        construction when no counterpart shares an accession.
+        """
+        records_a: Optional[List[RecordView]] = None
+        results: List[List[ObjectLink]] = []
+        for database_b, structure_b in counterparts:
+            if self.config.blocking == "key" and not self._has_shared_accessions(
+                database_a, structure_a, database_b, structure_b
+            ):
+                results.append([])
+                continue
+            if records_a is None:
+                records_a = self.build_record_views(database_a, structure_a)
+            if not records_a:
+                results.append([])
+                continue
+            records_b = self.build_record_views(database_b, structure_b)
+            results.append(self._detect_pairs(records_a, records_b))
+        return results
+
+    def _detect_pairs(
+        self, records_a: Sequence[RecordView], records_b: Sequence[RecordView]
+    ) -> List[ObjectLink]:
+        """Block, score, and link two prebuilt record-view lists."""
         if not records_a or not records_b:
             return []
         pairs = self._candidate_pairs(records_a, records_b)

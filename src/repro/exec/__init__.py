@@ -15,6 +15,8 @@ from repro.exec.pool import (
     ExecError,
     Executor,
     ProcessExecutor,
+    ResidentProcessExecutor,
+    ResidentThreadExecutor,
     SerialExecutor,
     ThreadExecutor,
     create_executor,
@@ -26,6 +28,8 @@ __all__ = [
     "ExecError",
     "Executor",
     "ProcessExecutor",
+    "ResidentProcessExecutor",
+    "ResidentThreadExecutor",
     "SerialExecutor",
     "Task",
     "TaskGraph",

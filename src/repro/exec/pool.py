@@ -21,6 +21,28 @@ Determinism contract: :meth:`Executor.map_ordered` returns results in
 :class:`ExecError` for the first failed item in item order — regardless
 of backend and scheduling. Callers merge results in a fixed order, which
 is what makes parallel runs byte-identical to serial ones.
+
+Resident mode (``ExecConfig.resident`` / ``REPRO_EXEC_RESIDENT``): the
+thread and process pools above are created *per fan-out*, which is simple
+and always-fresh but makes every small scan pay pool spin-up — for the
+process backend a whole round of forks. :class:`ResidentThreadExecutor`
+and :class:`ResidentProcessExecutor` keep one long-lived pool across
+fan-outs instead, with two extra contract points:
+
+* ``refresh_state()`` — shared state crossed into process workers by fork
+  inheritance, so a resident fork pool holds a *snapshot*. Callers that
+  mutate the shared state (registering, removing, or refreshing a source)
+  must call ``refresh_state()`` so the next fan-out re-forks from current
+  memory. Thread workers read the live heap, so for them it is a no-op.
+* idle teardown — a resident pool that has not run a fan-out for
+  ``idle_seconds`` releases its workers; the next fan-out transparently
+  re-creates them. Long-lived systems do not hold worker processes
+  hostage between maintenance bursts.
+
+The determinism contract is unchanged in resident mode: results arrive in
+item order and a failure raises :class:`ExecError` for the first failed
+task in submission order, even when pool-level errors (a dead worker, an
+unpicklable result) strike a later chunk first.
 """
 
 from __future__ import annotations
@@ -51,6 +73,24 @@ def _env_workers() -> int:
     return max(1, workers) if workers else _DEFAULT_WORKERS
 
 
+_DEFAULT_IDLE_SECONDS = 30.0
+
+
+def _env_resident() -> bool:
+    raw = os.environ.get("REPRO_EXEC_RESIDENT", "").strip().lower()
+    return raw in ("1", "true", "yes", "on")
+
+
+def _env_idle_seconds() -> float:
+    raw = os.environ.get("REPRO_EXEC_IDLE_SECONDS", "").strip()
+    if not raw:
+        return _DEFAULT_IDLE_SECONDS
+    try:
+        return float(raw)
+    except ValueError:
+        return _DEFAULT_IDLE_SECONDS
+
+
 @dataclass
 class ExecConfig:
     """The execution knob: which backend, how many workers.
@@ -59,10 +99,17 @@ class ExecConfig:
     an entire test suite (or CI job) can be rerun under another backend
     without touching code. ``serial`` remains the default default: the
     system behaves exactly as before unless parallelism is asked for.
+
+    ``resident`` (``REPRO_EXEC_RESIDENT``) keeps the thread/process pool
+    alive across fan-outs instead of creating one per call;
+    ``idle_seconds`` (``REPRO_EXEC_IDLE_SECONDS``) is how long a resident
+    pool may sit unused before its workers are released.
     """
 
     backend: str = field(default_factory=_env_backend)
     workers: int = field(default_factory=_env_workers)
+    resident: bool = field(default_factory=_env_resident)
+    idle_seconds: float = field(default_factory=_env_idle_seconds)
 
 
 class ExecError(RuntimeError):
@@ -129,6 +176,7 @@ class Executor:
     """
 
     name = "serial"
+    resident = False
 
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
@@ -154,6 +202,18 @@ class Executor:
         rather than pay dispatch overhead for no speedup.
         """
         return False
+
+    def refresh_state(self) -> None:
+        """Invalidate worker-held shared state.
+
+        Callers must invoke this after mutating state they previously
+        shipped into a fan-out. Per-call pools always re-capture state, so
+        this is a no-op everywhere except the resident process pool, which
+        holds a fork-time snapshot until told otherwise.
+        """
+
+    def shutdown(self) -> None:
+        """Release any long-lived workers. No-op for per-call pools."""
 
     def map_ordered(
         self,
@@ -250,21 +310,328 @@ class ProcessExecutor(Executor):
                     for index, future in enumerate(futures):
                         try:
                             outcomes.append(future.result())
-                        except ExecError:
-                            raise
                         except BaseException as exc:
-                            # The pool itself failed (unpicklable result,
-                            # dead worker): attribute it to the chunk's
-                            # first item — the closest deterministic label.
+                            # The pool itself failed for this chunk
+                            # (unpicklable result, dead worker): record it
+                            # as a transported failure at the chunk's first
+                            # item, so _collect surfaces the first failed
+                            # task in submission order even when an earlier
+                            # chunk carried a transported error.
                             offset = chunks[index][1]
-                            raise ExecError(
-                                f"task {_label(labels, offset)!r} failed in the "
-                                f"worker pool: {exc!r}",
-                                task=_label(labels, offset),
-                            ) from exc
+                            outcomes.append(("err", offset, repr(exc), exc))
             finally:
                 _FORK_STATE = None
         return _collect(outcomes, chunks, labels)
+
+
+# ----------------------------------------------------------------------
+# resident pools: one long-lived pool across fan-outs
+# ----------------------------------------------------------------------
+
+_WARMUP_TIMEOUT = 30.0  # seconds a fork warm-up may take before degrading
+
+
+def _warmup_barrier_init(barrier, timeout: float) -> None:
+    """Worker initializer: hold every worker at a barrier until all forked.
+
+    The point is *when* workers fork, not what they run: a resident fork
+    pool must spawn every worker while the parent's ``_FORK_STATE`` is
+    set, or a worker forked later (after the parent cleared it) would run
+    tasks against the wrong state. Blocking each newly spawned worker here
+    keeps it from going idle, which forces the pool to spawn a fresh
+    process for every warm-up task — all inside the fork window.
+    """
+    try:
+        barrier.wait(timeout)
+    except Exception:  # noqa: BLE001 - a broken barrier only delays, fork is done
+        pass
+
+
+def _warmup_noop() -> None:
+    return None
+
+
+class _ResidencyUnavailable(RuntimeError):
+    """The resident fork pool could not spawn all workers deterministically."""
+
+
+class _IdleTimerMixin:
+    """Idle teardown shared by the resident pools.
+
+    Hosts provide ``self._lock``, ``self.idle_seconds``, ``self._pool``,
+    and ``self._teardown()``; ``_idle_blocked()`` lets a host veto a
+    firing timer (the thread pool does, while fan-outs are in flight).
+    The generation counter invalidates a timer that fired but lost the
+    lock race against new work, so a fresh burst is never torn down.
+    """
+
+    def _init_idle_timer(self) -> None:
+        self._timer: Optional[threading.Timer] = None
+        self._timer_generation = 0
+
+    def _idle_blocked(self) -> bool:
+        return False
+
+    def _arm_timer(self) -> None:
+        if self.idle_seconds <= 0 or self._pool is None:
+            return
+        self._timer_generation += 1
+        generation = self._timer_generation
+        self._timer = threading.Timer(
+            self.idle_seconds, self._idle_teardown, args=(generation,)
+        )
+        self._timer.daemon = True
+        self._timer.start()
+
+    def _cancel_timer(self) -> None:
+        self._timer_generation += 1  # invalidate any timer already firing
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _idle_teardown(self, generation: int) -> None:
+        with self._lock:
+            if generation != self._timer_generation or self._idle_blocked():
+                return
+            self._teardown()
+
+
+class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
+    """A thread pool kept alive across fan-outs.
+
+    Threads read the ``state`` argument passed to each call directly from
+    the live heap, so there is no staleness to manage — residency here
+    only removes per-call pool construction and thread spawn. Concurrent
+    fan-outs (the task graph overlaps link and duplicate stages) share the
+    one pool; an idle timer releases the threads between bursts.
+    """
+
+    resident = True
+
+    def __init__(self, workers: int, idle_seconds: float = _DEFAULT_IDLE_SECONDS):
+        super().__init__(workers)
+        self.idle_seconds = idle_seconds
+        self.pools_started = 0  # observability: how often workers spun up
+        self._lock = threading.Lock()
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._active = 0
+        self._init_idle_timer()
+
+    @property
+    def pool_alive(self) -> bool:
+        return self._pool is not None
+
+    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1:
+            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+        chunks = _chunk(items, chunksize)
+        with self._lock:
+            self._cancel_timer()
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers
+                )
+                self.pools_started += 1
+            pool = self._pool
+            self._active += 1
+        try:
+            futures = []
+            for chunk, offset in chunks:
+                try:
+                    futures.append(
+                        pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                    )
+                except RuntimeError:
+                    # shutdown() closed the pool under an in-flight
+                    # overlap: the contract still holds — finish the
+                    # remaining chunks inline, same results, same order.
+                    break
+            outcomes = [future.result() for future in futures]
+            for chunk, offset in chunks[len(futures):]:
+                outcomes.append(_run_chunk_with_state(fn, state, chunk, offset))
+        finally:
+            with self._lock:
+                self._active -= 1
+                if self._active == 0:
+                    self._arm_timer()
+        return _collect(outcomes, chunks, labels)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._cancel_timer()
+            self._teardown()
+
+    def _idle_blocked(self) -> bool:
+        return bool(self._active)
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+
+class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
+    """A fork pool kept alive across fan-outs — one fork per state change.
+
+    Workers hold the shared state they inherited when the pool forked, so
+    the pool is reusable for every fan-out that passes the *same* state
+    object (``state is`` identity) and for stateless fan-outs (``state
+    None`` travels pickled per task). A fan-out with a different state, or
+    any call after :meth:`refresh_state`, tears the pool down and re-forks
+    from current memory. This is what turns N fan-outs of an incremental
+    maintenance session from N rounds of forks into one.
+
+    Calls are serialized on an internal lock: the process backend never
+    overlaps coordination stages anyway (``parallel_graph`` is False), and
+    serializing keeps teardown/re-fork atomic with respect to in-flight
+    work.
+    """
+
+    resident = True
+
+    def __init__(self, workers: int, idle_seconds: float = _DEFAULT_IDLE_SECONDS):
+        super().__init__(workers)
+        self.idle_seconds = idle_seconds
+        self.pools_forked = 0  # observability: how often workers re-forked
+        self._lock = threading.RLock()
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._state: Any = None  # strong ref: the state the pool forked with
+        self._degraded = False  # could not pre-spawn: fall back to per-call
+        self._init_idle_timer()
+
+    @property
+    def pool_alive(self) -> bool:
+        return self._pool is not None
+
+    def refresh_state(self) -> None:
+        with self._lock:
+            self._cancel_timer()
+            self._teardown()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._cancel_timer()
+            self._teardown()
+
+    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
+        items = list(items)
+        if len(items) <= 1 or self.workers <= 1:
+            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+        if self._degraded:
+            # Deterministic pre-spawn failed once on this host: behave as
+            # the per-call executor from here on rather than risk a
+            # wrong-state worker.
+            return super().map_ordered(
+                fn, items, state=state, labels=labels, chunksize=chunksize
+            )
+        with self._lock:
+            self._cancel_timer()
+            try:
+                pool = self._ensure_pool(context, state)
+            except _ResidencyUnavailable:
+                self._degraded = True
+                self._teardown()
+                return super().map_ordered(
+                    fn, items, state=state, labels=labels, chunksize=chunksize
+                )
+            chunks = _chunk(items, chunksize)
+            if state is not None and state is self._state:
+                # The workers inherited this exact state at fork time.
+                futures = [
+                    pool.submit(_run_chunk_forked, fn, chunk, offset)
+                    for chunk, offset in chunks
+                ]
+            else:
+                # Stateless fan-out on a pool forked for something else:
+                # ship the (trivial) state pickled per task instead of
+                # paying a re-fork.
+                futures = [
+                    pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                    for chunk, offset in chunks
+                ]
+            outcomes = []
+            pool_failure = False
+            for index, future in enumerate(futures):
+                try:
+                    outcomes.append(future.result())
+                except BaseException as exc:
+                    # Pool-level failure (dead worker, unpicklable result):
+                    # record it as a transported failure at the chunk's
+                    # first item, so _collect still surfaces the first
+                    # failed task in *submission order* even when a later
+                    # chunk's pool error completes before an earlier
+                    # chunk's transported one.
+                    offset = chunks[index][1]
+                    outcomes.append(("err", offset, repr(exc), exc))
+                    pool_failure = True
+            if pool_failure:
+                self._teardown()  # the pool may be broken; re-fork next call
+            else:
+                self._arm_timer()
+        return _collect(outcomes, chunks, labels)
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self, context, state: Any):
+        if self._pool is not None and (state is None or state is self._state):
+            return self._pool
+        self._teardown()
+        self._pool = self._fork_pool(context, state)
+        self._state = state
+        self.pools_forked += 1
+        return self._pool
+
+    def _fork_pool(self, context, state: Any):
+        """Fork a full complement of workers while the state is visible.
+
+        Every worker must fork inside the window where ``_FORK_STATE`` is
+        set — a worker spawned lazily on some later submit would inherit
+        nothing. The barrier initializer keeps each warm-up worker busy so
+        the pool's on-demand spawner starts a new process for every
+        warm-up task; after the warm-ups drain we verify the full worker
+        count actually exists and refuse residency otherwise.
+        """
+        global _FORK_STATE
+        with _FORK_LOCK:
+            _FORK_STATE = state
+            try:
+                barrier = context.Barrier(self.workers)
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=context,
+                    initializer=_warmup_barrier_init,
+                    initargs=(barrier, _WARMUP_TIMEOUT),
+                )
+                try:
+                    warmups = [
+                        pool.submit(_warmup_noop) for _ in range(self.workers)
+                    ]
+                    for future in warmups:
+                        future.result(timeout=_WARMUP_TIMEOUT)
+                except BaseException as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise _ResidencyUnavailable(repr(exc)) from exc
+                processes = getattr(pool, "_processes", None)
+                if processes is None or len(processes) < self.workers:
+                    # Could not prove every worker forked in the window.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise _ResidencyUnavailable(
+                        f"spawned {0 if processes is None else len(processes)}"
+                        f"/{self.workers} workers inside the fork window"
+                    )
+            finally:
+                _FORK_STATE = None
+        return pool
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._state = None
 
 
 def _chunk(items: List[Any], chunksize: int) -> List[Tuple[List[Any], int]]:
@@ -305,9 +672,15 @@ def create_executor(config: Optional[ExecConfig] = None) -> Executor:
     """Build the executor a configuration asks for."""
     config = config or ExecConfig()
     backend = (config.backend or "serial").lower()
+    resident = bool(getattr(config, "resident", False))
+    idle_seconds = getattr(config, "idle_seconds", _DEFAULT_IDLE_SECONDS)
     if backend == "thread":
+        if resident:
+            return ResidentThreadExecutor(config.workers, idle_seconds=idle_seconds)
         return ThreadExecutor(config.workers)
     if backend == "process":
+        if resident:
+            return ResidentProcessExecutor(config.workers, idle_seconds=idle_seconds)
         return ProcessExecutor(config.workers)
     if backend != "serial":
         raise ValueError(

@@ -92,6 +92,17 @@ class LinkDiscoveryEngine:
         self.registrations = 0  # register_source calls, for maintenance tests
 
     # ------------------------------------------------------------------
+    def _workers_stale(self) -> None:
+        """Tell a resident executor the engine's shared state changed.
+
+        Process workers hold the engine as a fork-time snapshot; any
+        mutation of the registry must invalidate it or later fan-outs
+        would scan stale sources. Per-call and thread executors treat
+        this as a no-op.
+        """
+        if self.executor is not None:
+            self.executor.refresh_state()
+
     def register_source(
         self, database: Database, structure: SourceStructure
     ) -> Dict[AttributeRef, AttributeStatistics]:
@@ -101,6 +112,7 @@ class LinkDiscoveryEngine:
         self._sources[structure.source_name] = _SourceEntry(
             database=database, structure=structure, statistics=statistics
         )
+        self._workers_stale()
         return statistics
 
     def restore_source(
@@ -119,6 +131,7 @@ class LinkDiscoveryEngine:
         self._sources[structure.source_name] = _SourceEntry(
             database=database, structure=structure, statistics=dict(statistics)
         )
+        self._workers_stale()
 
     def deregister_source(self, name: str) -> None:
         """Forget one source; every other registration stays untouched.
@@ -130,6 +143,7 @@ class LinkDiscoveryEngine:
         if name not in self._sources:
             raise KeyError(f"source {name!r} is not registered")
         del self._sources[name]
+        self._workers_stale()
 
     def refresh_source(
         self, database: Database
@@ -147,6 +161,7 @@ class LinkDiscoveryEngine:
         self._sources[database.name] = _SourceEntry(
             database=database, structure=entry.structure, statistics=statistics
         )
+        self._workers_stale()
         return statistics
 
     def source_names(self) -> List[str]:

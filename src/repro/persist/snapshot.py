@@ -46,8 +46,47 @@ from repro.persist import codec
 from repro.relational.columns import ColumnProfile
 from repro.relational.database import Database
 
-FORMAT_VERSION = 1
+# Version 2: the persisted config gained `incremental_shared_scorer`.
+# Pre-PR-4 readers rebuild AladinConfig with **payload and would die on
+# the unknown key with a raw TypeError; the bump turns that into their
+# clean "this build reads version 1" SnapshotError instead. This build
+# still *reads* v1 snapshots (the layout is unchanged and unknown/missing
+# config keys degrade to defaults), and ignores unknown config keys going
+# forward, so the next new knob will not need a bump.
+FORMAT_VERSION = 2
+_READ_VERSIONS = (1, 2)
 _MAGIC = "repro-aladin-snapshot"
+
+
+def _encode_row_task(_state, tup) -> str:
+    """Encode one raw row tuple; pure, so it can fan across worker pools."""
+    return json.dumps(list(tup), separators=(",", ":"))
+
+
+def _encode_rows(rows: List[tuple], executor=None) -> List[str]:
+    """JSON-encode raw rows, fanning across ``executor`` when it pays.
+
+    Row payload encoding is the checkpoint's CPU half (the SQLite writes
+    are the I/O half). The gate is stricter than the index's tokenization
+    fan-out: per-row encoding is so cheap that only a backend with real
+    CPU parallelism *and a resident pool* (the fan-out rides workers the
+    pipeline already forked, paying no pool spin-up) on a large enough
+    batch comes out ahead — a per-call process pool would fork just for
+    this and lose. The output is byte-identical to the inline loop in row
+    order.
+    """
+    if (
+        executor is None
+        or not executor.cpu_parallel
+        or not executor.resident
+        or not getattr(executor, "pool_alive", False)  # dead pool: a fork
+        # round just for row encoding would cost more than it saves
+        or executor.workers <= 1
+        or len(rows) < 64 * executor.workers
+    ):
+        return [_encode_row_task(None, tup) for tup in rows]
+    chunksize = max(1, len(rows) // (executor.workers * 4))
+    return executor.map_ordered(_encode_row_task, rows, chunksize=chunksize)
 
 _TABLES = (
     "manifest",
@@ -215,10 +254,11 @@ class SnapshotStore:
                 f"{self.path!r} is an SQLite file but not an ALADIN snapshot"
             )
         version = int(manifest.get("format_version", -1))
-        if version != FORMAT_VERSION:
+        if version not in _READ_VERSIONS:
             raise SnapshotError(
                 f"snapshot {self.path!r} has format version {version}; "
-                f"this build reads version {FORMAT_VERSION}"
+                f"this build reads versions "
+                f"{', '.join(str(v) for v in _READ_VERSIONS)}"
             )
         return manifest
 
@@ -250,8 +290,9 @@ class SnapshotStore:
                 self._set_manifest(conn, "magic", _MAGIC)
                 self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
                 self._write_config(conn, aladin)
+                executor = getattr(aladin, "_executor", None)
                 for name in aladin.source_names():
-                    self._write_source(conn, aladin, name)
+                    self._write_source(conn, aladin, name, executor=executor)
                 self._write_all_links(conn, aladin.repository)
                 self._write_index_full(conn, aladin._index)
         finally:
@@ -289,7 +330,9 @@ class SnapshotStore:
                 "database but not an ALADIN snapshot"
             )
 
-    def _write_source(self, conn: sqlite3.Connection, aladin, name: str) -> None:
+    def _write_source(
+        self, conn: sqlite3.Connection, aladin, name: str, executor=None
+    ) -> None:
         database = aladin.database(name)
         record = aladin.repository.source(name)
         hasher = hashlib.sha256()
@@ -302,9 +345,9 @@ class SnapshotStore:
                 "VALUES (?, ?, ?)",
                 (name, table_name, schema_json),
             )
+            encoded = _encode_rows(list(table.raw_rows()), executor)
             payloads = []
-            for row_id, tup in enumerate(table.raw_rows()):
-                data = json.dumps(list(tup), separators=(",", ":"))
+            for row_id, data in enumerate(encoded):
                 hasher.update(data.encode("utf-8"))
                 payloads.append((name, table_name, row_id, data))
             conn.executemany(
@@ -411,12 +454,15 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # per-source incremental checkpoints
     # ------------------------------------------------------------------
-    def checkpoint_source(self, aladin, name: str) -> None:
+    def checkpoint_source(self, aladin, name: str, executor=None) -> None:
         """Rewrite exactly one source's slice of the snapshot in place.
 
         Called after ``add_source`` / ``update_source``: the source's rows,
         profiles, structure record, links touching it, and index postings
         are replaced; every other source's slice stays byte-identical.
+        ``executor`` (the pipeline's worker pool, resident or per-call)
+        fans the row payload encoding when the backend has CPU
+        parallelism; the written bytes are identical either way.
         """
         conn = self._connect()
         try:
@@ -424,7 +470,7 @@ class SnapshotStore:
                 self._read_manifest(conn)
                 self._write_config(conn, aladin)
                 self._delete_source_slice(conn, name)
-                self._write_source(conn, aladin, name)
+                self._write_source(conn, aladin, name, executor=executor)
                 self._write_source_links(conn, aladin.repository, name)
                 self._checkpoint_index(conn, aladin, name)
         finally:
@@ -435,6 +481,11 @@ class SnapshotStore:
         self._set_manifest(
             conn, "config", json.dumps(dataclasses.asdict(aladin.config))
         )
+        # The written config follows *this* build's schema, so the file is
+        # now a current-version snapshot even if it was opened as an older
+        # one — stamp the version wherever the config lands, or an old
+        # build could read a file whose manifest undersells its content.
+        self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
 
     def checkpoint_remove(self, name: str) -> None:
         """Drop one source's slice (rows, profiles, links, postings)."""

@@ -1,0 +1,189 @@
+"""Differential conformance: N x add_source == one integrate_many.
+
+The paper's hands-off promise only holds if incremental source addition
+is not a second, subtly different integration path. This suite pins the
+strongest form of that claim: building a corpus one ``add_source`` at a
+time — with the search index live from the first source so every later
+add exercises the *incremental* index update — produces byte-identical
+
+* link webs (object links and attribute links, order included),
+* duplicate sets (the ``duplicate``-kind links step 5 flags), and
+* search postings (every document's ``(token, field, frequency)``
+  triples, in doc-id order)
+
+to one ``integrate_many`` batch over the same sources, on every
+execution backend and pool mode (per-fanout and resident).
+"""
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.exec import ExecConfig
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+# (backend, resident): the full backend x pool-mode matrix.
+MODES = [
+    ("serial", False),
+    ("thread", False),
+    ("thread", True),
+    ("process", False),
+    ("process", True),
+]
+
+
+def scenario():
+    return build_scenario(
+        ScenarioConfig(
+            seed=77,
+            include=("swissprot", "pir", "pdb", "go"),
+            universe=UniverseConfig(
+                n_families=3, members_per_family=2, n_go_terms=10, seed=77
+            ),
+        )
+    )
+
+
+def source_specs(scenario):
+    return [
+        (s.name, s.facts.format_name, s.text, s.facts.import_options)
+        for s in scenario.sources
+    ]
+
+
+def make_aladin(backend, resident):
+    config = AladinConfig()
+    config.execution = ExecConfig(backend=backend, workers=4, resident=resident)
+    return Aladin(config)
+
+
+def integrate_incrementally(backend, resident):
+    """N x add_source with the index maintained incrementally throughout."""
+    aladin = make_aladin(backend, resident)
+    specs = source_specs(scenario())
+    first = True
+    for name, format_name, text, options in specs:
+        aladin.add_source(name, format_name, text, **options)
+        if first:
+            # Build the index now so every later add_source runs the
+            # incremental index-update path, not a fresh end-of-run crawl.
+            aladin.search_engine()
+            first = False
+    return aladin
+
+
+def integrate_batch(backend, resident):
+    aladin = make_aladin(backend, resident)
+    aladin.integrate_many(source_specs(scenario()))
+    aladin.search_engine()
+    return aladin
+
+
+def link_web(aladin):
+    return (
+        [
+            (l.source_a, l.accession_a, l.source_b, l.accession_b,
+             l.kind, l.certainty, l.evidence)
+            for l in aladin.repository.object_links()
+        ],
+        [(l.key(), l.score, l.kind, l.encoded)
+         for l in aladin.repository.attribute_links()],
+    )
+
+
+def duplicate_set(aladin):
+    return [
+        (l.source_a, l.accession_a, l.source_b, l.accession_b, l.certainty)
+        for l in aladin.repository.object_links()
+        if l.kind == "duplicate"
+    ]
+
+
+def postings(aladin):
+    """Every document with its exact postings, keyed by identity.
+
+    Doc *ids* are assignment order and legitimately differ between an
+    index kept live from the first add and one crawled at the end (the
+    cold crawl visits sources alphabetically, maintenance visits them in
+    add order) — so documents are keyed by (source, accession) and each
+    document's postings are canonicalized. Every token, field, frequency,
+    and document length must then match byte for byte.
+    """
+    assert aladin._index is not None
+    return sorted(
+        (source, accession, length, is_primary, sorted(doc_postings))
+        for source, accession, length, is_primary, doc_postings
+        in aladin._index.export_documents()
+    )
+
+
+QUERIES = ("kinase", "protein structure", "binding domain")
+
+
+def rankings(aladin):
+    """BM25 scores per hit; identity-keyed for the same doc-id reason."""
+    engine = aladin.search_engine()
+    return {
+        query: sorted(
+            (h.source, h.accession, h.score, tuple(sorted(h.matched_fields)))
+            for h in engine.search(query, top_k=50)
+        )
+        for query in QUERIES
+    }
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The serial batch run every mode must reproduce to the byte."""
+    aladin = integrate_batch("serial", resident=False)
+    web = link_web(aladin)
+    assert web[0], "reference corpus produced no object links"
+    assert duplicate_set(aladin), "reference corpus produced no duplicates"
+    return web, duplicate_set(aladin), postings(aladin), rankings(aladin)
+
+
+class TestIncrementalEqualsBatch:
+    @pytest.mark.parametrize(
+        "backend,resident", MODES, ids=[f"{b}{'-resident' if r else ''}" for b, r in MODES]
+    )
+    def test_incremental_matches_batch_reference(self, backend, resident, reference):
+        ref_web, ref_duplicates, ref_postings, ref_rankings = reference
+        aladin = integrate_incrementally(backend, resident)
+        assert link_web(aladin) == ref_web
+        assert duplicate_set(aladin) == ref_duplicates
+        assert postings(aladin) == ref_postings
+        assert rankings(aladin) == ref_rankings
+
+    @pytest.mark.parametrize(
+        "backend,resident",
+        [("thread", True), ("process", True)],
+        ids=["thread-resident", "process-resident"],
+    )
+    def test_batch_matches_batch_reference(self, backend, resident, reference):
+        """integrate_many itself is mode-invariant under resident pools."""
+        ref_web, ref_duplicates, ref_postings, ref_rankings = reference
+        aladin = integrate_batch(backend, resident)
+        assert link_web(aladin) == ref_web
+        assert duplicate_set(aladin) == ref_duplicates
+        assert postings(aladin) == ref_postings
+        assert rankings(aladin) == ref_rankings
+
+
+class TestSessionScorerIsInvisible:
+    def test_shared_scorer_off_matches_reference(self, reference):
+        """The legacy per-pair path and the session scorer agree exactly."""
+        ref_web, ref_duplicates, _postings, _rankings = reference
+        config = AladinConfig()
+        config.incremental_shared_scorer = False
+        aladin = Aladin(config)
+        for name, format_name, text, options in source_specs(scenario()):
+            aladin.add_source(name, format_name, text, **options)
+        assert link_web(aladin) == ref_web
+        assert duplicate_set(aladin) == ref_duplicates
+
+    def test_session_cache_accumulates_across_adds(self):
+        aladin = integrate_incrementally("serial", resident=False)
+        scorer = aladin._dup_scorer
+        assert scorer.exact_scores > 0
+        assert len(scorer.cache) > 0
+        # The session cache was actually consulted across the N adds.
+        assert scorer.cache_hits > 0

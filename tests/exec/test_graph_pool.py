@@ -9,6 +9,8 @@ from repro.exec import (
     ExecConfig,
     ExecError,
     ProcessExecutor,
+    ResidentProcessExecutor,
+    ResidentThreadExecutor,
     SerialExecutor,
     TaskGraph,
     ThreadExecutor,
@@ -34,33 +36,64 @@ def _slow_identity(state, item):
     return item
 
 
+def _read_state_item(state, item):
+    return (state["generation"], item)
+
+
+def _boom_two_slow_five_fast(state, item):
+    # Two failures in different chunks; the *later* submitted one (item 5)
+    # completes first, the earlier one (item 2) only after a delay.
+    if item == 5:
+        raise ValueError("later failure, finishes first")
+    if item == 2:
+        time.sleep(0.2)
+        raise ValueError("earlier failure, finishes last")
+    return item
+
+
+def _unpicklable_result(state, item):
+    if item >= 2:
+        return lambda: item  # cannot cross the pool back
+    return item
+
+
+def _boom_zero_unpicklable_two(state, item):
+    if item == 0:
+        raise ValueError("transported failure in the first chunk")
+    if item == 2:
+        return lambda: item  # pool-level failure in the second chunk
+    return item
+
+
 ALL_EXECUTORS = [
     SerialExecutor(1),
     ThreadExecutor(4),
     ProcessExecutor(4),
+    ResidentThreadExecutor(4),
+    ResidentProcessExecutor(4),
 ]
 
 
 class TestMapOrdered:
-    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
     def test_results_in_item_order(self, executor):
         assert executor.map_ordered(_double, range(10)) == [i * 2 for i in range(10)]
 
-    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
     def test_state_reaches_workers(self, executor):
         assert executor.map_ordered(_double, [1, 2], state=100) == [202, 204]
 
-    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
     def test_completion_order_does_not_leak(self, executor):
         assert executor.map_ordered(_slow_identity, range(5)) == list(range(5))
 
-    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
     def test_chunking_preserves_order(self, executor):
         assert executor.map_ordered(_double, range(17), chunksize=4) == [
             i * 2 for i in range(17)
         ]
 
-    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: e.name)
+    @pytest.mark.parametrize("executor", ALL_EXECUTORS, ids=lambda e: type(e).__name__)
     def test_failure_raises_exec_error_naming_the_task(self, executor):
         with pytest.raises(ExecError) as excinfo:
             executor.map_ordered(
@@ -75,6 +108,185 @@ class TestMapOrdered:
         with pytest.raises(ExecError) as excinfo:
             SerialExecutor().map_ordered(_boom_on_three, [3])
         assert excinfo.value.task == "task[0]"
+
+
+class TestResidentPools:
+    def test_process_pool_is_reused_and_refreshed(self):
+        executor = ResidentProcessExecutor(2)
+        state = {"generation": 1}
+        try:
+            assert executor.map_ordered(_read_state_item, [1, 2], state=state) == [
+                (1, 1), (1, 2),
+            ]
+            assert executor.pools_forked == 1
+            # Same state object: the pool must not re-fork.
+            executor.map_ordered(_read_state_item, [3, 4], state=state)
+            assert executor.pools_forked == 1
+            # Stateless fan-outs ride the existing pool too.
+            executor.map_ordered(_double, [1, 2])
+            assert executor.pools_forked == 1
+            state["generation"] = 2
+            # Single-item fan-outs run inline in the parent: live state.
+            assert executor.map_ordered(_read_state_item, [1], state=state) == [(2, 1)]
+            # Multi-item fan-outs hit the workers' fork snapshot, which is
+            # stale until refresh_state() — the documented contract...
+            assert executor.map_ordered(_read_state_item, [1, 2], state=state) == [
+                (1, 1), (1, 2),
+            ]
+            # ...and refresh_state() re-forks from current memory.
+            executor.refresh_state()
+            assert executor.map_ordered(_read_state_item, [1, 2], state=state) == [
+                (2, 1), (2, 2),
+            ]
+            assert executor.pools_forked == 2
+        finally:
+            executor.shutdown()
+        assert not executor.pool_alive
+
+    def test_thread_pool_reads_live_state(self):
+        executor = ResidentThreadExecutor(2)
+        state = {"generation": 1}
+        try:
+            assert executor.map_ordered(_read_state_item, [1, 2], state=state) == [
+                (1, 1), (1, 2),
+            ]
+            state["generation"] = 2  # threads share the heap: no refresh needed
+            assert executor.map_ordered(_read_state_item, [1, 2], state=state) == [
+                (2, 1), (2, 2),
+            ]
+            assert executor.pools_started == 1
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [lambda: ResidentThreadExecutor(4), lambda: ResidentProcessExecutor(4)],
+        ids=["ResidentThreadExecutor", "ResidentProcessExecutor"],
+    )
+    def test_error_names_first_failed_task_in_submission_order(self, executor_factory):
+        """Regression: completion order must not pick the surfaced task.
+
+        Items 2 and 5 both fail, in different chunks; the later-submitted
+        chunk's failure completes first. The raised ExecError must still
+        name item 2 — the first failure in submission order.
+        """
+        executor = executor_factory()
+        try:
+            with pytest.raises(ExecError) as excinfo:
+                executor.map_ordered(
+                    _boom_two_slow_five_fast,
+                    range(6),
+                    labels=[f"scan:{i}" for i in range(6)],
+                    chunksize=2,
+                )
+            assert excinfo.value.task == "scan:2"
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [lambda: ProcessExecutor(2), lambda: ResidentProcessExecutor(2)],
+        ids=["ProcessExecutor", "ResidentProcessExecutor"],
+    )
+    def test_transported_failure_beats_later_pool_level_failure(
+        self, executor_factory
+    ):
+        """A transported error in an earlier chunk must win over a
+        pool-level error (unpicklable result) in a later chunk — the
+        contract names the first failed task in *submission order* on the
+        per-call and resident process pools alike."""
+        executor = executor_factory()
+        try:
+            with pytest.raises(ExecError) as excinfo:
+                executor.map_ordered(
+                    _boom_zero_unpicklable_two,
+                    range(4),
+                    labels=[f"t:{i}" for i in range(4)],
+                    chunksize=2,
+                )
+            assert excinfo.value.task == "t:0"
+        finally:
+            executor.shutdown()
+
+    def test_pool_level_failure_names_first_chunk_and_recovers(self):
+        """An unpicklable result is a pool-level error, not a transported
+        one; it must be attributed to its chunk deterministically and the
+        pool must re-fork cleanly on the next call."""
+        executor = ResidentProcessExecutor(2)
+        try:
+            with pytest.raises(ExecError) as excinfo:
+                executor.map_ordered(
+                    _unpicklable_result,
+                    range(6),
+                    labels=[f"enc:{i}" for i in range(6)],
+                    chunksize=2,
+                )
+            assert excinfo.value.task == "enc:2"
+            forked_before = executor.pools_forked
+            # The possibly poisoned pool was dropped; the next fan-out
+            # transparently re-forks and works.
+            assert executor.map_ordered(_double, [1, 2]) == [2, 4]
+            assert executor.pools_forked == forked_before + 1
+        finally:
+            executor.shutdown()
+
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [
+            lambda: ResidentThreadExecutor(2, idle_seconds=0.2),
+            lambda: ResidentProcessExecutor(2, idle_seconds=0.2),
+        ],
+        ids=["ResidentThreadExecutor", "ResidentProcessExecutor"],
+    )
+    def test_idle_teardown_releases_and_recreates_workers(self, executor_factory):
+        executor = executor_factory()
+        try:
+            executor.map_ordered(_double, [1, 2])
+            deadline = time.monotonic() + 5.0
+            while executor.pool_alive and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not executor.pool_alive
+            # The next fan-out just works again.
+            assert executor.map_ordered(_double, [1, 2]) == [2, 4]
+            assert executor.pool_alive
+        finally:
+            executor.shutdown()
+
+    def test_thread_shutdown_during_inflight_fanout_keeps_contract(self):
+        """shutdown() racing an overlapped fan-out (the thread backend
+        overlaps graph stages) must not leak a raw RuntimeError out of
+        map_ordered — remaining chunks finish inline, results intact."""
+        executor = ResidentThreadExecutor(2)
+        results = {}
+
+        def fanout():
+            results["out"] = executor.map_ordered(
+                _slow_identity, range(5), chunksize=1
+            )
+
+        worker = threading.Thread(target=fanout)
+        worker.start()
+        time.sleep(0.02)  # let the first submits land
+        executor.shutdown()
+        worker.join(timeout=10)
+        assert results["out"] == list(range(5))
+
+    def test_create_executor_builds_resident_variants(self):
+        thread = create_executor(ExecConfig("thread", 2, resident=True))
+        process = create_executor(ExecConfig("process", 2, resident=True))
+        serial = create_executor(ExecConfig("serial", 1, resident=True))
+        assert isinstance(thread, ResidentThreadExecutor)
+        assert isinstance(process, ResidentProcessExecutor)
+        assert isinstance(serial, SerialExecutor)  # residency is meaningless
+        assert thread.resident and process.resident and not serial.resident
+        thread.shutdown()
+        process.shutdown()
+
+    def test_resident_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_RESIDENT", "1")
+        assert ExecConfig().resident is True
+        monkeypatch.setenv("REPRO_EXEC_RESIDENT", "no")
+        assert ExecConfig().resident is False
 
 
 class TestCreateExecutor:
@@ -148,7 +360,7 @@ class TestTaskGraph:
             graph.add("a", lambda results: 2)
 
     @pytest.mark.parametrize(
-        "executor", [SerialExecutor(), ThreadExecutor(4)], ids=lambda e: e.name
+        "executor", [SerialExecutor(), ThreadExecutor(4)], ids=lambda e: type(e).__name__
     )
     def test_failure_names_task_and_skips_dependents(self, executor):
         ran = []

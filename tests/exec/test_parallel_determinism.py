@@ -38,9 +38,9 @@ def source_specs(scenario):
     ]
 
 
-def integrate(scenario, backend, workers, bulk):
+def integrate(scenario, backend, workers, bulk, resident=False):
     config = AladinConfig()
-    config.execution = ExecConfig(backend=backend, workers=workers)
+    config.execution = ExecConfig(backend=backend, workers=workers, resident=resident)
     aladin = Aladin(config)
     specs = source_specs(scenario)
     if bulk:
@@ -122,6 +122,69 @@ class TestProcessBackendIsByteIdentical:
         loop = integrate(e6_scenario(), "serial", 1, bulk=False)
         assert link_web(loop) == link_web(serial)
         assert rankings(loop) == rankings(serial)
+
+
+class TestResidentPoolsAreByteIdentical:
+    """The backend x pool-mode matrix: serial/thread/fork, per-fanout and
+    resident, must all land on the serial reference — the incremental
+    loop included, which is where resident fork pools could go stale."""
+
+    @pytest.mark.parametrize(
+        "backend,resident,bulk",
+        [
+            ("thread", True, True),
+            ("thread", True, False),
+            ("process", True, True),
+            ("process", True, False),
+        ],
+        ids=["thread-bulk", "thread-loop", "process-bulk", "process-loop"],
+    )
+    def test_matches_serial_reference(self, backend, resident, bulk, corpora):
+        serial, _ = corpora
+        aladin = integrate(e6_scenario(), backend, 4, bulk=bulk, resident=resident)
+        assert link_web(aladin) == link_web(serial)
+        assert rankings(aladin) == rankings(serial)
+        assert aladin._engine.comparisons_made == serial._engine.comparisons_made
+        aladin.executor.shutdown()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_refresh_after_update_and_remove(self, backend):
+        """Maintenance mutations must reach resident workers.
+
+        remove_source / update_source / re-add change the engine registry
+        and statistics; a resident fork pool that kept scanning its old
+        snapshot would produce a different web than the serial system
+        running the same operations.
+        """
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=21, include=("swissprot", "pdb", "go"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=21),
+            )
+        )
+        specs = source_specs(scenario)
+
+        def maintain(aladin):
+            for name, format_name, text, options in specs:
+                aladin.add_source(name, format_name, text, **options)
+            # Below-threshold update: statistics refresh, structure kept.
+            aladin.update_source("swissprot", scenario.source("swissprot").text)
+            aladin.remove_source("pdb")
+            pdb = next(s for s in specs if s[0] == "pdb")
+            aladin.add_source(pdb[0], pdb[1], pdb[2], **pdb[3])
+            return aladin
+
+        serial_config = AladinConfig()
+        serial_config.execution = ExecConfig(backend="serial", workers=1)
+        reference = maintain(Aladin(serial_config))
+
+        resident_config = AladinConfig()
+        resident_config.execution = ExecConfig(backend=backend, workers=4, resident=True)
+        resident = maintain(Aladin(resident_config))
+
+        assert link_web(resident) == link_web(reference)
+        assert resident.source_names() == reference.source_names()
+        resident.executor.shutdown()
 
 
 class TestBatchAtomicity:

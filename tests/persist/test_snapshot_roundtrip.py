@@ -204,6 +204,36 @@ class TestSnapshotValidation:
         with pytest.raises(SnapshotError, match="format version"):
             Aladin.open(path)
 
+    def test_previous_format_version_still_opens(self, integrated_world, tmp_path):
+        """The v1 layout is unchanged, so v1 snapshots stay readable —
+        only the persisted config gained a key (ignored when unknown,
+        defaulted when missing)."""
+        _, aladin = integrated_world
+        path = tmp_path / "v1.snapshot"
+        aladin.save(path)
+        aladin.detach_store()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE manifest SET value = '1' WHERE key = 'format_version'"
+        )
+        conn.commit()
+        conn.close()
+        reopened = Aladin.open(path)
+        assert reopened.source_names() == aladin.source_names()
+        # A checkpoint by this build writes this build's config schema, so
+        # the file must re-stamp itself as the current format version —
+        # an older build should refuse it cleanly rather than trip over
+        # config keys it does not know.
+        name = reopened.source_names()[0]
+        _format, text, _options = reopened._raw_inputs[name]
+        reopened.update_source(name, text)  # below threshold: checkpoints
+        conn = sqlite3.connect(path)
+        version = conn.execute(
+            "SELECT value FROM manifest WHERE key = 'format_version'"
+        ).fetchone()[0]
+        conn.close()
+        assert version == str(FORMAT_VERSION)
+
     def test_tampered_rows_fail_the_content_hash(self, integrated_world, tmp_path):
         _, aladin = integrated_world
         path = tmp_path / "tampered.snapshot"
