@@ -1,11 +1,18 @@
-"""Persistence — cold import-and-integrate vs. warm snapshot open.
+"""Persistence — cold import vs. warm open, plus the churn/compaction loop.
 
 The warm-start contract of the persist subsystem: reopening the E6
 scalability corpus from a snapshot must be at least 5x faster than
 integrating it from raw text, and must execute zero discovery, linking,
 or index-build work (asserted through the engine, cache, and index
-counters). Timings are recorded to ``BENCH_persist.json`` at the repo
-root so the committed baseline tracks the code.
+counters).
+
+The lifecycle contract of the maintenance layer: after a churn loop of
+add/update/remove maintenance (the DELETE-then-rewrite checkpoints that
+only ever grow the file), ``compact()`` must reclaim at least half of
+the churn bloat, and a warm open of the compacted snapshot must be
+byte-identical to one of the pre-compaction snapshot. File sizes and
+compaction time are recorded to ``BENCH_persist.json`` at the repo root
+so the committed baseline tracks the code.
 """
 
 import json
@@ -93,6 +100,79 @@ def test_persist_cold_vs_warm(benchmark, tmp_path):
     for name in warm.source_names():
         assert warm.database(name).column_cache_stats()["misses"] == 0
 
+    # ------------------------------------------------------------------
+    # churn loop -> compaction: the snapshot lifecycle half
+    # ------------------------------------------------------------------
+    aladin.config.persist.auto_compact = False  # measure one explicit run
+    store = aladin._store
+    bytes_after_save = store.file_stats()["total_bytes"]
+
+    extra = scenario.sources[0]
+    first_name = aladin.source_names()[0]
+    first_text = aladin._raw_inputs[first_name][1]
+    churn_cycles = 3
+    started = time.perf_counter()
+    for _ in range(churn_cycles):
+        aladin.add_source(
+            "churn_extra",
+            extra.facts.format_name,
+            extra.text,
+            **extra.facts.import_options,
+        )
+        aladin.update_source(first_name, first_text)  # below threshold
+        aladin.remove_source("churn_extra")
+    churn_seconds = time.perf_counter() - started
+    bytes_after_churn = store.file_stats()["total_bytes"]
+    churn_bloat = bytes_after_churn - bytes_after_save
+
+    pre_compact = Aladin.open(snapshot_path)
+    pre_sources = pre_compact.source_names()
+    pre_links = len(pre_compact.repository.object_links())
+    pre_index = len(pre_compact._index)
+    pre_hits = [
+        (h.source, h.accession, round(h.score, 12))
+        for h in pre_compact.search_engine().search("kinase", top_k=50)
+    ]
+    pre_compact.detach_store()
+
+    compaction = aladin.compact()
+    bytes_after_compact = store.file_stats()["total_bytes"]
+    reclaimed = bytes_after_churn - bytes_after_compact
+
+    post_compact = Aladin.open(snapshot_path)
+    post_hits = [
+        (h.source, h.accession, round(h.score, 12))
+        for h in post_compact.search_engine().search("kinase", top_k=50)
+    ]
+    print()
+    print("Snapshot lifecycle: churn loop -> compaction")
+    print(
+        format_table(
+            ["phase", "bytes"],
+            [
+                ["after save", f"{bytes_after_save}"],
+                [f"after churn x{churn_cycles}", f"{bytes_after_churn}"],
+                ["after compact", f"{bytes_after_compact}"],
+                ["reclaimed", f"{reclaimed} ({reclaimed / max(churn_bloat, 1):.0%} of bloat)"],
+                ["compaction ms", f"{compaction.seconds * 1000:.0f}"],
+            ],
+        )
+    )
+
+    # Acceptance: >= 50% of the churn bloat reclaimed...
+    assert churn_bloat > 0, "the churn loop must actually grow the file"
+    assert reclaimed >= 0.5 * churn_bloat, (
+        f"compaction reclaimed {reclaimed} of {churn_bloat} churn bytes"
+    )
+    # ...and the compacted snapshot warm-opens byte-identically.
+    assert post_compact.source_names() == pre_sources
+    assert len(post_compact.repository.object_links()) == pre_links
+    assert len(post_compact._index) == pre_index
+    assert post_hits == pre_hits
+    assert post_compact._engine.registrations == 0
+    post_compact.detach_store()
+    aladin.close()
+
     with open(RESULT_PATH, "w", encoding="utf-8") as fh:
         json.dump(
             {
@@ -109,8 +189,21 @@ def test_persist_cold_vs_warm(benchmark, tmp_path):
                 "snapshot_save_seconds": round(save_seconds, 3),
                 "warm_open_seconds": round(warm_seconds, 4),
                 "speedup": round(cold_seconds / warm_seconds, 1),
+                "churn_cycles": churn_cycles,
+                "churn_seconds": round(churn_seconds, 3),
+                "file_bytes_after_save": bytes_after_save,
+                "file_bytes_after_churn": bytes_after_churn,
+                "file_bytes_after_compact": bytes_after_compact,
+                "compaction_seconds": round(compaction.seconds, 4),
+                "churn_bloat_bytes": churn_bloat,
+                "reclaimed_bytes": reclaimed,
+                "reclaimed_fraction_of_bloat": round(
+                    reclaimed / max(churn_bloat, 1), 3
+                ),
                 "acceptance": "warm open >= 5x faster, zero discovery/"
-                              "linking/index-build counters on open",
+                              "linking/index-build counters on open; "
+                              "compaction reclaims >= 50% of churn bloat "
+                              "with a byte-identical warm open",
             },
             fh,
             indent=2,

@@ -1,0 +1,92 @@
+"""Snapshot lifecycle: churn, online compaction, and writer locking.
+
+A long-lived warehouse checkpoints every add/update/remove into its
+attached snapshot — DELETE-then-rewrite churn that only ever grows the
+file. This script runs a maintenance churn loop, shows the bloat,
+compacts it away (content hashes re-verified against the in-memory state
+before the atomic swap), and then demonstrates the advisory writer lock:
+a second *process* cannot attach to the snapshot while the first holds
+it — it fails fast, or opens read-only.
+
+    python examples/snapshot_maintenance.py
+"""
+
+import os
+import tempfile
+
+from repro.core import Aladin, AladinConfig
+from repro.persist import SnapshotLockedError
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=42,
+            include=("swissprot", "pdb", "go"),
+            universe=UniverseConfig(n_families=5, members_per_family=3, seed=42),
+        )
+    )
+    snapshot_path = os.path.join(tempfile.mkdtemp(), "warehouse.snapshot")
+
+    # --- integrate and attach -----------------------------------------
+    config = AladinConfig()
+    config.persist.auto_compact = False  # manual below, for the demo
+    aladin = Aladin(config)
+    for source in scenario.sources:
+        if source.name == "go":
+            continue  # kept aside as churn material
+        aladin.add_source(
+            source.name, source.facts.format_name, source.text,
+            **source.facts.import_options,
+        )
+    aladin.search_engine()
+    aladin.save(snapshot_path)
+    store = aladin._store
+    print(f"saved: {store.file_stats()['total_bytes']} bytes "
+          f"(writer lock held: {store.write_locked})")
+
+    # --- churn loop: the file only grows ------------------------------
+    go = scenario.source("go")
+    for _ in range(4):
+        aladin.add_source(
+            "go", go.facts.format_name, go.text, **go.facts.import_options
+        )
+        aladin.remove_source("go")
+    stats = store.file_stats()
+    print(f"after churn: {stats['total_bytes']} bytes "
+          f"({stats['reclaimable_bytes']} reclaimable, "
+          f"churn ratio {stats['churn_ratio']:.0%})")
+
+    # --- online compaction --------------------------------------------
+    compaction = aladin.compact()
+    print(f"compact: {compaction.render()}")
+
+    # --- advisory writer locking (a real second process) ---------------
+    print()
+    pid = os.fork()
+    if pid == 0:  # the second process (fork hygiene is automatic:
+        # an at-fork hook drops the writer holds a child would inherit)
+        try:
+            Aladin.open(snapshot_path)
+            print("second process: attached (unexpected!)", flush=True)
+        except SnapshotLockedError as exc:
+            print(f"second process: refused — {exc}", flush=True)
+        viewer = Aladin.open(snapshot_path, read_only=True)
+        print(
+            f"second process: read-only open OK — {viewer.summary()}",
+            flush=True,
+        )
+        os._exit(0)  # prints flushed above: _exit skips buffered teardown
+    os.waitpid(pid, 0)
+
+    # --- release and hand over -----------------------------------------
+    aladin.close()  # releases the writer lock
+    successor = Aladin.open(snapshot_path)
+    print()
+    print(f"after close(), a new writer attaches: {successor.summary()}")
+    successor.close()
+
+
+if __name__ == "__main__":
+    main()

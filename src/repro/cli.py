@@ -15,6 +15,13 @@ snapshot file and ``open`` warm-starts from one without re-importing::
 
     python -m repro save warehouse.snapshot swissprot=flatfile:sp.dat
     python -m repro open warehouse.snapshot --search "kinase"
+
+Writers hold an advisory sidecar lock (``<snapshot>.lock``); a second
+process opens read-only (``--read-only``), waits (``--lock-timeout``),
+or breaks a dead holder's lock (``--force-lock``). ``compact`` reclaims
+the space that per-source checkpoints leave behind::
+
+    python -m repro compact warehouse.snapshot
 """
 
 from __future__ import annotations
@@ -25,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core import Aladin, AladinConfig
 from repro.dataimport import registry
-from repro.persist import SnapshotError
+from repro.persist import SnapshotError, SnapshotStore
 
 
 def _parse_source(spec: str) -> Tuple[str, str, str]:
@@ -125,8 +132,48 @@ def build_parser() -> argparse.ArgumentParser:
         "open", help="warm-start from a snapshot (no re-import, no re-analysis)"
     )
     open_cmd.add_argument("snapshot", help="path of the snapshot file to read")
+    open_cmd.add_argument(
+        "--read-only",
+        action="store_true",
+        help="open without taking the writer lock; maintenance stays "
+        "in memory and never checkpoints to the file",
+    )
+    open_cmd.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wait this long for another process to release the snapshot's "
+        "writer lock before giving up (default: fail fast)",
+    )
+    open_cmd.add_argument(
+        "--force-lock",
+        action="store_true",
+        help="break an existing writer lock (only when its holder is known "
+        "dead; stale same-host locks are detected automatically)",
+    )
     _add_access_flags(open_cmd)
     _add_exec_flags(open_cmd)
+    compact = subparsers.add_parser(
+        "compact",
+        help="rewrite a snapshot's live content into a fresh file, "
+        "reclaiming checkpoint churn (content hashes re-verified before "
+        "the atomic swap)",
+    )
+    compact.add_argument("snapshot", help="path of the snapshot file to compact")
+    compact.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wait this long for the snapshot's writer lock "
+        "(default: fail fast)",
+    )
+    compact.add_argument(
+        "--force-lock",
+        action="store_true",
+        help="break an existing writer lock (only when its holder is known dead)",
+    )
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
@@ -185,9 +232,29 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         for format_name in registry.formats():
             print(format_name, file=out)
         return 0
+    if args.command == "compact":
+        store = SnapshotStore(args.snapshot)
+        try:
+            store.attach_writer(
+                timeout=args.lock_timeout or 0.0, force=args.force_lock
+            )
+            try:
+                stats = store.compact()
+            finally:
+                store.detach_writer()
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"{args.snapshot}: {stats.render()}", file=out)
+        return 0
     if args.command == "open":
         try:
-            aladin = Aladin.open(args.snapshot)
+            aladin = Aladin.open(
+                args.snapshot,
+                read_only=args.read_only,
+                lock_timeout=args.lock_timeout,
+                force_lock=args.force_lock,
+            )
         except SnapshotError as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -197,8 +264,12 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
                 workers=args.workers,
                 resident=True if args.resident_pool else None,
             )
-        print(f"warehouse (warm-start): {aladin.summary()}", file=out)
-        return _run_access_modes(aladin, args, out)
+        mode = "read-only" if aladin.read_only else "warm-start"
+        print(f"warehouse ({mode}): {aladin.summary()}", file=out)
+        try:
+            return _run_access_modes(aladin, args, out)
+        finally:
+            aladin.detach_store()  # release the writer lock on the way out
     config = AladinConfig()
     config.declare_constraints = args.declare_constraints
     if args.backend is not None:
@@ -219,7 +290,10 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             print(f"error: {exc}", file=out)
             return 2
         print(f"snapshot written: {args.snapshot}", file=out)
-    return _run_access_modes(aladin, args, out)
+    try:
+        return _run_access_modes(aladin, args, out)
+    finally:
+        aladin.detach_store()  # release any writer lock on the way out
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

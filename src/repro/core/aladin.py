@@ -37,6 +37,7 @@ mutates, so resident fork workers never scan a stale snapshot.
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.access.browser import Browser
@@ -59,7 +60,8 @@ from repro.linking.engine import LinkDiscoveryEngine, _pair_task
 from repro.linking.model import ObjectLink
 from repro.linking.stats import collect_profiles, collect_statistics, statistics_from_profile
 from repro.metadata.repository import MetadataRepository
-from repro.persist.snapshot import SnapshotError, SnapshotStore
+from repro.persist.lock import SnapshotLockedError
+from repro.persist.snapshot import CompactionStats, SnapshotError, SnapshotStore
 from repro.relational.database import Database
 
 
@@ -207,11 +209,16 @@ class Aladin:
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
         self._store: Optional[SnapshotStore] = None
+        self.read_only = False  # True on a lock-degraded read-only open
         # The maintenance session's duplicate scorer: one value-pair cache
         # shared by every incremental add_source of this system's
-        # lifetime. The (engine, scorer) pair is built once so resident
-        # fork pools see a stable state identity across fan-outs.
-        self._dup_scorer = BoundedRecordScorer()
+        # lifetime — LRU-bounded (config.scorer_cache_entries) so a
+        # week-long maintenance session holds steady memory. The
+        # (engine, scorer) pair is built once so resident fork pools see
+        # a stable state identity across fan-outs.
+        self._dup_scorer = BoundedRecordScorer(
+            max_entries=self.config.scorer_cache_entries
+        )
         self._dup_state = (self._engine, self._dup_scorer)
         self.reports: List[IntegrationReport] = []
 
@@ -757,6 +764,9 @@ class Aladin:
             self._index.remove_source(name)
         if self._store is not None:
             self._store.checkpoint_remove(name)
+            # Removal is the churn-heaviest maintenance op: the dropped
+            # slice's pages are all dead weight until a compaction.
+            self._auto_compact()
 
     def remove_link(self, link: ObjectLink) -> bool:
         """User feedback: delete one wrong link (Section 6.2)."""
@@ -809,13 +819,37 @@ class Aladin:
         ``update_source`` / ``remove_source`` checkpoints just that
         source's slice of the snapshot in place, so the file tracks the
         live system without full rewrites.
+
+        Attaching takes the snapshot's advisory writer lock; if another
+        *process* holds it, this raises
+        :class:`~repro.persist.lock.SnapshotLockedError` (after waiting
+        ``persist.lock_timeout`` seconds under the ``"block"`` policy).
         """
         store = SnapshotStore(path)
-        store.write_full(self)
+        policy = self.config.persist
+        timeout = policy.lock_timeout if policy.lock_policy == "block" else 0.0
+        store.attach_writer(timeout=timeout)
+        try:
+            store.write_full(self)
+        except BaseException:
+            store.detach_writer()
+            raise
+        if self._store is not None and self._store is not store:
+            self._store.detach_writer()
         self._store = store
+        self.read_only = False
 
     @classmethod
-    def open(cls, path, config: Optional[AladinConfig] = None) -> "Aladin":
+    def open(
+        cls,
+        path,
+        config: Optional[AladinConfig] = None,
+        *,
+        attach: bool = True,
+        read_only: bool = False,
+        lock_timeout: Optional[float] = None,
+        force_lock: bool = False,
+    ) -> "Aladin":
         """Warm-start a system from a snapshot — no re-integration.
 
         Nothing is re-imported, re-discovered, re-linked, or re-indexed:
@@ -826,49 +860,109 @@ class Aladin:
         index is restored posting by posting. The snapshot stays attached
         for incremental checkpoints, exactly as after :meth:`save`.
 
+        Attaching as a writer takes the snapshot's advisory lock. When
+        another *process* holds it, ``persist.lock_policy`` decides:
+        ``"fail"`` raises :class:`~repro.persist.lock.SnapshotLockedError`
+        immediately, ``"block"`` waits up to the timeout, ``"readonly"``
+        degrades to a detached system (``read_only`` is then True and no
+        maintenance checkpoints reach the file). ``read_only=True`` or
+        ``attach=False`` skips the lock and the attachment outright;
+        ``lock_timeout`` overrides the policy's wait; ``force_lock``
+        breaks an abandoned lock the stale detection cannot prove dead.
+
         Unless ``config`` overrides it, the configuration the snapshot was
         integrated with is restored too, so later maintenance (update
         thresholds, duplicate detection, importer constraints) behaves
         exactly like the system that wrote the snapshot.
         """
         store = SnapshotStore(path)
-        state = store.load_state()
-        if config is None and state.config is not None:
-            config = config_from_dict(state.config)
-        aladin = cls(config)
-        for source in state.sources:
-            statistics = {
-                attr: statistics_from_profile(attr, profile)
-                for attr, profile in source.profiles.items()
-            }
-            aladin._engine.restore_source(
-                source.database, source.structure, statistics
-            )
-            aladin.repository.register_source(
-                source.structure,
-                statistics,
-                source.samples,
-                source.row_counts,
-                profiles=source.profiles,
-            )
-            aladin._databases[source.name] = source.database
-            aladin.web.attach_database(source.name, source.database)
-            if source.format_name is not None:
-                aladin._raw_inputs[source.name] = (
-                    source.format_name,
-                    source.raw_text,
-                    source.import_options,
+        policy = config.persist if config is not None else AladinConfig().persist
+        attach_writer = attach and not read_only
+        if attach_writer:
+            if lock_timeout is None:
+                lock_timeout = (
+                    policy.lock_timeout if policy.lock_policy == "block" else 0.0
                 )
-        for attribute_link in state.attribute_links:
-            aladin.repository.add_attribute_link(attribute_link)
-        aladin.repository.add_object_links(state.object_links)
+            try:
+                store.attach_writer(timeout=lock_timeout, force=force_lock)
+            except SnapshotLockedError:
+                if policy.lock_policy != "readonly":
+                    raise
+                attach_writer = False
+        try:
+            # Any failure from here to the end must release the writer
+            # lock: nothing else would survive to detach it.
+            state = store.load_state()
+            if config is None and state.config is not None:
+                config = config_from_dict(state.config)
+            aladin = cls(config)
+            for source in state.sources:
+                statistics = {
+                    attr: statistics_from_profile(attr, profile)
+                    for attr, profile in source.profiles.items()
+                }
+                aladin._engine.restore_source(
+                    source.database, source.structure, statistics
+                )
+                aladin.repository.register_source(
+                    source.structure,
+                    statistics,
+                    source.samples,
+                    source.row_counts,
+                    profiles=source.profiles,
+                )
+                aladin._databases[source.name] = source.database
+                aladin.web.attach_database(source.name, source.database)
+                if source.format_name is not None:
+                    aladin._raw_inputs[source.name] = (
+                        source.format_name,
+                        source.raw_text,
+                        source.import_options,
+                    )
+            for attribute_link in state.attribute_links:
+                aladin.repository.add_attribute_link(attribute_link)
+            aladin.repository.add_object_links(state.object_links)
+        except BaseException:
+            if attach_writer:
+                store.detach_writer()
+            raise
         aladin._index = state.index
-        aladin._store = store
+        aladin._store = store if attach_writer else None
+        aladin.read_only = not attach_writer
         return aladin
 
     def detach_store(self) -> None:
-        """Stop checkpointing to the attached snapshot (the file remains)."""
+        """Stop checkpointing to the attached snapshot (the file remains).
+
+        Releases this system's hold on the snapshot's writer lock, so
+        another process can attach.
+        """
+        if self._store is not None:
+            self._store.detach_writer()
         self._store = None
+
+    def compact(self) -> CompactionStats:
+        """Compact the attached snapshot now (see ``SnapshotStore.compact``).
+
+        The rewrite is verified against the in-memory state — sources and
+        per-source content hashes must match — before the atomic swap.
+        """
+        if self._store is None:
+            raise SnapshotError(
+                "no snapshot attached (save or open one first); use "
+                "SnapshotStore.compact or `repro compact` for a bare file"
+            )
+        return self._store.compact(self)
+
+    def close(self) -> None:
+        """Release lifecycle resources: the writer lock, resident workers.
+
+        Safe to call more than once; the system stays usable in memory
+        (a later :meth:`save` re-attaches, a later fan-out re-creates
+        pool workers).
+        """
+        self.detach_store()
+        self._executor.shutdown()
 
     def _checkpoint(self, name: str) -> None:
         if self._store is not None:
@@ -876,6 +970,28 @@ class Aladin:
             # pool as the pipeline's other stages — no fresh pool spin-up
             # on the maintenance path.
             self._store.checkpoint_source(self, name, executor=self._executor)
+            # Hands-off lifecycle: reclaim checkpoint churn once the
+            # policy thresholds say the file carries more dead than live.
+            self._auto_compact()
+
+    def _auto_compact(self) -> None:
+        """Policy compaction behind a committed maintenance op.
+
+        Contained: by ``compact``'s contract a failure (disk full for
+        the rewrite, a refused swap) leaves the original snapshot valid,
+        and the maintenance operation that triggered us has already
+        committed — so housekeeping trouble is surfaced as a warning,
+        never as a failure of the successful foreground call.
+        """
+        try:
+            self._store.maybe_compact(self, self.config.persist)
+        except Exception as exc:  # noqa: BLE001 - background housekeeping
+            warnings.warn(
+                f"auto-compaction of snapshot {self._store.path!r} failed "
+                f"(the checkpoint itself committed): {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def query_engine(self) -> QueryEngine:
         return QueryEngine(self.web)

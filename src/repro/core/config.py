@@ -10,6 +10,7 @@ from repro.duplicates.detector import DuplicateConfig
 from repro.exec.pool import ExecConfig
 from repro.linking.engine import LinkChannels
 from repro.linking.model import LinkConfig
+from repro.persist.snapshot import PersistConfig
 
 
 @dataclass
@@ -29,9 +30,19 @@ class AladinConfig:
     # REPRO_EXEC_BACKEND / REPRO_EXEC_WORKERS so a whole run can switch
     # backends from the environment.
     execution: ExecConfig = field(default_factory=ExecConfig)
+    # Snapshot lifecycle: advisory writer-lock policy and the online
+    # auto-compaction thresholds. A host property like `execution` — it
+    # is never restored from snapshots.
+    persist: PersistConfig = field(default_factory=PersistConfig)
     # Step 5 runs between every source pair by default; it can be disabled
     # for ablations.
     detect_duplicates: bool = True
+    # Cap on the session-wide duplicate scorer's value-pair cache (LRU
+    # entries). The cache is a pure accelerator — eviction can never
+    # change a score — so week-long maintenance sessions hold steady
+    # memory instead of growing with every distinct value pair seen.
+    # 0 or None disables the bound.
+    scorer_cache_entries: int = 262144
     # Incremental add_source scores its duplicate pass through one
     # session-wide BoundedRecordScorer (value-pair cache + exact
     # best-match pruning, shared across successive maintenance calls).
@@ -69,6 +80,14 @@ def config_from_dict(payload: Dict[str, Any]) -> AladinConfig:
     # "execution" entry is dropped and the reading environment's defaults
     # (REPRO_EXEC_BACKEND/REPRO_EXEC_WORKERS, or the CLI flags) apply.
     payload.pop("execution", None)
+    # Likewise the persist policy (lock handling, auto-compaction
+    # thresholds) belongs to the process opening the snapshot, not to the
+    # data: the writer's lock timeout must not dictate the reader's.
+    payload.pop("persist", None)
+    # And the scorer cache bound is host memory policy: a snapshot saved
+    # by an ablation run with the bound disabled must not silently
+    # re-unbound every production process that opens it.
+    payload.pop("scorer_cache_entries", None)
     config = AladinConfig(
         discovery=_tolerant(DiscoveryConfig, payload.pop("discovery")),
         linking=_tolerant(LinkConfig, payload.pop("linking")),

@@ -31,6 +31,7 @@ floats, not just the real numbers.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.duplicates.record import RecordView
@@ -46,15 +47,41 @@ _SHORT = 25  # same shape split as record._value_similarity
 class BoundedRecordScorer:
     """Drop-in ``record_similarity`` with a shared cache and exact pruning.
 
-    One instance per batch chunk; pass it to
-    :class:`~repro.duplicates.detector.DuplicateDetector` as ``scorer``.
+    One instance per batch chunk (or per maintenance session; pass it to
+    :class:`~repro.duplicates.detector.DuplicateDetector` as ``scorer``).
+
+    ``max_entries`` bounds the value-pair cache with LRU eviction: the
+    cache is a pure accelerator keyed on value pairs, so evicting an
+    entry can only cost a re-computation, never change a score — which
+    is what lets a *session-wide* scorer run for weeks without its cache
+    tracking every distinct value pair ever seen. ``None``/``0`` leaves
+    the cache unbounded (the right choice for short-lived chunk-local
+    scorers, whose lifetime already bounds it).
     """
 
-    def __init__(self, cache: Optional[Dict[Tuple[str, str], float]] = None):
-        self.cache: Dict[Tuple[str, str], float] = cache if cache is not None else {}
+    def __init__(
+        self,
+        cache: Optional[Dict[Tuple[str, str], float]] = None,
+        max_entries: Optional[int] = None,
+    ):
+        self.max_entries = int(max_entries) if max_entries else 0
+        if self.max_entries:
+            # LRU eviction needs recency order; seed entries count as
+            # oldest, in their iteration order.
+            self.cache: Dict[Tuple[str, str], float] = OrderedDict(cache or {})
+        else:
+            self.cache = cache if cache is not None else {}
         self.exact_scores = 0  # similarity computations actually performed
         self.pruned = 0  # candidates skipped via the upper bound
         self.cache_hits = 0
+        self.evictions = 0  # entries dropped by the LRU bound
+
+    def _cache_store(self, key: Tuple[str, str], score: float) -> None:
+        cache = self.cache
+        cache[key] = score
+        if self.max_entries and len(cache) > self.max_entries:
+            cache.popitem(last=False)  # least recently used
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     def __call__(self, a: RecordView, b: RecordView) -> float:
@@ -83,18 +110,21 @@ class BoundedRecordScorer:
         value_lower = value.lower()
         best = -1.0
         deferred: List[Tuple[float, str, float, Tuple[str, str]]] = []
+        bounded = self.max_entries
         for other in candidates:
             key = (value, other) if value <= other else (other, value)
             hit = cache.get(key)
             if hit is not None:
                 self.cache_hits += 1
+                if bounded:
+                    cache.move_to_end(key)  # refresh LRU recency
                 if hit > best:
                     best = hit
                 continue
             if vlen <= _SHORT and len(other) <= _SHORT:
                 # Short values: Jaro-Winkler is cheap, score directly.
                 score = jaro_winkler(value_lower, other.lower())
-                cache[key] = score
+                self._cache_store(key, score)
                 self.exact_scores += 1
                 if score > best:
                     best = score
@@ -116,7 +146,7 @@ class BoundedRecordScorer:
             score = 0.5 * cosine + 0.5 * levenshtein_similarity(
                 value_lower, other_lower
             )
-            cache[key] = score
+            self._cache_store(key, score)
             self.exact_scores += 1
             if score > best:
                 best = score

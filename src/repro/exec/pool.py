@@ -47,10 +47,12 @@ unpicklable result) strike a later chunk first.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import multiprocessing
 import os
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -330,6 +332,29 @@ class ProcessExecutor(Executor):
 
 _WARMUP_TIMEOUT = 30.0  # seconds a fork warm-up may take before degrading
 
+# Every live resident executor, so interpreter exit can release their
+# workers: without this, a resident pool that was simply abandoned (no
+# explicit shutdown) leaks its processes/threads past the parent's exit
+# handlers. WeakSet: the registry must never keep an executor alive.
+_LIVE_RESIDENT: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _atexit_shutdown_all() -> None:
+    """Tear down every still-live resident pool at interpreter exit.
+
+    Failures are swallowed: at this point the interpreter is dismantling
+    itself and a pool that already half-died must not mask the process's
+    real exit status.
+    """
+    for executor in list(_LIVE_RESIDENT):
+        try:
+            executor.shutdown()
+        except Exception:  # noqa: BLE001 - exit path, nothing to recover
+            pass
+
+
+atexit.register(_atexit_shutdown_all)
+
 
 def _warmup_barrier_init(barrier, timeout: float) -> None:
     """Worker initializer: hold every worker at a barrier until all forked.
@@ -390,10 +415,20 @@ class _IdleTimerMixin:
             self._timer = None
 
     def _idle_teardown(self, generation: int) -> None:
-        with self._lock:
-            if generation != self._timer_generation or self._idle_blocked():
-                return
-            self._teardown()
+        # Runs on the timer's thread, possibly racing shutdown() or the
+        # interpreter's own exit sequence. The generation check makes a
+        # timer that lost the race a no-op, and the blanket except keeps
+        # a teardown that fires *during* interpreter shutdown (daemon
+        # timer threads may still run while modules are being torn down)
+        # from propagating into the timer thread. Idempotent by
+        # construction: _teardown on an already-released pool is a no-op.
+        try:
+            with self._lock:
+                if generation != self._timer_generation or self._idle_blocked():
+                    return
+                self._teardown()
+        except Exception:  # noqa: BLE001 - timer thread, nothing to recover
+            pass
 
 
 class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
@@ -416,6 +451,7 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
         self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
         self._active = 0
         self._init_idle_timer()
+        _LIVE_RESIDENT.add(self)  # released at interpreter exit if leaked
 
     @property
     def pool_alive(self) -> bool:
@@ -499,6 +535,7 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
         self._state: Any = None  # strong ref: the state the pool forked with
         self._degraded = False  # could not pre-spawn: fall back to per-call
         self._init_idle_timer()
+        _LIVE_RESIDENT.add(self)  # released at interpreter exit if leaked
 
     @property
     def pool_alive(self) -> bool:

@@ -5,20 +5,31 @@ tables, column profiles, discovered structure, the link web, and the
 search index — so that :meth:`repro.core.Aladin.save` /
 :meth:`repro.core.Aladin.open` turn process restarts from a full
 re-integration into a cheap rehydration. Per-source checkpoints keep an
-attached snapshot current as sources are added, updated, and removed.
+attached snapshot current as sources are added, updated, and removed;
+online compaction (:meth:`repro.persist.snapshot.SnapshotStore.compact`)
+reclaims the churn those checkpoints leave behind, and an advisory
+sidecar lock (:class:`repro.persist.lock.SnapshotLock`) keeps two writer
+*processes* from attaching to one snapshot at a time.
 """
 
 from repro.persist.snapshot import (
     FORMAT_VERSION,
+    CompactionStats,
+    PersistConfig,
     SnapshotError,
     SnapshotState,
     SnapshotStore,
     SourceState,
 )
+from repro.persist.lock import SnapshotLock, SnapshotLockedError
 
 __all__ = [
     "FORMAT_VERSION",
+    "CompactionStats",
+    "PersistConfig",
     "SnapshotError",
+    "SnapshotLock",
+    "SnapshotLockedError",
     "SnapshotState",
     "SnapshotStore",
     "SourceState",

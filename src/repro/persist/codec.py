@@ -13,6 +13,7 @@ turn them into plain JSON-compatible dicts and back, with two rules:
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, List
 
 from repro.discovery.model import (
@@ -33,9 +34,72 @@ from repro.relational.schema import (
 from repro.relational.types import DataType
 
 
+# Non-finite floats (a ColumnProfile statistic over hostile data can be
+# NaN or infinite) must not reach json.dumps bare: the default encoder
+# emits ``NaN``/``Infinity``, which is not JSON at all — a strict parser
+# rejects the payload and the snapshot's content hashes stop being
+# portable. They are wrapped in a one-key marker object instead, which
+# round-trips exactly and hashes deterministically.
+_NONFINITE_KEY = "$nonfinite"
+_NONFINITE_ENCODE = {
+    "nan": "nan",
+    "inf": "inf",
+    "-inf": "-inf",
+}
+_NONFINITE_DECODE = {
+    "nan": math.nan,
+    "inf": math.inf,
+    "-inf": -math.inf,
+}
+
+
+def _encode_nonfinite(payload: Any) -> Any:
+    if isinstance(payload, float) and not math.isfinite(payload):
+        if math.isnan(payload):
+            tag = "nan"
+        else:
+            tag = "inf" if payload > 0 else "-inf"
+        return {_NONFINITE_KEY: tag}
+    if isinstance(payload, dict):
+        return {key: _encode_nonfinite(value) for key, value in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        return [_encode_nonfinite(value) for value in payload]
+    return payload
+
+
+def _decode_nonfinite_object(payload: Dict[str, Any]) -> Any:
+    if len(payload) == 1 and _NONFINITE_KEY in payload:
+        tag = payload[_NONFINITE_KEY]
+        if tag in _NONFINITE_DECODE:
+            return _NONFINITE_DECODE[tag]
+    return payload
+
+
 def canonical_json(payload: Any) -> str:
-    """Deterministic JSON text — the unit the content hashes run over."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    """Deterministic, *strictly valid* JSON text — the content-hash unit.
+
+    ``allow_nan=False`` makes a bare non-finite float a loud error
+    instead of silently invalid JSON; only when one is actually present
+    (the raised ``ValueError``) does the payload take the marker-walk
+    path — so the common all-finite case (every row of every checkpoint)
+    pays no deep rebuild, and the bytes are identical either way.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except ValueError:
+        return json.dumps(
+            _encode_nonfinite(payload),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+def canonical_loads(text: str) -> Any:
+    """Parse :func:`canonical_json` output, restoring non-finite floats."""
+    return json.loads(text, object_hook=_decode_nonfinite_object)
 
 
 # ----------------------------------------------------------------------

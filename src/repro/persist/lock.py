@@ -1,0 +1,389 @@
+"""Advisory multi-process locking for snapshot writers.
+
+Two ALADIN processes attached to the same snapshot file would interleave
+their per-source checkpoints silently — SQLite serializes the individual
+transactions (WAL + busy timeout), but nothing stops the two warehouses
+from each believing it owns the file and overwriting the other's slices.
+:class:`SnapshotLock` makes writer attachment explicit: a sidecar lock
+file next to the snapshot (``<snapshot>.lock``) that exactly one process
+may hold at a time.
+
+Protocol:
+
+* the lock file is held with :func:`fcntl.flock` (``LOCK_EX | LOCK_NB``)
+  where available, so a crashed holder releases automatically — the
+  kernel drops ``flock`` locks when the last inherited descriptor closes;
+* where ``fcntl`` is unavailable the fallback is ``O_CREAT | O_EXCL``
+  creation of the lock file, with *stale-lock detection*: an acquire that
+  finds an existing lock file reads the holder's PID and, if that process
+  is dead (``os.kill(pid, 0)`` raises ``ProcessLookupError``) and the
+  hostname matches, breaks the stale lock and retries;
+* the lock file carries a JSON description of the holder (PID, hostname,
+  timestamp) so a refused acquire can say *who* holds the lock;
+* the lock is **per process, reentrant**: a process-wide registry
+  refcounts acquisitions of the same path, so one process may attach
+  several stores/systems to one snapshot (the pre-lock status quo, left
+  to SQLite's WAL + busy timeout) while a *second process* is excluded;
+* ``force=True`` breaks any existing lock unconditionally — the escape
+  hatch for an operator who knows the recorded holder is gone (e.g. a
+  zombie on another host that PID probing cannot see).
+
+Blocking is cooperative: ``acquire(timeout=N)`` polls until the deadline,
+then raises :class:`SnapshotLockedError` naming the holder.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.persist.snapshot import SnapshotError
+
+try:  # POSIX: flock gives crash-safe advisory locks
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX hosts use O_EXCL
+    fcntl = None  # type: ignore[assignment]
+
+_POLL_SECONDS = 0.05
+
+
+class SnapshotLockedError(SnapshotError):
+    """Another process holds the snapshot's writer lock.
+
+    ``holder`` is the lock file's JSON payload (pid, host, since) when it
+    could be read, so callers can render an actionable message.
+    """
+
+    def __init__(self, message: str, holder: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.holder = holder or {}
+
+
+# Process-wide registry of held locks, keyed by realpath: reentrant
+# acquisition *within* one process (many stores, one warehouse process)
+# while other processes stay excluded. Guarded for thread backends.
+_HELD: Dict[str, "SnapshotLock"] = {}
+_HELD_GUARD = threading.Lock()
+
+
+def _forget_inherited_locks() -> None:
+    """Fork hygiene: a child is a new process and holds nothing.
+
+    The registry (and every lock fd) is inherited by ``fork``, so
+    without this hook a forked child would silently "reenter" the
+    parent's writer lock — and, on the flock backend, its inherited fd
+    would keep the OS lock pinned after the parent released (worker
+    pools fork!) or unlink the live lock file on release. The child
+    therefore closes its inherited lock fds (the parent's own fds keep
+    the flock held) and forgets the registry; if it truly wants the
+    lock it must acquire like any other process.
+    """
+    for lock in list(_HELD.values()):
+        fd, lock._fd = lock._fd, None
+        lock._count = 0
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - nothing to do mid-fork
+                pass
+    _HELD.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_forget_inherited_locks)
+
+
+def _overwrite_fd(fd: int, payload: str) -> None:
+    """Replace an open file's content (seek+write: works where pwrite
+    does not exist — the O_EXCL backend runs exactly where fcntl and
+    friends are missing)."""
+    os.ftruncate(fd, 0)
+    os.lseek(fd, 0, os.SEEK_SET)
+    os.write(fd, payload.encode("utf-8"))
+
+
+def _render_holder(holder: Dict[str, Any]) -> str:
+    if not holder:
+        return "an unknown process"
+    pid = holder.get("pid", "?")
+    host = holder.get("host", "?")
+    return f"pid {pid} on {host}"
+
+
+class SnapshotLock:
+    """The sidecar writer lock of one snapshot file.
+
+    ``backend`` is ``"flock"`` (default where :mod:`fcntl` exists) or
+    ``"excl"`` (the ``O_CREAT | O_EXCL`` fallback, also selectable for
+    tests). Use as a context manager or via ``acquire``/``release``.
+    """
+
+    def __init__(self, snapshot_path, backend: Optional[str] = None):
+        self.snapshot_path = os.fspath(snapshot_path)
+        self.lock_path = self.snapshot_path + ".lock"
+        if backend is None:
+            backend = "flock" if fcntl is not None else "excl"
+        if backend == "flock" and fcntl is None:  # pragma: no cover
+            backend = "excl"
+        if backend not in ("flock", "excl"):
+            raise ValueError(f"unknown lock backend {backend!r}")
+        self.backend = backend
+        self._fd: Optional[int] = None
+        self._count = 0  # reentrant acquisitions by this process
+
+    # ------------------------------------------------------------------
+    @property
+    def held(self) -> bool:
+        """Does *this process* hold the lock (through any SnapshotLock)?"""
+        return self._registry_key() in _HELD
+
+    def _registry_key(self) -> str:
+        return os.path.realpath(self.lock_path)
+
+    def holder_info(self) -> Dict[str, Any]:
+        """Best-effort read of the current holder's description."""
+        try:
+            with open(self.lock_path, "r", encoding="utf-8") as fh:
+                return json.loads(fh.read() or "{}")
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, timeout: float = 0.0, force: bool = False
+    ) -> "SnapshotLock":
+        """Take the writer lock, waiting up to ``timeout`` seconds.
+
+        ``timeout`` 0 fails fast. Raises :class:`SnapshotLockedError`
+        when another process still holds the lock at the deadline.
+        ``force`` breaks any existing lock first (the escape hatch for a
+        holder that stale detection cannot prove dead).
+        """
+        key = self._registry_key()
+        deadline = time.monotonic() + max(0.0, timeout)
+        break_pending = force
+        while True:
+            # Registry check and OS acquire are one atomic step under the
+            # guard: two threads of one process racing here serialize, so
+            # the loser always finds the winner in the registry (and
+            # reenters) instead of polling a lock its own process holds.
+            with _HELD_GUARD:
+                owner = _HELD.get(key)
+                if owner is not None:
+                    # Reentry wins over force: a process already holding
+                    # the lock must never unlink its own exclusion.
+                    owner._count += 1
+                    return self
+                if break_pending:
+                    self._break_lock()
+                    break_pending = False
+                try:
+                    acquired = self._try_acquire()
+                except OSError as exc:
+                    raise SnapshotError(
+                        f"cannot take writer lock {self.lock_path!r}: {exc}"
+                    ) from exc
+                if acquired:
+                    self._count = 1
+                    _HELD[key] = self
+                    return self
+            if time.monotonic() >= deadline:
+                holder = self.holder_info()
+                raise SnapshotLockedError(
+                    f"snapshot {self.snapshot_path!r} is locked by "
+                    f"{_render_holder(holder)} (lock file {self.lock_path}); "
+                    "open read-only, retry with a timeout, or break the "
+                    "lock with force once the holder is known dead",
+                    holder=holder,
+                )
+            time.sleep(_POLL_SECONDS)
+
+    def release(self) -> None:
+        """Drop one acquisition; the OS lock goes with the last one.
+
+        The OS unlock happens *inside* the guard: registry removal and
+        unlock as one atomic step, mirroring the acquire side — a
+        concurrent same-process fail-fast acquire therefore sees either
+        "held, reenter" or "fully released, acquirable", never the
+        half-released state in between.
+        """
+        key = self._registry_key()
+        with _HELD_GUARD:
+            owner = _HELD.get(key)
+            if owner is None:
+                return
+            owner._count -= 1
+            if owner._count > 0:
+                return
+            del _HELD[key]
+            owner._unlock()
+
+    def __enter__(self) -> "SnapshotLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    # backend plumbing
+    # ------------------------------------------------------------------
+    def _try_acquire(self) -> bool:
+        if self.backend == "flock":
+            return self._try_flock()
+        return self._try_excl()
+
+    def _try_flock(self) -> bool:
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        # A releasing holder unlinks the lock file, so the inode this fd
+        # locked may no longer be what the path names — a lock on that
+        # ghost inode would not exclude anyone. Verify and retry if so.
+        if not self._path_is_inode(fd):
+            os.close(fd)
+            return False
+        self._fd = fd
+        self._write_holder(fd)
+        return True
+
+    def _path_is_inode(self, fd: int) -> bool:
+        try:
+            path_stat = os.stat(self.lock_path)
+        except FileNotFoundError:
+            return False
+        fd_stat = os.fstat(fd)
+        return (path_stat.st_dev, path_stat.st_ino) == (
+            fd_stat.st_dev, fd_stat.st_ino,
+        )
+
+    def _try_excl(self) -> bool:
+        try:
+            fd = os.open(
+                self.lock_path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644
+            )
+        except FileExistsError:
+            if not self._holder_is_stale():
+                return False
+            if not self._break_stale_lock():
+                return False
+            try:
+                fd = os.open(
+                    self.lock_path,
+                    os.O_RDWR | os.O_CREAT | os.O_EXCL,
+                    0o644,
+                )
+            except FileExistsError:
+                return False  # lost the re-acquire race
+        self._fd = fd
+        self._write_holder(fd)
+        return True
+
+    def _break_stale_lock(self) -> bool:
+        """Remove a dead holder's lock file, safely under breaker races.
+
+        Two processes can observe the same stale lock; if both simply
+        unlinked it, the slower one would delete the lock the faster one
+        already broke *and retook* — two live writers. Breakers therefore
+        serialize on a sidecar (``<lock>.break``, itself ``O_EXCL``) and
+        re-verify staleness while holding it, so only a still-stale lock
+        is ever unlinked. A breaker that crashed mid-break leaves a
+        sidecar with its own dead PID, which the same probe clears on a
+        later attempt.
+        """
+        breaker = self.lock_path + ".break"
+        try:
+            breaker_fd = os.open(
+                breaker, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644
+            )
+        except FileExistsError:
+            if self._holder_is_stale(breaker):
+                try:
+                    os.unlink(breaker)
+                except FileNotFoundError:
+                    pass
+            return False
+        try:
+            _overwrite_fd(
+                breaker_fd,
+                json.dumps({"pid": os.getpid(), "host": socket.gethostname()}),
+            )
+            if self._holder_is_stale():  # re-check under the breaker lock
+                self._break_lock()
+                return True
+            return False
+        finally:
+            os.close(breaker_fd)
+            try:
+                os.unlink(breaker)
+            except FileNotFoundError:
+                pass
+
+    def _holder_is_stale(self, path: Optional[str] = None) -> bool:
+        """Dead-PID detection for the O_EXCL backend.
+
+        Only a same-host holder can be probed; a lock from another host
+        (or an unreadable lock file) is assumed live — ``force`` is the
+        way past those.
+        """
+        if path is None:
+            holder = self.holder_info()
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    holder = json.loads(fh.read() or "{}")
+            except (OSError, json.JSONDecodeError):
+                return False
+        pid = holder.get("pid")
+        if not isinstance(pid, int) or holder.get("host") != socket.gethostname():
+            return False
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError as exc:  # pragma: no cover - e.g. EPERM: alive
+            return exc.errno == errno.ESRCH
+        return False
+
+    def _write_holder(self, fd: int) -> None:
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "since": time.time(),
+            }
+        )
+        _overwrite_fd(fd, payload)
+
+    def _break_lock(self) -> None:
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass
+
+    def _unlock(self) -> None:
+        fd, self._fd = self._fd, None
+        self._count = 0
+        if self.backend == "excl":
+            # Unlink only while the file still records *us*: a lock that
+            # was force-broken and retaken belongs to its new holder now,
+            # and deleting it would let a third writer in beside them.
+            if self.holder_info().get("pid") == os.getpid():
+                self._break_lock()
+        if fd is not None:
+            # flock drops with the close; unlinking the (now unlocked)
+            # file keeps the directory clean — but only while the path
+            # still names our inode, so a force-broken-and-retaken lock
+            # is never deleted out from under its new holder.
+            if self.backend == "flock" and self._path_is_inode(fd):
+                self._break_lock()
+            os.close(fd)

@@ -26,15 +26,59 @@ Layout (one SQLite file):
 Every per-source slice is keyed by source name, which is what makes the
 incremental checkpoints cheap: ``checkpoint_source`` deletes and rewrites
 exactly one source's rows, profiles, links, and postings in place.
+
+Lifecycle maintenance (the two long-run failure modes of an
+always-attached store):
+
+**Online compaction.** Checkpoints are DELETE-then-rewrite, so the file
+only ever grows — freed pages land on SQLite's freelist and removed
+sources never shrink the file. :meth:`SnapshotStore.compact` rewrites the
+live content into a fresh file (``VACUUM INTO`` after folding the WAL
+back), re-verifies every per-source manifest content hash against the
+compacted rows — and, when called with the live system, against hashes
+recomputed from the *in-memory* state — and only then atomically replaces
+the snapshot (``os.replace``; stale ``-wal``/``-shm`` sidecars of the old
+file are removed so they can never be mis-associated with the new one).
+:meth:`SnapshotStore.maybe_compact` is the hands-off policy hook run
+after checkpoints: compact once the file exceeds
+``PersistConfig.compact_after_bytes`` *and* the reclaimable fraction
+(freelist + WAL bytes over total bytes) exceeds
+``PersistConfig.compact_churn_ratio``. From the command line::
+
+    python -m repro compact warehouse.snapshot
+
+**Advisory writer locking.** Two processes attached to one snapshot
+would silently interleave checkpoints. Any attached writer takes a
+sidecar lock file (``<snapshot>.lock``) through
+:class:`repro.persist.lock.SnapshotLock`:
+
+* held via ``fcntl.flock`` where available (crash of the holder releases
+  it automatically), with an ``O_CREAT | O_EXCL`` fallback that detects
+  stale locks by probing the recorded holder PID;
+* the lock file records the holder (PID, hostname, timestamp) so a
+  refused attach names who owns the file;
+* reentrant *within* a process (refcounted), exclusive *across*
+  processes — in-process concurrency stays with SQLite's WAL + busy
+  timeout exactly as before;
+* a second process's ``Aladin.open`` fails fast with
+  :class:`~repro.persist.lock.SnapshotLockedError`, blocks up to
+  ``lock_timeout``, or degrades to a read-only (detached) open,
+  per ``PersistConfig.lock_policy`` / the CLI's ``--read-only`` and
+  ``--lock-timeout`` flags; ``force`` breaks a lock whose holder is
+  known dead but undetectable (e.g. crashed on another host).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import os
 import sqlite3
+import threading
+import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -59,8 +103,15 @@ _MAGIC = "repro-aladin-snapshot"
 
 
 def _encode_row_task(_state, tup) -> str:
-    """Encode one raw row tuple; pure, so it can fan across worker pools."""
-    return json.dumps(list(tup), separators=(",", ":"))
+    """Encode one raw row tuple; pure, so it can fan across worker pools.
+
+    ``canonical_json`` rather than bare ``json.dumps``: a REAL cell can
+    hold a non-finite float (hostile input parsed with ``float``), which
+    must become the explicit marker encoding, never an invalid bare
+    ``NaN`` token. For finite payloads the bytes are identical, so
+    pre-existing content hashes are unaffected.
+    """
+    return codec.canonical_json(list(tup))
 
 
 def _encode_rows(rows: List[tuple], executor=None) -> List[str]:
@@ -87,6 +138,52 @@ def _encode_rows(rows: List[tuple], executor=None) -> List[str]:
         return [_encode_row_task(None, tup) for tup in rows]
     chunksize = max(1, len(rows) // (executor.workers * 4))
     return executor.map_ordered(_encode_row_task, rows, chunksize=chunksize)
+
+def _hash_stored_source(conn: sqlite3.Connection, name: str) -> str:
+    """Recompute one stored source's content hash from its persisted slice.
+
+    Byte-for-byte the hashing order of ``_write_source`` / ``_load_source``:
+    per table (sorted by name) the canonical schema JSON, then every row
+    payload in row-id order.
+    """
+    hasher = hashlib.sha256()
+    for table_name, schema_json in conn.execute(
+        "SELECT table_name, schema FROM table_schemas "
+        "WHERE source = ? ORDER BY table_name",
+        (name,),
+    ):
+        hasher.update(schema_json.encode("utf-8"))
+        for (data,) in conn.execute(
+            "SELECT data FROM rows WHERE source = ? AND table_name = ? "
+            "ORDER BY row_id",
+            (name, table_name),
+        ):
+            hasher.update(data.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _hash_memory_source(database, legacy_rows: bool = False) -> str:
+    """The content hash of a live in-memory source, same byte order.
+
+    ``Database.table_names()`` is sorted, matching the stored slice's
+    ``ORDER BY table_name``. ``legacy_rows`` replays the pre-marker row
+    encoding (bare ``NaN``/``Infinity`` tokens), which is what a stored
+    slice written by an older build hashes to when it carries non-finite
+    cells — for finite data the two encodings are byte-identical.
+    """
+    hasher = hashlib.sha256()
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        schema_json = codec.canonical_json(codec.schema_to_dict(table.schema))
+        hasher.update(schema_json.encode("utf-8"))
+        for tup in table.raw_rows():
+            if legacy_rows:
+                data = json.dumps(list(tup), separators=(",", ":"))
+            else:
+                data = _encode_row_task(None, tup)
+            hasher.update(data.encode("utf-8"))
+    return hasher.hexdigest()
+
 
 _TABLES = (
     "manifest",
@@ -174,6 +271,54 @@ class SnapshotError(RuntimeError):
 
 
 @dataclass
+class PersistConfig:
+    """Snapshot lifecycle knobs: writer locking and online compaction.
+
+    A *host* property like :class:`~repro.exec.pool.ExecConfig` — it
+    governs how this process treats snapshot files, not what the
+    integrated data means — so it is not restored from snapshots.
+
+    ``lock_policy`` decides what a writer attach does when another
+    process holds the lock: ``"fail"`` raises
+    :class:`~repro.persist.lock.SnapshotLockedError` immediately,
+    ``"block"`` waits up to ``lock_timeout`` seconds before raising, and
+    ``"readonly"`` degrades the open to a detached (non-checkpointing)
+    system instead of raising.
+
+    Auto-compaction runs after checkpoints once the snapshot (main file
+    plus WAL) exceeds ``compact_after_bytes`` *and* the reclaimable
+    fraction — freed pages plus WAL over total bytes — exceeds
+    ``compact_churn_ratio``. ``auto_compact=False`` leaves compaction
+    fully manual (:meth:`SnapshotStore.compact`, ``repro compact``).
+    """
+
+    lock_policy: str = "fail"  # "fail" | "block" | "readonly"
+    lock_timeout: float = 10.0  # seconds to wait under the "block" policy
+    auto_compact: bool = True
+    compact_after_bytes: int = 4 * 1024 * 1024
+    compact_churn_ratio: float = 0.5
+
+
+@dataclass
+class CompactionStats:
+    """What one :meth:`SnapshotStore.compact` run did."""
+
+    bytes_before: int  # main file + WAL before compaction
+    bytes_after: int
+    reclaimed_bytes: int
+    seconds: float
+    sources_verified: int  # per-source content hashes re-checked
+
+    def render(self) -> str:
+        return (
+            f"compacted {self.bytes_before} -> {self.bytes_after} bytes "
+            f"(reclaimed {self.reclaimed_bytes}, "
+            f"{self.sources_verified} sources verified, "
+            f"{self.seconds * 1000:.0f} ms)"
+        )
+
+
+@dataclass
 class SourceState:
     """One rehydrated source: warm database plus its persisted metadata."""
 
@@ -204,11 +349,116 @@ class SnapshotState:
     config: Optional[Dict[str, Any]] = None
 
 
+# One write mutex per snapshot file (realpath), shared by every store of
+# this process. The advisory sidecar lock excludes other *processes*, but
+# it is deliberately reentrant within one process — several stores may
+# attach to one file — so in-process writers must serialize here or a
+# compaction's rewrite-then-swap window could silently drop a sibling
+# store's committed checkpoint (the swap replaces the inode the sibling
+# just wrote to). Entries are refcounted and evicted when the last
+# holder leaves, so a process that touches many distinct snapshot files
+# over its lifetime does not accumulate one lock per path forever.
+_WRITE_MUTEXES: Dict[str, List[Any]] = {}  # key -> [RLock, holder count]
+_WRITE_MUTEXES_GUARD = threading.Lock()
+
+
+class _write_mutex:
+    """Context manager: hold the per-file write mutex for one operation."""
+
+    def __init__(self, path: str):
+        self._key = os.path.realpath(path)
+        self._entry: Optional[List[Any]] = None
+
+    def __enter__(self) -> "_write_mutex":
+        with _WRITE_MUTEXES_GUARD:
+            entry = _WRITE_MUTEXES.get(self._key)
+            if entry is None:
+                entry = _WRITE_MUTEXES[self._key] = [threading.RLock(), 0]
+            entry[1] += 1
+            self._entry = entry
+        entry[0].acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        entry, self._entry = self._entry, None
+        entry[0].release()
+        with _WRITE_MUTEXES_GUARD:
+            entry[1] -= 1
+            if entry[1] == 0 and _WRITE_MUTEXES.get(self._key) is entry:
+                del _WRITE_MUTEXES[self._key]
+
+
+def _serialized(method):
+    """Run a write method under the file's in-process write mutex.
+
+    Reentrant (the entry's RLock), so serialized methods may call each
+    other: the auto-compaction hook runs inside a checkpoint,
+    ``maybe_compact`` calls ``compact``.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with _write_mutex(self.path):
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+# Stores currently attached as writers, so fork hygiene reaches them:
+# the lock module drops a child's inherited registry holds, but a child
+# also inherits each store's _lock handle — without this reset the
+# child's `write_locked` would claim a lock its process does not hold
+# (and attach_writer would no-op instead of re-acquiring).
+_ATTACHED_STORES: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _forget_attached_writers() -> None:
+    for store in list(_ATTACHED_STORES):
+        store._lock = None
+    for store in list(_ATTACHED_STORES):
+        _ATTACHED_STORES.discard(store)
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_forget_attached_writers)
+
+
 class SnapshotStore:
     """One snapshot file: full save/load plus per-source checkpoints."""
 
     def __init__(self, path) -> None:
         self.path = os.fspath(path)
+        self._lock = None  # SnapshotLock while attached as a writer
+
+    # ------------------------------------------------------------------
+    # advisory writer lock
+    # ------------------------------------------------------------------
+    @property
+    def write_locked(self) -> bool:
+        """Is this store attached as a writer (holding the sidecar lock)?"""
+        return self._lock is not None
+
+    def attach_writer(self, timeout: float = 0.0, force: bool = False) -> None:
+        """Take the snapshot's advisory writer lock (see module docs).
+
+        Raises :class:`~repro.persist.lock.SnapshotLockedError` when
+        another process holds it past ``timeout`` seconds; ``force``
+        breaks an existing lock first. Reentrant within this process.
+        """
+        from repro.persist.lock import SnapshotLock  # import cycle: lock -> errors
+
+        if self._lock is None:
+            lock = SnapshotLock(self.path)
+            lock.acquire(timeout=timeout, force=force)
+            self._lock = lock
+            _ATTACHED_STORES.add(self)
+
+    def detach_writer(self) -> None:
+        """Release this store's hold on the writer lock."""
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+        _ATTACHED_STORES.discard(self)
 
     # ------------------------------------------------------------------
     # connection plumbing
@@ -272,6 +522,7 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # full save
     # ------------------------------------------------------------------
+    @_serialized
     def write_full(self, aladin) -> None:
         """Serialize the entire integrated state, replacing any previous
         content of the snapshot file."""
@@ -333,6 +584,11 @@ class SnapshotStore:
     def _write_source(
         self, conn: sqlite3.Connection, aladin, name: str, executor=None
     ) -> None:
+        # The hash walk below (per table sorted by name: schema JSON,
+        # then row payloads in row-id order) is the content-hash
+        # definition; ``_load_source``, ``_hash_stored_source``, and
+        # ``_hash_memory_source`` replay it byte for byte, and the
+        # compaction tests fail loudly if any of the four drift.
         database = aladin.database(name)
         record = aladin.repository.source(name)
         hasher = hashlib.sha256()
@@ -382,7 +638,7 @@ class SnapshotStore:
                 raw[1] if raw else None,
                 json.dumps(raw[2]) if raw else None,
                 codec.canonical_json(codec.structure_to_dict(record.structure)),
-                json.dumps(record.sample_rows),
+                codec.canonical_json(record.sample_rows),
                 json.dumps(record.row_counts),
             ),
         )
@@ -454,6 +710,7 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # per-source incremental checkpoints
     # ------------------------------------------------------------------
+    @_serialized
     def checkpoint_source(self, aladin, name: str, executor=None) -> None:
         """Rewrite exactly one source's slice of the snapshot in place.
 
@@ -487,6 +744,7 @@ class SnapshotStore:
         # build could read a file whose manifest undersells its content.
         self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
 
+    @_serialized
     def checkpoint_remove(self, name: str) -> None:
         """Drop one source's slice (rows, profiles, links, postings)."""
         conn = self._connect()
@@ -497,6 +755,7 @@ class SnapshotStore:
         finally:
             conn.close()
 
+    @_serialized
     def remove_object_link(self, link: ObjectLink) -> int:
         """Delete one object link's row (link-level user feedback).
 
@@ -524,7 +783,7 @@ class SnapshotStore:
                     (link.source_a, link.source_b, link.source_b, link.source_a),
                 ):
                     candidate = codec.object_link_from_dict(
-                        json.loads(payload)
+                        codec.canonical_loads(payload)
                     ).normalized()
                     if (
                         candidate.source_a,
@@ -542,6 +801,7 @@ class SnapshotStore:
         finally:
             conn.close()
 
+    @_serialized
     def write_index(self, index: Optional[InvertedIndex]) -> None:
         """Persist the inverted index (first lazy build after a save)."""
         conn = self._connect()
@@ -619,6 +879,181 @@ class SnapshotStore:
             )
 
     # ------------------------------------------------------------------
+    # online compaction
+    # ------------------------------------------------------------------
+    def file_stats(self) -> Dict[str, Any]:
+        """Size and churn accounting of the snapshot on disk.
+
+        ``reclaimable_bytes`` is what compaction would free: SQLite's
+        freelist (pages dead since DELETE-then-rewrite checkpoints and
+        removed sources) plus the WAL, which compaction folds back into
+        the main file. ``churn_ratio`` is the reclaimable fraction —
+        the auto-compaction trigger.
+        """
+        size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        wal = 0
+        if os.path.exists(self.path + "-wal"):
+            wal = os.path.getsize(self.path + "-wal")
+        freelist_bytes = 0
+        if size:
+            conn = self._connect()
+            try:
+                page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+                freelist = conn.execute("PRAGMA freelist_count").fetchone()[0]
+                freelist_bytes = page_size * freelist
+            finally:
+                conn.close()
+        total = size + wal
+        reclaimable = freelist_bytes + wal
+        return {
+            "file_bytes": size,
+            "wal_bytes": wal,
+            "total_bytes": total,
+            "reclaimable_bytes": reclaimable,
+            "churn_ratio": reclaimable / total if total else 0.0,
+        }
+
+    @_serialized
+    def compact(self, aladin=None) -> CompactionStats:
+        """Rewrite the live content into a fresh file and swap it in.
+
+        The compacted file is written next to the snapshot (``VACUUM
+        INTO`` after folding the WAL back into the main file), then
+        every per-source manifest content hash is re-verified against
+        the compacted rows — and, when ``aladin`` is given, against
+        hashes recomputed from the in-memory state — before the atomic
+        ``os.replace``. A failure at any point leaves the original
+        snapshot untouched.
+
+        Callers that share the file across processes must hold the
+        writer lock (:meth:`attach_writer`); concurrent *readers* of the
+        pre-compaction file should reopen after a compaction.
+        """
+        started = time.perf_counter()
+        if not os.path.exists(self.path):
+            raise SnapshotError(f"snapshot {self.path!r} does not exist")
+        before = self.file_stats()
+        tmp = self.path + ".compact"
+        self._remove_file_set(tmp)
+        conn = self._connect()
+        try:
+            self._read_manifest(conn)  # never "compact" a foreign database
+            # Fold the WAL into the main file so VACUUM INTO sees — and
+            # the leftover sidecar after the swap holds — nothing live.
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            try:
+                conn.execute("VACUUM INTO ?", (tmp,))
+            except sqlite3.DatabaseError as exc:
+                raise SnapshotError(
+                    f"cannot compact snapshot {self.path!r}: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        try:
+            verified = self._verify_compacted(tmp, aladin)
+            os.replace(tmp, self.path)
+        except BaseException:
+            self._remove_file_set(tmp)
+            raise
+        # The old file's journal sidecars must not survive next to the
+        # new file — SQLite could mis-associate them. The WAL was
+        # truncated above, so nothing live is lost.
+        self._remove_file_set(self.path, main=False)
+        after = self.file_stats()
+        return CompactionStats(
+            bytes_before=before["total_bytes"],
+            bytes_after=after["total_bytes"],
+            reclaimed_bytes=before["total_bytes"] - after["total_bytes"],
+            seconds=time.perf_counter() - started,
+            sources_verified=verified,
+        )
+
+    @_serialized
+    def maybe_compact(self, aladin, policy: PersistConfig) -> Optional[CompactionStats]:
+        """The auto-compaction policy hook, run after checkpoints.
+
+        Compacts when the policy says the accumulated churn is worth
+        reclaiming (see :class:`PersistConfig`); returns the stats of a
+        run, or ``None`` when no compaction was due.
+        """
+        if not policy.auto_compact:
+            return None
+        # Runs after *every* checkpoint, so gate on the cheap stat-only
+        # size check first; the freelist probe (a SQLite connection)
+        # only happens once the file is big enough to be worth it.
+        size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
+        if os.path.exists(self.path + "-wal"):
+            size += os.path.getsize(self.path + "-wal")
+        if size < policy.compact_after_bytes:
+            return None
+        if self.file_stats()["churn_ratio"] < policy.compact_churn_ratio:
+            return None
+        return self.compact(aladin)
+
+    @staticmethod
+    def _remove_file_set(path: str, main: bool = True) -> None:
+        """Remove a SQLite file and/or its journal sidecars, quietly."""
+        doomed = ([path] if main else []) + [path + "-wal", path + "-shm"]
+        for target in doomed:
+            try:
+                os.unlink(target)
+            except FileNotFoundError:
+                pass
+
+    def _verify_compacted(self, tmp_path: str, aladin) -> int:
+        """Re-verify the compacted file's manifest hashes; return count.
+
+        Every source's content hash is recomputed from the compacted
+        rows and checked against the manifest it carries; with the live
+        system at hand, the same hashes are recomputed a third time from
+        the in-memory tables — the compacted file must agree with both
+        or the swap is refused.
+        """
+        tmp_store = SnapshotStore(tmp_path)
+        conn = tmp_store._connect()
+        file_hashes: Dict[str, str] = {}
+        try:
+            tmp_store._read_manifest(conn)
+            for name, stored in conn.execute(
+                "SELECT name, content_hash FROM sources ORDER BY name"
+            ).fetchall():
+                recomputed = _hash_stored_source(conn, name)
+                if recomputed != stored:
+                    raise SnapshotError(
+                        f"compaction of {self.path!r} produced a content "
+                        f"hash mismatch for source {name!r}; the original "
+                        "snapshot was left untouched"
+                    )
+                file_hashes[name] = stored
+        finally:
+            conn.close()
+        if aladin is not None:
+            if sorted(aladin.source_names()) != sorted(file_hashes):
+                raise SnapshotError(
+                    f"compaction of {self.path!r} does not match the "
+                    "in-memory state (source sets differ); the original "
+                    "snapshot was left untouched"
+                )
+            for name in aladin.source_names():
+                database = aladin.database(name)
+                if _hash_memory_source(database) == file_hashes[name]:
+                    continue
+                # An untouched slice written by a pre-marker build hashes
+                # to the legacy row encoding (bare NaN tokens for
+                # non-finite cells); accept it before refusing the swap.
+                if (
+                    _hash_memory_source(database, legacy_rows=True)
+                    == file_hashes[name]
+                ):
+                    continue
+                raise SnapshotError(
+                    f"compaction of {self.path!r} does not match the "
+                    f"in-memory state (content hash differs for source "
+                    f"{name!r}); the original snapshot was left untouched"
+                )
+        return len(file_hashes)
+
+    # ------------------------------------------------------------------
     # load
     # ------------------------------------------------------------------
     def load_state(self) -> SnapshotState:
@@ -638,13 +1073,13 @@ class SnapshotStore:
                     ).fetchall()
                 ]
                 attribute_links = [
-                    codec.attribute_link_from_dict(json.loads(payload))
+                    codec.attribute_link_from_dict(codec.canonical_loads(payload))
                     for (payload,) in conn.execute(
                         "SELECT payload FROM attribute_links ORDER BY rowid"
                     )
                 ]
                 object_links = [
-                    codec.object_link_from_dict(json.loads(payload))
+                    codec.object_link_from_dict(codec.canonical_loads(payload))
                     for (payload,) in conn.execute(
                         "SELECT payload FROM object_links ORDER BY rowid"
                     )
@@ -682,7 +1117,7 @@ class SnapshotStore:
         ):
             hasher.update(schema_json.encode("utf-8"))
             table = database.create_table(
-                codec.schema_from_dict(json.loads(schema_json))
+                codec.schema_from_dict(codec.canonical_loads(schema_json))
             )
             tuples = []
             for (data,) in conn.execute(
@@ -691,7 +1126,7 @@ class SnapshotStore:
                 (name, table_name),
             ):
                 hasher.update(data.encode("utf-8"))
-                tuples.append(json.loads(data))
+                tuples.append(codec.canonical_loads(data))
             table.bulk_load(tuples)
         if hasher.hexdigest() != content_hash:
             raise SnapshotError(
@@ -704,15 +1139,15 @@ class SnapshotStore:
             "WHERE source = ? ORDER BY table_name, column_name",
             (name,),
         ):
-            profile = codec.profile_from_dict(json.loads(profile_json))
+            profile = codec.profile_from_dict(codec.canonical_loads(profile_json))
             profiles[AttributeRef(table_name, column_name)] = profile
             database.table(table_name).columns.restore_profile(column_name, profile)
         return SourceState(
             name=name,
             database=database,
-            structure=codec.structure_from_dict(json.loads(structure_json)),
+            structure=codec.structure_from_dict(codec.canonical_loads(structure_json)),
             profiles=profiles,
-            samples=json.loads(samples_json),
+            samples=codec.canonical_loads(samples_json),
             row_counts=json.loads(row_counts_json),
             format_name=format_name,
             raw_text=raw_text,

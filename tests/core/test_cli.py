@@ -173,3 +173,46 @@ class TestCliPersistence:
         out = io.StringIO()
         assert run(["open", str(path)], out=out) == 2
         assert "error:" in out.getvalue()
+
+    def test_open_read_only(self, source_files, tmp_path):
+        _, sp_path, pdb_path = source_files
+        snapshot = tmp_path / "ro.snapshot"
+        assert run(
+            [
+                "save", str(snapshot),
+                f"swissprot=flatfile:{sp_path}", f"pdb=pdb:{pdb_path}",
+            ],
+            out=io.StringIO(),
+        ) == 0
+        out = io.StringIO()
+        code = run(["open", str(snapshot), "--read-only", "--search", "kinase"],
+                   out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "warehouse (read-only): 2 sources" in text
+        assert "search 'kinase':" in text
+
+    def test_compact_subcommand(self, source_files, tmp_path):
+        _, sp_path, pdb_path = source_files
+        snapshot = tmp_path / "compactable.snapshot"
+        assert run(
+            [
+                "save", str(snapshot),
+                f"swissprot=flatfile:{sp_path}", f"pdb=pdb:{pdb_path}",
+            ],
+            out=io.StringIO(),
+        ) == 0
+        out = io.StringIO()
+        code = run(["compact", str(snapshot)], out=out)
+        assert code == 0
+        assert "compacted" in out.getvalue()
+        assert "sources verified" in out.getvalue()
+        # The compacted snapshot still opens and serves searches.
+        out = io.StringIO()
+        assert run(["open", str(snapshot), "--search", "kinase"], out=out) == 0
+        assert "warehouse (warm-start): 2 sources" in out.getvalue()
+
+    def test_compact_missing_snapshot_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        assert run(["compact", str(tmp_path / "none.snapshot")], out=out) == 2
+        assert "error:" in out.getvalue()

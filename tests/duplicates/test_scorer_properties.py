@@ -9,6 +9,8 @@ approximations:
 * pruned scores equal the exhaustive reference scorer bit for bit;
 * a warm cache (including one shared across an entire session of record
   pairs, the incremental ``add_source`` usage) never changes any result;
+* an LRU-*bounded* cache (``max_entries``, the week-long-session memory
+  bound) evicts entries without moving a single score or duplicate set;
 * the bookkeeping counters account for exactly the work performed.
 """
 
@@ -116,6 +118,113 @@ class TestCacheNeverChangesResults:
             scorer(a, b)
         for a, b in probes:
             assert scorer(a, b) == record_similarity(a, b)
+
+
+class TestBoundedCacheIsInvisible:
+    def test_tiny_lru_cache_equals_reference_bit_for_bit(self):
+        # A cache squeezed far below the corpus's distinct-pair count
+        # evicts constantly; every score must still match the stateless
+        # reference exactly — eviction may only cost re-computation.
+        for seed in (111, 222):
+            scorer = BoundedRecordScorer(max_entries=8)
+            for a, b in random_pairs(seed, 50):
+                assert scorer(a, b) == record_similarity(a, b)
+            assert scorer.evictions > 0, "the bound never fired"
+            assert len(scorer.cache) <= 8
+
+    def test_bounded_equals_unbounded_score_stream(self):
+        pairs = random_pairs(333, 60)
+        bounded = BoundedRecordScorer(max_entries=16)
+        unbounded = BoundedRecordScorer()
+        assert [bounded(a, b) for a, b in pairs] == [
+            unbounded(a, b) for a, b in pairs
+        ]
+
+    def test_eviction_is_lru_not_fifo(self):
+        # A hit must refresh recency: pairs re-scored every round survive
+        # a bound sized to hold them, so the steady-state working set
+        # stays cached while one-off pairs cycle through the rest.
+        rng = random.Random(444)
+        hot = RecordView("s", "hot", values=["kinase binding domain"])
+        probe = RecordView("t", "probe", values=["kinase binding domains"])
+        scorer = BoundedRecordScorer(max_entries=4)
+        scorer(hot, probe)
+        for index in range(20):
+            filler = RecordView("t", f"f{index}", values=[random_value(rng)])
+            scorer(hot, filler)
+            hits_before = scorer.cache_hits
+            scorer(hot, probe)  # the hot pair must still be cached
+            assert scorer.cache_hits == hits_before + 1
+
+    def test_zero_and_none_leave_the_cache_unbounded(self):
+        for max_entries in (0, None):
+            scorer = BoundedRecordScorer(max_entries=max_entries)
+            for a, b in random_pairs(555, 30):
+                scorer(a, b)
+            assert scorer.evictions == 0
+            assert scorer.max_entries == 0
+
+    def test_bounded_session_scorer_pins_duplicate_sets(self):
+        """End to end: a maintenance session whose scorer cache is
+        LRU-bounded must flag byte-identical duplicate sets to the
+        unbounded session (ROADMAP's memory-bound open item)."""
+        from repro.core import Aladin, AladinConfig
+        from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=37,
+                include=("swissprot", "pir", "pdb"),
+                universe=UniverseConfig(
+                    n_families=3, members_per_family=2, seed=37
+                ),
+            )
+        )
+
+        def duplicate_set(cache_entries):
+            config = AladinConfig()
+            config.scorer_cache_entries = cache_entries
+            aladin = Aladin(config)
+            for source in scenario.sources:
+                aladin.add_source(
+                    source.name,
+                    source.facts.format_name,
+                    source.text,
+                    **source.facts.import_options,
+                )
+            links = sorted(
+                (
+                    link.certainty,
+                    *sorted(
+                        [
+                            (link.source_a, link.accession_a),
+                            (link.source_b, link.accession_b),
+                        ]
+                    ),
+                )
+                for link in aladin.repository.object_links(kind="duplicate")
+            )
+            return links, aladin._dup_scorer
+
+        # The bound is host memory policy: it must not ride a snapshot
+        # into every process that opens it (a saved ablation run with
+        # the bound disabled would otherwise re-unbound production).
+        from repro.core.config import config_from_dict, config_to_dict
+
+        disabled = AladinConfig()
+        disabled.scorer_cache_entries = 0
+        restored = config_from_dict(config_to_dict(disabled))
+        assert restored.scorer_cache_entries == AladinConfig().scorer_cache_entries
+
+        bounded_links, bounded_scorer = duplicate_set(32)
+        unbounded_links, unbounded_scorer = duplicate_set(0)
+        assert bounded_links, "the corpus must actually produce duplicates"
+        assert bounded_links == unbounded_links
+        assert bounded_scorer.evictions > 0, (
+            "the bound must actually constrain this corpus"
+        )
+        assert len(bounded_scorer.cache) <= 32
+        assert unbounded_scorer.evictions == 0
 
 
 class TestCounterAccounting:

@@ -271,6 +271,77 @@ class TestResidentPools:
         worker.join(timeout=10)
         assert results["out"] == list(range(5))
 
+    @pytest.mark.parametrize(
+        "executor_factory",
+        [
+            lambda: ResidentThreadExecutor(2, idle_seconds=3600.0),
+            lambda: ResidentProcessExecutor(2, idle_seconds=3600.0),
+        ],
+        ids=["ResidentThreadExecutor", "ResidentProcessExecutor"],
+    )
+    def test_shutdown_with_timer_armed_is_idempotent(self, executor_factory):
+        """Regression: the idle Timer can fire during/after shutdown (and
+        during interpreter teardown). A late firing must be a silent
+        no-op, and repeated shutdowns must not raise."""
+        executor = executor_factory()
+        executor.map_ordered(_double, [1, 2])  # arms the idle timer
+        assert executor._timer is not None
+        armed_generation = executor._timer_generation
+        executor.shutdown()
+        assert not executor.pool_alive
+        # The armed timer firing late — after shutdown cancelled it but
+        # before its thread observed the cancel — must change nothing.
+        executor._idle_teardown(armed_generation)
+        executor.shutdown()  # idempotent
+        assert not executor.pool_alive
+        # The executor is still usable: the next fan-out re-creates workers.
+        assert executor.map_ordered(_double, [1, 2]) == [2, 4]
+        executor.shutdown()
+
+    def test_idle_teardown_never_propagates_into_the_timer_thread(self):
+        """A teardown racing interpreter shutdown can find half-dismantled
+        state; the timer callback must swallow it rather than spew into
+        the daemon thread."""
+        executor = ResidentThreadExecutor(2, idle_seconds=3600.0)
+        try:
+            executor.map_ordered(_double, [1, 2])
+            generation = executor._timer_generation
+
+            def exploding_teardown():
+                raise RuntimeError("interpreter is shutting down")
+
+            executor._teardown = exploding_teardown
+            executor._idle_teardown(generation)  # must not raise
+        finally:
+            del executor._teardown  # restore the class implementation
+            executor.shutdown()
+
+    def test_atexit_hook_tears_down_live_resident_pools(self):
+        """Regression: resident pools leaked workers at interpreter exit.
+        Live executors register in the module's weak registry and the
+        atexit hook releases every one of them, swallowing stragglers."""
+        from repro.exec import pool as pool_module
+
+        thread_executor = ResidentThreadExecutor(2, idle_seconds=3600.0)
+        process_executor = ResidentProcessExecutor(2, idle_seconds=3600.0)
+        try:
+            assert thread_executor in pool_module._LIVE_RESIDENT
+            assert process_executor in pool_module._LIVE_RESIDENT
+            thread_executor.map_ordered(_double, [1, 2])
+            process_executor.map_ordered(_double, [1, 2])
+            assert thread_executor.pool_alive and process_executor.pool_alive
+
+            broken = ResidentThreadExecutor(2, idle_seconds=3600.0)
+            broken.shutdown = lambda: (_ for _ in ()).throw(
+                RuntimeError("already dismantled")
+            )
+            pool_module._atexit_shutdown_all()  # must not raise
+            assert not thread_executor.pool_alive
+            assert not process_executor.pool_alive
+        finally:
+            thread_executor.shutdown()
+            process_executor.shutdown()
+
     def test_create_executor_builds_resident_variants(self):
         thread = create_executor(ExecConfig("thread", 2, resident=True))
         process = create_executor(ExecConfig("process", 2, resident=True))

@@ -1,0 +1,191 @@
+"""Crash recovery: a writer killed mid-maintenance never tears a source.
+
+Each test forks a real child process, lets it die with ``os._exit`` at a
+chosen point inside a checkpoint or compaction, and then reopens the
+snapshot from the parent. The contract: the reopened store either serves
+the previous consistent slice (SQLite transaction atomicity) or the new
+one (the crash landed after the commit) — never a half-written source,
+and never a quiet wrong answer (tearing would trip the per-source
+content-hash verification as a loud ``SnapshotError``).
+"""
+
+import os
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.persist.snapshot import SnapshotStore
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="crash tests kill real forked writers"
+)
+
+
+def small_world(include, integrate_names, seed=88):
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=seed,
+            include=include,
+            universe=UniverseConfig(
+                n_families=4, members_per_family=2, n_go_terms=10,
+                n_diseases=4, n_interactions=5, seed=seed,
+            ),
+        )
+    )
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        if source.name not in integrate_names:
+            continue
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    return scenario, aladin
+
+
+def fingerprint(aladin):
+    rows = {
+        name: {
+            table: list(aladin.database(name).table(table).raw_rows())
+            for table in aladin.database(name).table_names()
+        }
+        for name in aladin.source_names()
+    }
+    links = sorted(
+        (
+            link.kind,
+            *sorted(
+                [
+                    (link.source_a, link.accession_a),
+                    (link.source_b, link.accession_b),
+                ]
+            ),
+        )
+        for link in aladin.repository.object_links()
+    )
+    return aladin.source_names(), rows, links
+
+
+def crash_child_at(method_name, action):
+    """Fork; in the child, die with ``os._exit`` inside ``method_name``.
+
+    The patched method runs to completion first, so the crash lands
+    *after* that write but before whatever follows it — mid-transaction
+    for everything inside ``checkpoint_source``'s ``with conn:`` block.
+    Returns the child's exit status code.
+    """
+    pid = os.fork()
+    if pid == 0:  # child
+        original = getattr(SnapshotStore, method_name)
+
+        def dying(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            os._exit(42)
+
+        setattr(SnapshotStore, method_name, dying)
+        try:
+            action()
+        finally:
+            os._exit(99)  # the action survived: the patch never fired
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    # "pir" stays un-integrated: it is the source the crash tests add.
+    scenario, aladin = small_world(
+        include=("swissprot", "pdb", "go", "pir"),
+        integrate_names=("swissprot", "pdb", "go"),
+    )
+    aladin.search_engine()
+    aladin.config.persist.auto_compact = False
+    path = tmp_path / "crash.snapshot"
+    aladin.save(path)
+    yield scenario, aladin, path
+    aladin.close()
+
+
+class TestKilledMidCheckpoint:
+    @pytest.mark.parametrize(
+        "kill_after",
+        ["_write_source", "_write_source_links", "_checkpoint_index"],
+        ids=["after-rows", "after-links", "after-postings"],
+    )
+    def test_uncommitted_checkpoint_leaves_previous_slice(
+        self, saved, kill_after
+    ):
+        """Death anywhere inside the checkpoint transaction: the new
+        source's partial slice must vanish with the rollback."""
+        scenario, aladin, path = saved
+        before = fingerprint(aladin)
+        pir = scenario.source("pir")
+
+        exit_code = crash_child_at(
+            kill_after,
+            lambda: aladin.add_source(
+                "pir", pir.facts.format_name, pir.text,
+                **pir.facts.import_options,
+            ),
+        )
+        assert exit_code == 42, "the child must die inside the checkpoint"
+
+        reopened = Aladin.open(path, read_only=True)  # hash-verified load
+        assert fingerprint(reopened) == before
+        assert "pir" not in reopened.source_names()
+
+    def test_uncommitted_remove_leaves_previous_slice(self, saved):
+        """Death inside ``checkpoint_remove``'s transaction, right after
+        the slice deletion: the rollback must bring the source back."""
+        scenario, aladin, path = saved
+        before = fingerprint(aladin)
+
+        exit_code = crash_child_at(
+            "_delete_source_slice", lambda: aladin.remove_source("go")
+        )
+        assert exit_code == 42
+
+        reopened = Aladin.open(path, read_only=True)
+        assert fingerprint(reopened) == before
+        assert "go" in reopened.source_names()
+
+    def test_crash_after_commit_serves_the_new_slice(self, saved):
+        """Death *between* the committed checkpoint and whatever comes
+        next (here: the auto-compaction hook) keeps the new state."""
+        scenario, aladin, path = saved
+
+        exit_code = crash_child_at(
+            "maybe_compact", lambda: aladin.remove_source("go")
+        )
+        assert exit_code == 42
+
+        reopened = Aladin.open(path, read_only=True)
+        assert "go" not in reopened.source_names()
+        # The parent's in-memory system never saw the child's removal;
+        # replaying it converges both sides.
+        aladin.detach_store()
+        aladin.remove_source("go")
+        assert fingerprint(reopened) == fingerprint(aladin)
+
+
+class TestKilledMidCompaction:
+    def test_crash_before_the_swap_preserves_the_snapshot(self, saved):
+        """Compaction dying after the rewrite but before ``os.replace``:
+        the original file must be untouched and later compactions must
+        clean up and succeed."""
+        scenario, aladin, path = saved
+        before = fingerprint(aladin)
+
+        exit_code = crash_child_at("_verify_compacted", lambda: aladin.compact())
+        assert exit_code == 42
+
+        reopened = Aladin.open(path, read_only=True)
+        assert fingerprint(reopened) == before
+        # The abandoned temporary is swept by the next compaction.
+        stats = aladin.compact()
+        assert stats.sources_verified == len(aladin.source_names())
+        assert not os.path.exists(str(path) + ".compact")
+        assert fingerprint(Aladin.open(path, read_only=True)) == before

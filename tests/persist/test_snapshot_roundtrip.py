@@ -6,12 +6,16 @@ a single discovery, linking, or index-build step (checked through the
 engine, cache, and index counters).
 """
 
+import dataclasses
+import json
+import math
 import sqlite3
 
 import pytest
 
 from repro.core import Aladin, AladinConfig
 from repro.persist import FORMAT_VERSION, SnapshotError
+from repro.persist import codec
 from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
 
 
@@ -152,6 +156,161 @@ class TestWarmStartDoesNoIntegrationWork:
         # ...unless the caller explicitly overrides them.
         override = AladinConfig()
         assert Aladin.open(path, config=override).config is override
+
+
+def _reject_constant(_value):
+    raise ValueError("bare non-finite constant in supposedly strict JSON")
+
+
+def strict_loads(text):
+    """Parse as a strict JSON consumer would: NaN/Infinity are errors."""
+    return json.loads(text, parse_constant=_reject_constant)
+
+
+class TestNonFiniteStatsRoundTrip:
+    """Regression: ``canonical_json`` emitted bare ``NaN``/``Infinity``
+    for non-finite ColumnProfile statistics — invalid JSON that broke
+    strict reparsing and content-hash portability. Non-finite floats are
+    now encoded explicitly and round-trip exactly."""
+
+    WEIRD = {
+        "avg_length": math.nan,
+        "numeric_fraction": math.inf,
+        "alpha_fraction": -math.inf,
+    }
+
+    def _weird_profile(self, profile):
+        return dataclasses.replace(profile, **self.WEIRD)
+
+    def test_canonical_json_is_strict_json(self, integrated_world):
+        _, aladin = integrated_world
+        name = aladin.source_names()[0]
+        record = aladin.repository.source(name)
+        attr, profile = next(iter(sorted(
+            record.profiles.items(), key=lambda item: item[0].qualified
+        )))
+        payload = codec.canonical_json(
+            codec.profile_to_dict(self._weird_profile(profile))
+        )
+        for bare in ("NaN", "Infinity"):
+            assert bare not in payload
+        strict_loads(payload)  # a strict parser accepts the text
+
+    def test_canonical_loads_restores_non_finite_floats(self, integrated_world):
+        _, aladin = integrated_world
+        name = aladin.source_names()[0]
+        record = aladin.repository.source(name)
+        _attr, profile = next(iter(record.profiles.items()))
+        weird = self._weird_profile(profile)
+        restored = codec.profile_from_dict(
+            codec.canonical_loads(
+                codec.canonical_json(codec.profile_to_dict(weird))
+            )
+        )
+        assert math.isnan(restored.avg_length)
+        assert restored.numeric_fraction == math.inf
+        assert restored.alpha_fraction == -math.inf
+        assert restored.column == weird.column
+        assert restored.row_count == weird.row_count
+
+    def test_canonical_json_rejects_unencoded_nan(self):
+        # allow_nan=False backstops the encoder: a payload shape the
+        # wrapper does not reach can never silently emit invalid JSON.
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            codec.canonical_json({"x": Opaque()})
+
+    def test_row_cells_with_non_finite_floats_are_strict_json(self, tmp_path):
+        # The same defect existed one layer down: a FLOAT *cell* holding
+        # a non-finite value reached the rows table as a bare NaN token
+        # through the row encoder. ``insert`` coerces NaN to NULL, but
+        # ``bulk_load`` documents itself as coercion-free, so a
+        # programmatically built database can carry the hostile value —
+        # the persist layer must serialize it strictly regardless.
+        from repro.relational.database import Database
+        from repro.relational.schema import Column, TableSchema
+        from repro.relational.types import DataType
+
+        database = Database("hostile")
+        table = database.create_table(
+            TableSchema(
+                name="m",
+                columns=[
+                    Column("id", DataType.TEXT, nullable=False),
+                    Column("score", DataType.FLOAT, nullable=True),
+                ],
+            )
+        )
+        table.bulk_load([("A1", math.nan), ("A2", math.inf), ("A3", 1.5)])
+        aladin = Aladin(AladinConfig())
+        aladin.add_database(database)
+        path = tmp_path / "hostile-rows.snapshot"
+        aladin.save(path)
+        aladin.detach_store()
+
+        conn = sqlite3.connect(path)
+        payloads = [
+            row[0]
+            for row in conn.execute(
+                "SELECT data FROM rows WHERE source = 'hostile' ORDER BY row_id"
+            )
+        ]
+        samples = conn.execute(
+            "SELECT samples FROM sources WHERE name = 'hostile'"
+        ).fetchone()[0]
+        conn.close()
+        for payload in payloads + [samples]:
+            strict_loads(payload)  # no bare NaN/Infinity anywhere
+
+        warm = Aladin.open(path)
+        rows = sorted(warm.database("hostile").table("m").raw_rows())
+        assert rows[0][0] == "A1" and math.isnan(rows[0][1])
+        assert rows[1][0] == "A2" and rows[1][1] == math.inf
+        assert rows[2] == ("A3", 1.5) or list(rows[2]) == ["A3", 1.5]
+        warm.detach_store()
+
+    def test_profile_with_non_finite_stats_survives_save_open(self, tmp_path):
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=83,
+                include=("swissprot", "pdb"),
+                universe=UniverseConfig(n_families=3, members_per_family=2, seed=83),
+            )
+        )
+        aladin = Aladin(AladinConfig())
+        for source in scenario.sources:
+            aladin.add_source(source.name, source.facts.format_name, source.text)
+        name = aladin.source_names()[0]
+        record = aladin.repository.source(name)
+        attr = sorted(record.profiles, key=lambda a: a.qualified)[0]
+        weird = self._weird_profile(record.profiles[attr])
+        # Keep the repository/ColumnStore identity invariant while
+        # planting the hostile statistics.
+        record.profiles[attr] = weird
+        aladin.database(name).table(attr.table).columns.restore_profile(
+            attr.column, weird
+        )
+        path = tmp_path / "nonfinite.snapshot"
+        aladin.save(path)
+        aladin.detach_store()
+
+        conn = sqlite3.connect(path)
+        stored = conn.execute(
+            "SELECT profile FROM profiles WHERE source = ? AND table_name = ? "
+            "AND column_name = ?",
+            (name, attr.table, attr.column),
+        ).fetchone()[0]
+        conn.close()
+        strict_loads(stored)  # the persisted payload is valid JSON
+
+        warm = Aladin.open(path)
+        restored = warm.repository.source(name).profiles[attr]
+        assert math.isnan(restored.avg_length)
+        assert restored.numeric_fraction == math.inf
+        assert restored.alpha_fraction == -math.inf
+        warm.detach_store()
 
 
 class TestSnapshotValidation:
