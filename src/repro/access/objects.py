@@ -57,6 +57,55 @@ class ObjectWeb:
         # (source, table) -> accession -> rows; built lazily, one scan per
         # secondary table instead of one per page visit.
         self._annotation_cache: Dict[Tuple[str, str], Dict[str, List[Dict[str, object]]]] = {}
+        # Lazy-open hooks: fault a source's database in on first touch,
+        # and (optionally) answer single-source SQL straight from the
+        # snapshot before hydrating (see set_hydrator / set_sql_pushdown).
+        self._hydrator = None
+        self._sql_pushdown = None
+
+    # ------------------------------------------------------------------
+    # lazy hydration hooks
+    # ------------------------------------------------------------------
+    def set_hydrator(self, hydrator) -> None:
+        """Install the fault-in callback of a lazy snapshot session.
+
+        ``hydrator(name)`` must attach the named source's database (via
+        :meth:`attach_database`) and ``hydrator(None)`` must attach every
+        remaining one. Already-attached sources are never re-faulted.
+        """
+        self._hydrator = hydrator
+
+    def set_sql_pushdown(self, pushdown) -> None:
+        """Install the snapshot SQL executor for unhydrated sources.
+
+        ``pushdown(source, statement)`` returns a ResultSet answered from
+        the snapshot file, or ``None`` to decline (unsupported statement
+        shape) — the caller then hydrates and runs in memory.
+        """
+        self._sql_pushdown = pushdown
+
+    def _ensure_attached(self, source: str) -> None:
+        if self._hydrator is not None and source not in self._databases:
+            self._hydrator(source)
+
+    def _ensure_all_attached(self) -> None:
+        if self._hydrator is not None:
+            self._hydrator(None)
+
+    def database(self, source: str) -> Database:
+        """One source's database, faulting it in under a lazy open."""
+        self._ensure_attached(source)
+        return self._databases[source]
+
+    def pushdown_sql(self, source: str, statement: str):
+        """Try answering ``statement`` from the snapshot, ``None`` to decline.
+
+        Only meaningful for a source that is *not* hydrated yet — once the
+        rows are resident, memory is strictly faster than SQLite.
+        """
+        if self._sql_pushdown is None or source in self._databases:
+            return None
+        return self._sql_pushdown(source, statement)
 
     def attach_database(self, name: str, database: Database) -> None:
         if not self._repository.has_source(name):
@@ -84,15 +133,18 @@ class ObjectWeb:
         return self._repository
 
     def sources_with_pages(self) -> List[str]:
+        self._ensure_all_attached()
         return sorted(self._resolvers)
 
     # ------------------------------------------------------------------
     def accessions(self, source: str) -> List[str]:
+        self._ensure_attached(source)
         resolver = self._resolvers.get(source)
         return resolver.primary_accessions() if resolver else []
 
     def page(self, source: str, accession: str) -> Optional[ObjectPage]:
         """Materialize one object page (own row + secondary annotations)."""
+        self._ensure_attached(source)
         resolver = self._resolvers.get(source)
         if resolver is None:
             return None

@@ -46,9 +46,17 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
     def sql(self, source: str, statement: str):
-        """Plain SQL against one source's imported schema."""
-        database = self._web._databases[source]  # noqa: SLF001 - same package
-        return execute_sql(database, statement)
+        """Plain SQL against one source's imported schema.
+
+        Under a lazy open an unhydrated source is first offered to the
+        snapshot pushdown executor — a single-table scan runs where the
+        data lives without faulting the rows in; anything it declines
+        hydrates the source and executes in memory as before.
+        """
+        result = self._web.pushdown_sql(source, statement)
+        if result is not None:
+            return result
+        return execute_sql(self._web.database(source), statement)
 
     # ------------------------------------------------------------------
     def select_objects(self, source: str, statement: str) -> List[RankedRow]:

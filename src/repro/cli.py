@@ -22,6 +22,13 @@ or breaks a dead holder's lock (``--force-lock``). ``compact`` reclaims
 the space that per-source checkpoints leave behind::
 
     python -m repro compact warehouse.snapshot
+
+Opens are lazy by default — only the manifest is read up front and each
+source's rows fault in on first touch (``--eager`` restores the old
+behavior). ``stats`` opens lazily read-only and reports what a query
+actually faulted in::
+
+    python -m repro stats warehouse.snapshot --search "kinase"
 """
 
 from __future__ import annotations
@@ -152,8 +159,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="break an existing writer lock (only when its holder is known "
         "dead; stale same-host locks are detected automatically)",
     )
+    hydration = open_cmd.add_mutually_exclusive_group()
+    hydration.add_argument(
+        "--lazy",
+        action="store_true",
+        help="open by manifest only and fault sources in on first touch "
+        "(default: REPRO_PERSIST_LAZY, which defaults to lazy)",
+    )
+    hydration.add_argument(
+        "--eager",
+        action="store_true",
+        help="materialize every source up front, as before lazy opens",
+    )
     _add_access_flags(open_cmd)
     _add_exec_flags(open_cmd)
+    stats_cmd = subparsers.add_parser(
+        "stats",
+        help="open a snapshot lazily (read-only), optionally exercise the "
+        "access modes, and report hydration + pushdown counters",
+    )
+    stats_cmd.add_argument("snapshot", help="path of the snapshot file to read")
+    _add_access_flags(stats_cmd)
     compact = subparsers.add_parser(
         "compact",
         help="rewrite a snapshot's live content into a fresh file, "
@@ -177,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
+
+
+def _hydration_line(stats: dict) -> str:
+    """One-line hydration report, e.g. for ``repro stats``."""
+    hydrated = stats["hydrated"]
+    names = ", ".join(hydrated) if hydrated else "none"
+    resident = stats["resident_bytes"]
+    resident_text = "untracked" if resident is None else f"~{resident} bytes"
+    return (
+        f"hydration: {len(hydrated)}/{stats['sources']} sources hydrated "
+        f"({names}); resident {resident_text}; "
+        f"pushdown hits {stats['pushdown_hits']}"
+    )
 
 
 def _run_access_modes(aladin: Aladin, args, out) -> int:
@@ -247,6 +286,17 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return 2
         print(f"{args.snapshot}: {stats.render()}", file=out)
         return 0
+    if args.command == "stats":
+        try:
+            aladin = Aladin.open(args.snapshot, read_only=True, lazy=True)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"warehouse (read-only): {aladin.summary()}", file=out)
+        code = _run_access_modes(aladin, args, out)
+        print(file=out)
+        print(_hydration_line(aladin.hydration_stats()), file=out)
+        return code
     if args.command == "open":
         try:
             aladin = Aladin.open(
@@ -254,6 +304,7 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
                 read_only=args.read_only,
                 lock_timeout=args.lock_timeout,
                 force_lock=args.force_lock,
+                lazy=True if args.lazy else (False if args.eager else None),
             )
         except SnapshotError as exc:
             print(f"error: {exc}", file=out)

@@ -60,6 +60,7 @@ from repro.linking.engine import LinkDiscoveryEngine, _pair_task
 from repro.linking.model import ObjectLink
 from repro.linking.stats import collect_profiles, collect_statistics, statistics_from_profile
 from repro.metadata.repository import MetadataRepository
+from repro.persist.lazy import LazySnapshotSession
 from repro.persist.lock import SnapshotLockedError
 from repro.persist.snapshot import CompactionStats, SnapshotError, SnapshotStore
 from repro.relational.database import Database
@@ -209,6 +210,7 @@ class Aladin:
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
         self._store: Optional[SnapshotStore] = None
+        self._lazy: Optional[LazySnapshotSession] = None  # set by lazy opens
         self.read_only = False  # True on a lock-degraded read-only open
         # The maintenance session's duplicate scorer: one value-pair cache
         # shared by every incremental add_source of this system's
@@ -256,6 +258,7 @@ class Aladin:
         self, name: str, format_name: str, text: str, **import_options
     ) -> IntegrationReport:
         """Integrate one new source from raw text (steps 1-5)."""
+        self._fault_all_sources()
         report = IntegrationReport(source_name=name)
         # Step 1: data import.
         started = time.perf_counter()
@@ -279,6 +282,7 @@ class Aladin:
 
     def add_database(self, database: Database) -> IntegrationReport:
         """Integrate a source already available as a relational database."""
+        self._fault_all_sources()
         report = IntegrationReport(source_name=database.name)
         report.steps.append(
             StepTiming(
@@ -322,6 +326,7 @@ class Aladin:
         run; compare wall clock via ``BENCH_parallel.json``, not by
         summing report steps.
         """
+        self._fault_all_sources()
         specs: List[Tuple[str, str, str, Dict[str, Any]]] = []
         for item in sources:
             if len(item) == 3:
@@ -708,6 +713,7 @@ class Aladin:
         Below the threshold the raw data is swapped in place and existing
         links are kept; above it the source is dropped and re-integrated.
         """
+        self._fault_all_sources()
         if name not in self._raw_inputs:
             raise KeyError(f"source {name!r} was not added from raw text")
         format_name, _old_text, options = self._raw_inputs[name]
@@ -754,7 +760,10 @@ class Aladin:
         index drops its documents in place — no re-registration, no
         re-crawl of surviving sources.
         """
+        self._fault_all_sources()
         self.repository.remove_source(name)
+        if self._lazy is not None:
+            self._lazy.forget(name)
         self._databases.pop(name, None)
         self._raw_inputs.pop(name, None)
         if name in self._engine.source_names():
@@ -799,6 +808,54 @@ class Aladin:
                     pass
         return SearchEngine(self._index)
 
+    def _fault_all_sources(self) -> None:
+        """Maintenance guard under a lazy open: mutate fully resident state.
+
+        Every mutating entry point calls this first, so link discovery
+        sees all sources' statistics and no stub can resurrect stale rows
+        after an in-place change. Eager systems: no-op.
+        """
+        if self._lazy is not None:
+            self._lazy.hydrate()
+            self._lazy.note_maintenance()
+
+    def release_source(self, name: str) -> bool:
+        """Evict one hydrated source back to its stub (lazy opens only).
+
+        The rows, ColumnStore caches, and engine statistics of ``name``
+        are dropped; the next touch faults them back in from the
+        snapshot. Bounds resident memory in long-lived read-only
+        processes. Returns False if the source was not hydrated; raises
+        :class:`SnapshotError` on an eager system (memory is the only
+        copy there) or after maintenance has written.
+        """
+        if self._lazy is None:
+            raise SnapshotError(
+                "release_source requires a lazily opened snapshot "
+                "(Aladin.open(..., lazy=True))"
+            )
+        return self._lazy.release(name)
+
+    def hydration_stats(self) -> Dict[str, Any]:
+        """Which sources are resident, their bytes, and pushdown hits."""
+        if self._lazy is not None:
+            return self._lazy.stats()
+        return {
+            "lazy": False,
+            "sources": len(self._databases),
+            "hydrated": sorted(self._databases),
+            "resident_bytes": None,  # eager systems do not meter payloads
+            "pushdown_hits": 0,
+            "per_source": {
+                name: {
+                    "hydrated": True,
+                    "resident_bytes": 0,
+                    "pushdown_hits": 0,
+                }
+                for name in sorted(self._databases)
+            },
+        }
+
     def _index_add_source(self, name: str) -> None:
         """Crawl and index only ``name``'s pages into the existing index."""
         if self._index is None:
@@ -825,6 +882,7 @@ class Aladin:
         :class:`~repro.persist.lock.SnapshotLockedError` (after waiting
         ``persist.lock_timeout`` seconds under the ``"block"`` policy).
         """
+        self._fault_all_sources()
         store = SnapshotStore(path)
         policy = self.config.persist
         timeout = policy.lock_timeout if policy.lock_policy == "block" else 0.0
@@ -849,6 +907,7 @@ class Aladin:
         read_only: bool = False,
         lock_timeout: Optional[float] = None,
         force_lock: bool = False,
+        lazy: Optional[bool] = None,
     ) -> "Aladin":
         """Warm-start a system from a snapshot — no re-integration.
 
@@ -859,6 +918,19 @@ class Aladin:
         profiles, links land back in the repository, and the inverted
         index is restored posting by posting. The snapshot stays attached
         for incremental checkpoints, exactly as after :meth:`save`.
+
+        By default the open is *lazy*: only the manifest — version,
+        per-source structure, profiles, samples, row counts — is read up
+        front (O(manifest), not O(rows)), and each source's tables fault
+        in on first touch; point lookups and single-table SELECTs against
+        untouched sources are pushed down to SQL on the snapshot's value
+        index. Lazy and eager systems are observably identical — the
+        differential suite pins rows, links, postings, and BM25 rankings
+        byte-for-byte — lazy is purely a when-to-load decision. Pass
+        ``lazy=False`` (or set ``persist.lazy_open = False``, or
+        ``REPRO_PERSIST_LAZY=0``) to materialize everything up front;
+        maintenance on a lazy system faults all sources in first, so
+        long-lived writers may prefer an eager open.
 
         Attaching as a writer takes the snapshot's advisory lock. When
         another *process* holds it, ``persist.lock_policy`` decides:
@@ -889,44 +961,54 @@ class Aladin:
                 if policy.lock_policy != "readonly":
                     raise
                 attach_writer = False
+        lazy_open = policy.lazy_open if lazy is None else lazy
         try:
             # Any failure from here to the end must release the writer
             # lock: nothing else would survive to detach it.
-            state = store.load_state()
-            if config is None and state.config is not None:
-                config = config_from_dict(state.config)
-            aladin = cls(config)
-            for source in state.sources:
-                statistics = {
-                    attr: statistics_from_profile(attr, profile)
-                    for attr, profile in source.profiles.items()
-                }
-                aladin._engine.restore_source(
-                    source.database, source.structure, statistics
-                )
-                aladin.repository.register_source(
-                    source.structure,
-                    statistics,
-                    source.samples,
-                    source.row_counts,
-                    profiles=source.profiles,
-                )
-                aladin._databases[source.name] = source.database
-                aladin.web.attach_database(source.name, source.database)
-                if source.format_name is not None:
-                    aladin._raw_inputs[source.name] = (
-                        source.format_name,
-                        source.raw_text,
-                        source.import_options,
+            if lazy_open:
+                manifest = store.load_manifest()
+                if config is None and manifest.config is not None:
+                    config = config_from_dict(manifest.config)
+                aladin = cls(config)
+                session = LazySnapshotSession(store, manifest)
+                session.install(aladin)
+                aladin._lazy = session
+            else:
+                state = store.load_state()
+                if config is None and state.config is not None:
+                    config = config_from_dict(state.config)
+                aladin = cls(config)
+                for source in state.sources:
+                    statistics = {
+                        attr: statistics_from_profile(attr, profile)
+                        for attr, profile in source.profiles.items()
+                    }
+                    aladin._engine.restore_source(
+                        source.database, source.structure, statistics
                     )
-            for attribute_link in state.attribute_links:
-                aladin.repository.add_attribute_link(attribute_link)
-            aladin.repository.add_object_links(state.object_links)
+                    aladin.repository.register_source(
+                        source.structure,
+                        statistics,
+                        source.samples,
+                        source.row_counts,
+                        profiles=source.profiles,
+                    )
+                    aladin._databases[source.name] = source.database
+                    aladin.web.attach_database(source.name, source.database)
+                    if source.format_name is not None:
+                        aladin._raw_inputs[source.name] = (
+                            source.format_name,
+                            source.raw_text,
+                            source.import_options,
+                        )
+                for attribute_link in state.attribute_links:
+                    aladin.repository.add_attribute_link(attribute_link)
+                aladin.repository.add_object_links(state.object_links)
+                aladin._index = state.index
         except BaseException:
             if attach_writer:
                 store.detach_writer()
             raise
-        aladin._index = state.index
         aladin._store = store if attach_writer else None
         aladin.read_only = not attach_writer
         return aladin
@@ -962,6 +1044,8 @@ class Aladin:
         pool workers).
         """
         self.detach_store()
+        if self._lazy is not None:
+            self._lazy.close()
         self._executor.shutdown()
 
     def _checkpoint(self, name: str) -> None:
@@ -1004,6 +1088,8 @@ class Aladin:
         return self.repository.source_names()
 
     def database(self, name: str) -> Database:
+        if self._lazy is not None and name not in self._databases:
+            self._lazy.hydrate(name)  # unknown names still KeyError below
         return self._databases[name]
 
     def summary(self) -> str:

@@ -30,9 +30,10 @@ class AladinConfig:
     # REPRO_EXEC_BACKEND / REPRO_EXEC_WORKERS so a whole run can switch
     # backends from the environment.
     execution: ExecConfig = field(default_factory=ExecConfig)
-    # Snapshot lifecycle: advisory writer-lock policy and the online
-    # auto-compaction thresholds. A host property like `execution` — it
-    # is never restored from snapshots.
+    # Snapshot lifecycle: advisory writer-lock policy, the online
+    # auto-compaction thresholds, and whether `Aladin.open` hydrates
+    # lazily (`lazy_open`, default on, env REPRO_PERSIST_LAZY). A host
+    # property like `execution` — it is never restored from snapshots.
     persist: PersistConfig = field(default_factory=PersistConfig)
     # Step 5 runs between every source pair by default; it can be disabled
     # for ablations.

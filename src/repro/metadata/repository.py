@@ -39,6 +39,29 @@ class MetadataRepository:
         # Adjacency: (source, accession) -> list of link indexes.
         self._adjacency: Dict[Tuple[str, str], List[int]] = defaultdict(list)
         self._link_keys: Set[Tuple] = set()
+        # A lazy open defers the whole-web link load behind this loader;
+        # the first link read or write replays it (see set_deferred_links).
+        self._deferred_links = None
+
+    # ------------------------------------------------------------------
+    # deferred link loading (lazy snapshot opens)
+    # ------------------------------------------------------------------
+    def set_deferred_links(self, loader) -> None:
+        """Install a one-shot loader that populates the link web on demand.
+
+        The loader is called with this repository exactly once, before the
+        first operation that reads or mutates links. Source registration
+        stays eager (stubs are O(columns)); only the link tables — which
+        grow with the corpus, not with the query — are deferred.
+        """
+        self._deferred_links = loader
+
+    def _ensure_links(self) -> None:
+        loader, self._deferred_links = self._deferred_links, None
+        if loader is not None:
+            # Popped before the call: the loader replays links through the
+            # public mutators below, which re-enter _ensure_links.
+            loader(self)
 
     # ------------------------------------------------------------------
     # sources
@@ -104,6 +127,7 @@ class MetadataRepository:
         """Drop a source and every link touching it (re-analysis support)."""
         if name not in self._sources:
             raise KeyError(f"source {name!r} not registered")
+        self._ensure_links()
         del self._sources[name]
         self._attribute_links = [
             l for l in self._attribute_links if name not in (l.source, l.target)
@@ -121,10 +145,12 @@ class MetadataRepository:
     # links
     # ------------------------------------------------------------------
     def add_attribute_link(self, link: AttributeLink) -> None:
+        self._ensure_links()
         self._attribute_links.append(link)
 
     def add_object_link(self, link: ObjectLink) -> bool:
         """Store one link; duplicate (same endpoints + kind) links are ignored."""
+        self._ensure_links()
         normalized = link.normalized()
         key = (
             normalized.source_a,
@@ -146,15 +172,18 @@ class MetadataRepository:
         return sum(1 for link in links if self.add_object_link(link))
 
     def attribute_links(self) -> List[AttributeLink]:
+        self._ensure_links()
         return list(self._attribute_links)
 
     def object_links(self, kind: Optional[str] = None) -> List[ObjectLink]:
+        self._ensure_links()
         if kind is None:
             return list(self._object_links)
         return [l for l in self._object_links if l.kind == kind]
 
     def links_of(self, source: str, accession: str, kind: Optional[str] = None) -> List[ObjectLink]:
         """All links touching one object."""
+        self._ensure_links()
         out = []
         for index in self._adjacency.get((source, accession), ()):
             link = self._object_links[index]
@@ -175,6 +204,7 @@ class MetadataRepository:
 
     def remove_object_link(self, link: ObjectLink) -> bool:
         """User feedback: drop one wrong link (Section 6.2)."""
+        self._ensure_links()
         normalized = link.normalized()
         key = (
             normalized.source_a,
@@ -205,12 +235,14 @@ class MetadataRepository:
     # reporting
     # ------------------------------------------------------------------
     def link_counts_by_kind(self) -> Dict[str, int]:
+        self._ensure_links()
         counts: Dict[str, int] = defaultdict(int)
         for link in self._object_links:
             counts[link.kind] += 1
         return dict(counts)
 
     def summary(self) -> str:
+        self._ensure_links()
         parts = [f"{len(self._sources)} sources", f"{len(self._object_links)} object links"]
         kinds = self.link_counts_by_kind()
         if kinds:

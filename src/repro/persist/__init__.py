@@ -10,6 +10,13 @@ online compaction (:meth:`repro.persist.snapshot.SnapshotStore.compact`)
 reclaims the churn those checkpoints leave behind, and an advisory
 sidecar lock (:class:`repro.persist.lock.SnapshotLock`) keeps two writer
 *processes* from attaching to one snapshot at a time.
+
+Opens come in two flavors: the eager :meth:`SnapshotStore.load_state`
+materializes everything up front, while
+:class:`repro.persist.lazy.LazySnapshotSession` reads only the manifest
+(:meth:`SnapshotStore.load_manifest`) and faults each source's rows in on
+first touch, pushing point lookups and single-table SELECTs down to SQL
+on the snapshot's value index until then.
 """
 
 from repro.persist.snapshot import (
@@ -17,20 +24,29 @@ from repro.persist.snapshot import (
     CompactionStats,
     PersistConfig,
     SnapshotError,
+    SnapshotManifest,
     SnapshotState,
     SnapshotStore,
+    SourceBody,
     SourceState,
+    SourceStub,
 )
+from repro.persist.lazy import LazyInvertedIndex, LazySnapshotSession
 from repro.persist.lock import SnapshotLock, SnapshotLockedError
 
 __all__ = [
     "FORMAT_VERSION",
     "CompactionStats",
+    "LazyInvertedIndex",
+    "LazySnapshotSession",
     "PersistConfig",
     "SnapshotError",
     "SnapshotLock",
     "SnapshotLockedError",
+    "SnapshotManifest",
     "SnapshotState",
     "SnapshotStore",
+    "SourceBody",
     "SourceState",
+    "SourceStub",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterable, Iterator, List
 
 from repro.discovery.model import (
     AttributeRef,
@@ -100,6 +100,18 @@ def canonical_json(payload: Any) -> str:
 def canonical_loads(text: str) -> Any:
     """Parse :func:`canonical_json` output, restoring non-finite floats."""
     return json.loads(text, object_hook=_decode_nonfinite_object)
+
+
+def decode_rows(payloads: Iterable[str]) -> Iterator[Any]:
+    """Stream-decode row payloads one at a time.
+
+    A generator rather than a list so the lazy pushdown executor can
+    filter/limit a table scan without ever holding every decoded row at
+    once — the SQLite cursor feeding ``payloads`` and this decoder
+    advance in lockstep.
+    """
+    for text in payloads:
+        yield canonical_loads(text)
 
 
 # ----------------------------------------------------------------------

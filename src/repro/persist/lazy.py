@@ -1,0 +1,699 @@
+"""Lazy snapshot sessions: manifest-only opens, fault-in hydration.
+
+The eager open path (:meth:`SnapshotStore.load_state`) deserializes every
+source's rows, links, and postings up front, so open latency and RSS grow
+linearly with corpus size. A :class:`LazySnapshotSession` instead installs
+the O(manifest) part of the snapshot — per-source stubs carrying the
+discovered structure, ColumnProfiles, samples, and row counts — and leaves
+three fault-in seams armed:
+
+* *sources*: the object web's hydrator callback loads exactly one source's
+  tables (:meth:`SnapshotStore.load_source_body`) the first time a query,
+  page visit, or crawl touches it;
+* *links*: the metadata repository's deferred-links loader replays the
+  whole link web on the first link read or write (links grow with the
+  corpus, not with a query, but one source's page visit never needs them
+  until a link walk happens);
+* *index*: :class:`LazyInvertedIndex` restores document metadata on first
+  use and postings per token, so a BM25 query reads only its query tokens'
+  posting lists from SQLite.
+
+On top of the fault-in path sits *pushdown*: for a source that is not
+hydrated yet, point lookups (``value -> row_ids``), single-table SELECT
+statements, and simple aggregations are answered by SQL against the
+snapshot's own ``cells`` value index (written at checkpoint time, format
+version 3) — a query over 2 of 50 sources never materializes the other
+48. Anything the pushdown layer cannot answer exactly declines, hydrates,
+and runs in memory; declining is always correct, just slower.
+
+Maintenance (``add_source``/``update_source``/``remove_source``/``save``)
+faults every source in first — mutation runs only against fully resident
+state, so the lazy and eager systems cannot diverge. ``release_source``
+evicts a hydrated source again (read-only long-runners bounding RSS), and
+is refused once maintenance has written, because the in-memory state may
+then be ahead of what a re-fault would reload.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.access.index import InvertedIndex, PostingField
+from repro.linking.stats import statistics_from_profile
+from repro.persist import codec
+from repro.persist.snapshot import SnapshotError, SnapshotManifest, SnapshotStore
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+# The pushdown executor must rank, project, and dedupe byte-identically
+# to the in-memory engine, so it runs the engine's own helpers instead of
+# reimplementing their ordering rules.
+from repro.relational.query import (  # noqa: PLC2701 - shared executor internals
+    ResultSet,
+    _distinct_rows,
+    _resolve_bare,
+    _stable_sort,
+)
+from repro.relational.sql import SelectPlan, plan_select
+
+
+def _probe_value(value: Any) -> Optional[Any]:
+    """The bindable probe for a cells lookup, or None to decline.
+
+    Stricter than the write-side ``_cell_value``: a float at or beyond
+    2**63 could equal a stored out-of-range int that the cells index
+    skipped, so such probes must fall back to the in-memory path. NaN is
+    kept — it binds as NULL and matches nothing, which is exactly what
+    equality against NaN means in the in-memory engine too.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value if -(2 ** 63) <= value < 2 ** 63 else None
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return value
+        return value if -(2.0 ** 63) < value < 2.0 ** 63 else None
+    if isinstance(value, str):
+        return value
+    return None
+
+
+def _simple_equality(where) -> Optional[Tuple[str, Any]]:
+    """``(column, literal)`` if ``where`` is one bare equality, else None."""
+    if not isinstance(where, Comparison) or where.op != "=":
+        return None
+    left, right = where.left, where.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left.name.lower(), right.value
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        return right.name.lower(), left.value
+    return None
+
+
+class SnapshotColumnSource:
+    """The ColumnStore backing of one snapshot-resident table.
+
+    Attached by hydration to every table of a lazily loaded source; as
+    long as the table has not mutated, ``lookup_row_ids`` answers point
+    lookups from the snapshot's ``cells`` index instead of forcing the
+    value->row_ids cache to materialize.
+    """
+
+    def __init__(self, session: "LazySnapshotSession", source: str, table: str):
+        self._session = session
+        self._source = source
+        self._table = table
+
+    def lookup_row_ids(self, column: str, value: Any) -> Optional[List[int]]:
+        return self._session.lookup_row_ids(
+            self._source, self._table, column, value
+        )
+
+
+class LazyInvertedIndex(InvertedIndex):
+    """An inverted index whose postings page in from the snapshot.
+
+    Document metadata (one row per document) loads on first use; posting
+    lists load per token, in exactly the order the eager
+    ``_load_index`` restores them, so BM25 scores and tie-breaks are
+    byte-identical. Any operation that needs the whole index — mutation,
+    source removal, export — faults the remainder in first and then
+    behaves like a plain :class:`InvertedIndex`.
+    """
+
+    def __init__(self, session: "LazySnapshotSession"):
+        super().__init__()
+        self._session = session
+        self._docs_loaded = False
+        self._all_loaded = False
+        self._loaded_tokens: set = set()
+        self._doc_pks: List[int] = []
+        self._pk_index: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _ensure_docs(self) -> None:
+        if self._docs_loaded:
+            return
+        fetched = self._session.fetch_documents()
+        for pk, source, accession, length, is_primary in fetched:
+            self._pk_index[pk] = len(self._doc_pks)
+            self._doc_pks.append(pk)
+            InvertedIndex.restore_document(
+                self, source, accession, length, bool(is_primary), []
+            )
+        self._docs_loaded = True
+
+    def _ensure_all(self) -> None:
+        if self._all_loaded:
+            return
+        self._ensure_docs()
+        by_pk = self._session.fetch_all_postings()
+        unknown = set(by_pk) - set(self._doc_pks)
+        if unknown:
+            raise SnapshotError(
+                "snapshot index changed under a lazy reader; reopen the snapshot"
+            )
+        # Rebuilt from scratch (partial per-token loads discarded): token
+        # insertion order must be the eager loader's — docs in id order,
+        # postings in rowid order — so export_documents round-trips
+        # byte-identically.
+        postings: Dict[str, List[PostingField]] = type(self._postings)(list)
+        for doc_id, pk in enumerate(self._doc_pks):
+            for token, field_name, frequency in by_pk.get(pk, ()):
+                postings[token].append(
+                    PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
+                )
+        self._postings = postings
+        self._loaded_tokens.clear()
+        self._all_loaded = True
+
+    # ------------------------------------------------------------------
+    # per-token reads (the BM25 query path)
+    # ------------------------------------------------------------------
+    def postings(self, token: str) -> List[PostingField]:
+        if not self._all_loaded and token not in self._loaded_tokens:
+            self._ensure_docs()
+            loaded = []
+            for pk, field_name, frequency in self._session.fetch_token_postings(token):
+                doc_id = self._pk_index.get(pk)
+                if doc_id is None:
+                    raise SnapshotError(
+                        "snapshot index changed under a lazy reader; "
+                        "reopen the snapshot"
+                    )
+                loaded.append(
+                    PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
+                )
+            if loaded:
+                self._postings[token] = loaded
+            self._loaded_tokens.add(token)
+        return super().postings(token)
+
+    def document_frequency(self, token: str) -> int:
+        self.postings(token)  # fault the token's list in
+        return super().document_frequency(token)
+
+    # ------------------------------------------------------------------
+    # document-metadata reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        self._ensure_docs()
+        return super().__len__()
+
+    @property
+    def average_length(self) -> float:
+        self._ensure_docs()
+        return InvertedIndex.average_length.fget(self)
+
+    def document(self, doc_id: int) -> Tuple[str, str]:
+        self._ensure_docs()
+        return super().document(doc_id)
+
+    def doc_length(self, doc_id: int) -> int:
+        self._ensure_docs()
+        return super().doc_length(doc_id)
+
+    def document_count(self) -> int:
+        self._ensure_docs()
+        return super().document_count()
+
+    def source_of(self, doc_id: int) -> str:
+        self._ensure_docs()
+        return super().source_of(doc_id)
+
+    # ------------------------------------------------------------------
+    # whole-index operations fault the remainder in first
+    # ------------------------------------------------------------------
+    def add_tokenized(self, identity, tokenized) -> int:
+        self._ensure_all()
+        return super().add_tokenized(identity, tokenized)
+
+    def restore_document(self, source, accession, length, is_primary, postings) -> int:
+        self._ensure_all()
+        return super().restore_document(
+            source, accession, length, is_primary, postings
+        )
+
+    def remove_source(self, source: str) -> int:
+        self._ensure_all()
+        return super().remove_source(source)
+
+    def vocabulary_size(self) -> int:
+        self._ensure_all()
+        return super().vocabulary_size()
+
+    def export_documents(self, source: Optional[str] = None):
+        self._ensure_all()
+        return super().export_documents(source)
+
+
+class LazySnapshotSession:
+    """One lazily opened snapshot: stubs installed, bodies on first touch."""
+
+    def __init__(self, store: SnapshotStore, manifest: SnapshotManifest):
+        self._store = store
+        self._manifest = manifest
+        self._aladin = None
+        self._stubs = {stub.name: stub for stub in manifest.sources}
+        self._hydrated: Dict[str, int] = {}  # name -> resident payload bytes
+        self._pushdown_counts: Dict[str, int] = {}
+        self._cells_cache: Dict[str, bool] = {}
+        self._conn: Optional[sqlite3.Connection] = None
+        self._maintained = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def install(self, aladin) -> None:
+        """Register every source as a stub and arm the fault-in seams.
+
+        Stub registration mirrors the eager open exactly — structure,
+        statistics rebuilt arithmetically from the persisted profiles,
+        samples, row counts — except that no database is attached yet.
+        """
+        self._aladin = aladin
+        for stub in self._manifest.sources:
+            statistics = {
+                attr: statistics_from_profile(attr, profile)
+                for attr, profile in stub.profiles.items()
+            }
+            aladin.repository.register_source(
+                stub.structure,
+                statistics,
+                stub.samples,
+                stub.row_counts,
+                profiles=stub.profiles,
+            )
+        aladin.repository.set_deferred_links(self._load_links)
+        aladin.web.set_hydrator(self.hydrate)
+        aladin.web.set_sql_pushdown(self.try_select)
+        if self._manifest.index_built:
+            aladin._index = LazyInvertedIndex(self)  # noqa: SLF001 - session owns wiring
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = self._store._connect(read_only=True)  # noqa: SLF001
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # hydration
+    # ------------------------------------------------------------------
+    def hydrate(self, name: Optional[str] = None) -> None:
+        """Fault one source (or, with ``None``, every remaining one) in.
+
+        Unknown names are ignored — the caller's own lookup then fails
+        exactly as it would on an eager system.
+        """
+        if name is None:
+            for stub_name in sorted(self._stubs):
+                self._hydrate_one(stub_name)
+            self._materialize_rest()
+        elif name in self._stubs:
+            self._hydrate_one(name)
+
+    def _materialize_rest(self) -> None:
+        """Fault in the non-source lazies too: links and index postings.
+
+        A full fault-in precedes maintenance writes, and a write
+        transaction on the same snapshot file must not find this session
+        still needing to read from it mid-write — so nothing stays
+        deferred once everything else is resident.
+        """
+        aladin = self._aladin
+        if aladin is None:
+            return
+        aladin.repository.attribute_links()  # triggers the deferred load
+        index = aladin._index  # noqa: SLF001 - session owns wiring
+        if isinstance(index, LazyInvertedIndex):
+            index._ensure_all()  # noqa: SLF001
+
+    def _hydrate_one(self, name: str) -> None:
+        if name in self._hydrated or self._aladin is None:
+            return
+        body = self._store.load_source_body(name, materialize=False)
+        stub = self._stubs[name]
+        database = body.database
+        for attr, profile in stub.profiles.items():
+            database.table(attr.table).columns.restore_profile(attr.column, profile)
+        if self._cells_available(name):
+            for table in database.tables():
+                table.columns.attach_backing(
+                    SnapshotColumnSource(self, name, table.name)
+                )
+        statistics = {
+            attr: statistics_from_profile(attr, profile)
+            for attr, profile in stub.profiles.items()
+        }
+        aladin = self._aladin
+        self._hydrated[name] = body.payload_bytes
+        try:
+            aladin._engine.restore_source(  # noqa: SLF001 - session owns wiring
+                database, stub.structure, statistics
+            )
+            aladin._databases[name] = database
+            aladin.web.attach_database(name, database)
+            if stub.format_name is not None:
+                aladin._raw_inputs[name] = (
+                    stub.format_name,
+                    body.raw_text,
+                    stub.import_options,
+                )
+        except BaseException:
+            # Unwind so a failed fault-in is retryable, not half-attached.
+            self._hydrated.pop(name, None)
+            self._evict_from_system(aladin, name)
+            raise
+
+    @staticmethod
+    def _evict_from_system(aladin, name: str) -> None:
+        try:
+            aladin.web.detach_database(name)
+        except Exception:  # noqa: BLE001 - best-effort unwind
+            pass
+        aladin._databases.pop(name, None)
+        aladin._raw_inputs.pop(name, None)
+        try:
+            if name in aladin._engine.source_names():
+                aladin._engine.deregister_source(name)
+        except Exception:  # noqa: BLE001 - best-effort unwind
+            pass
+
+    def release(self, name: str) -> bool:
+        """Evict one hydrated source's rows; re-faulted on next touch.
+
+        Refused once maintenance has written through this system: the
+        in-memory state may then be ahead of the snapshot, and a re-fault
+        could resurrect stale rows.
+        """
+        if name not in self._hydrated:
+            return False
+        if self._maintained:
+            raise SnapshotError(
+                "cannot release a source after maintenance writes; "
+                "reopen the snapshot for a fresh lazy session"
+            )
+        self._evict_from_system(self._aladin, name)
+        del self._hydrated[name]
+        return True
+
+    def forget(self, name: str) -> None:
+        """Drop a removed source's stub so it can never re-fault."""
+        self._stubs.pop(name, None)
+        self._hydrated.pop(name, None)
+        self._pushdown_counts.pop(name, None)
+        self._cells_cache.pop(name, None)
+
+    def note_maintenance(self) -> None:
+        self._maintained = True
+
+    # ------------------------------------------------------------------
+    # deferred links
+    # ------------------------------------------------------------------
+    def _load_links(self, repository) -> None:
+        conn = self._connection()
+        try:
+            attribute_links = [
+                codec.attribute_link_from_dict(codec.canonical_loads(payload))
+                for (payload,) in conn.execute(
+                    "SELECT payload FROM attribute_links ORDER BY rowid"
+                )
+            ]
+            object_links = [
+                codec.object_link_from_dict(codec.canonical_loads(payload))
+                for (payload,) in conn.execute(
+                    "SELECT payload FROM object_links ORDER BY rowid"
+                )
+            ]
+        except (sqlite3.DatabaseError, json.JSONDecodeError, KeyError,
+                ValueError, TypeError) as exc:
+            raise SnapshotError(
+                f"snapshot {self._store.path!r} is corrupted: {exc}"
+            ) from exc
+        for link in attribute_links:
+            repository.add_attribute_link(link)
+        repository.add_object_links(object_links)
+
+    # ------------------------------------------------------------------
+    # pushdown: point lookups
+    # ------------------------------------------------------------------
+    def _cells_available(self, source: str) -> bool:
+        """Does this file carry a cells slice for ``source``?
+
+        Per source, not per file: a v1/v2 snapshot upgraded by partial
+        checkpoints has cells only for the sources written since.
+        """
+        if not self._manifest.has_cells:
+            return False
+        cached = self._cells_cache.get(source)
+        if cached is None:
+            try:
+                cached = (
+                    self._connection()
+                    .execute(
+                        "SELECT 1 FROM cells WHERE source = ? LIMIT 1", (source,)
+                    )
+                    .fetchone()
+                    is not None
+                )
+            except sqlite3.Error:
+                cached = False
+            self._cells_cache[source] = cached
+        return cached
+
+    def lookup_row_ids(
+        self, source: str, table: str, column: str, value: Any
+    ) -> Optional[List[int]]:
+        """Ascending row ids where ``column = value``, or None to decline."""
+        probe = _probe_value(value)
+        if probe is None or not self._cells_available(source):
+            return None
+        try:
+            rows = self._connection().execute(
+                "SELECT row_id FROM cells WHERE source = ? AND table_name = ? "
+                "AND column_name = ? AND value = ? ORDER BY row_id",
+                (source, table, column, probe),
+            ).fetchall()
+        except (sqlite3.Error, OverflowError):
+            return None
+        self._count_pushdown(source)
+        return [row_id for (row_id,) in rows]
+
+    def aggregate(
+        self, source: str, table: str, column: str, op: str
+    ) -> Optional[Any]:
+        """COUNT / COUNT DISTINCT / MIN / MAX without hydrating, or None.
+
+        Answered over the cells index, which carries every non-null cell
+        SQLite can represent exactly — the same population the persisted
+        ColumnProfiles describe for clean data. Declines (returns None)
+        for hydrated sources, where memory is authoritative and cheaper.
+        """
+        expressions = {
+            "count": "COUNT(value)",
+            "distinct": "COUNT(DISTINCT value)",
+            "min": "MIN(value)",
+            "max": "MAX(value)",
+        }
+        if op not in expressions:
+            raise ValueError(
+                f"unknown aggregate {op!r}; expected one of "
+                f"{sorted(expressions)}"
+            )
+        if source in self._hydrated or source not in self._stubs:
+            return None
+        if not self._cells_available(source):
+            return None
+        try:
+            row = self._connection().execute(
+                f"SELECT {expressions[op]} FROM cells "
+                "WHERE source = ? AND table_name = ? AND column_name = ?",
+                (source, table, column),
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        self._count_pushdown(source)
+        return row[0]
+
+    def _count_pushdown(self, source: str) -> None:
+        self._pushdown_counts[source] = self._pushdown_counts.get(source, 0) + 1
+
+    # ------------------------------------------------------------------
+    # pushdown: single-table SELECT
+    # ------------------------------------------------------------------
+    def try_select(self, source: str, statement: str) -> Optional[ResultSet]:
+        """Answer a SELECT from the snapshot, or None to decline.
+
+        Parse errors propagate as :class:`~repro.relational.sql.SqlError`
+        — the same exception the in-memory path raises — so declining
+        never changes a statement's error shape, only where rows come
+        from.
+        """
+        if source not in self._stubs or source in self._hydrated:
+            return None
+        plan = plan_select(statement)
+        return self._execute_plan(source, plan)
+
+    def _execute_plan(self, source: str, plan: SelectPlan) -> Optional[ResultSet]:
+        if plan.joins:
+            return None  # joins need the in-memory hash-join machinery
+        conn = self._connection()
+        try:
+            schema_row = conn.execute(
+                "SELECT schema FROM table_schemas "
+                "WHERE source = ? AND table_name = ?",
+                (source, plan.table.lower()),
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        if schema_row is None:
+            # Unknown table: decline, so hydration raises the engine's
+            # own SchemaError with its exact message.
+            return None
+        try:
+            schema = codec.schema_from_dict(codec.canonical_loads(schema_row[0]))
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError):
+            return None
+        column_names = schema.column_names
+
+        # Scan the stored rows, streaming the decode; one bare equality
+        # in WHERE additionally narrows the scan through the cells index
+        # before a single payload is decoded. The predicate is still
+        # re-evaluated in Python on what comes back, so the index is an
+        # I/O filter, never the semantics.
+        sql = "SELECT data FROM rows WHERE source = ? AND table_name = ?"
+        params: List[Any] = [source, plan.table.lower()]
+        equality = _simple_equality(plan.where)
+        if equality is not None:
+            column, value = equality
+            probe = _probe_value(value)
+            if (
+                "." not in column
+                and column in column_names
+                and probe is not None
+                and self._cells_available(source)
+            ):
+                sql += (
+                    " AND row_id IN (SELECT row_id FROM cells "
+                    "WHERE source = ? AND table_name = ? "
+                    "AND column_name = ? AND value = ?)"
+                )
+                params += [source, plan.table.lower(), column, probe]
+        sql += " ORDER BY row_id"
+        try:
+            decoded = codec.decode_rows(
+                data for (data,) in conn.execute(sql, params)
+            )
+            rows = [dict(zip(column_names, tup)) for tup in decoded]
+        except (sqlite3.Error, OverflowError, json.JSONDecodeError):
+            return None
+
+        # From here on this is Query.execute for the single-table case,
+        # sharing its helpers so ordering/dedup rules cannot drift.
+        if plan.where is not None:
+            rows = [row for row in rows if plan.where.evaluate(row)]
+        for column, descending in reversed(plan.order_by):
+            rows = _stable_sort(rows, column, descending)
+        if plan.columns != ["*"]:
+            columns: List[str] = []
+            for name in plan.columns:
+                if name == "*":
+                    columns.extend(column_names)
+                else:
+                    columns.append(name)
+        else:
+            columns = list(column_names)
+        projected = []
+        for row in rows:
+            projected.append(
+                {
+                    name: row[name] if name in row else _resolve_bare(row, name)
+                    for name in columns
+                }
+            )
+        if plan.distinct:
+            projected = _distinct_rows(projected, columns)
+        if plan.limit is not None:
+            projected = projected[: plan.limit]
+        self._count_pushdown(source)
+        return ResultSet(columns=columns, rows=projected)
+
+    # ------------------------------------------------------------------
+    # lazy index reads
+    # ------------------------------------------------------------------
+    def fetch_documents(self) -> List[Tuple]:
+        try:
+            return self._connection().execute(
+                "SELECT id, source, accession, length, is_primary "
+                "FROM index_documents ORDER BY id"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise SnapshotError(
+                f"snapshot {self._store.path!r} is corrupted: {exc}"
+            ) from exc
+
+    def fetch_token_postings(self, token: str) -> List[Tuple]:
+        """One token's postings in (document, insertion) order."""
+        try:
+            return self._connection().execute(
+                "SELECT doc, field, frequency FROM index_postings "
+                "WHERE token = ? ORDER BY doc, rowid",
+                (token,),
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise SnapshotError(
+                f"snapshot {self._store.path!r} is corrupted: {exc}"
+            ) from exc
+
+    def fetch_all_postings(self) -> Dict[int, List[Tuple[str, str, int]]]:
+        by_pk: Dict[int, List[Tuple[str, str, int]]] = {}
+        try:
+            for doc, token, field_name, frequency in self._connection().execute(
+                "SELECT doc, token, field, frequency FROM index_postings "
+                "ORDER BY rowid"
+            ):
+                by_pk.setdefault(doc, []).append((token, field_name, frequency))
+        except sqlite3.Error as exc:
+            raise SnapshotError(
+                f"snapshot {self._store.path!r} is corrupted: {exc}"
+            ) from exc
+        return by_pk
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Hydration and pushdown accounting for ``Aladin.hydration_stats``.
+
+        "Hydrated" means resident in memory: stubs that were faulted in,
+        plus any source added after the open — those never came from the
+        snapshot, so their ``resident_bytes`` (snapshot payload faulted
+        in) is 0.
+        """
+        resident = set(self._hydrated)
+        if self._aladin is not None:
+            resident |= set(self._aladin._databases)
+        per_source = {
+            name: {
+                "hydrated": name in resident,
+                "resident_bytes": self._hydrated.get(name, 0),
+                "pushdown_hits": self._pushdown_counts.get(name, 0),
+            }
+            for name in sorted(set(self._stubs) | resident)
+        }
+        return {
+            "lazy": True,
+            "sources": len(per_source),
+            "hydrated": sorted(resident),
+            "resident_bytes": sum(self._hydrated.values()),
+            "pushdown_hits": sum(self._pushdown_counts.values()),
+            "per_source": per_source,
+        }

@@ -78,6 +78,7 @@ import os
 import sqlite3
 import threading
 import time
+import urllib.parse
 import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -89,16 +90,22 @@ from repro.metadata.repository import MetadataRepository
 from repro.persist import codec
 from repro.relational.columns import ColumnProfile
 from repro.relational.database import Database
+from repro.relational.types import is_null
 
 # Version 2: the persisted config gained `incremental_shared_scorer`.
 # Pre-PR-4 readers rebuild AladinConfig with **payload and would die on
 # the unknown key with a raw TypeError; the bump turns that into their
-# clean "this build reads version 1" SnapshotError instead. This build
-# still *reads* v1 snapshots (the layout is unchanged and unknown/missing
-# config keys degrade to defaults), and ignores unknown config keys going
-# forward, so the next new knob will not need a bump.
-FORMAT_VERSION = 2
-_READ_VERSIONS = (1, 2)
+# clean "this build reads version 1" SnapshotError instead.
+#
+# Version 3: snapshots additionally carry the `cells` value index (the
+# SQL-pushdown covering index lazy readers answer point lookups from).
+# Older builds must refuse v3 files: their checkpoints would rewrite a
+# source's rows without maintaining its cells slice, leaving the index
+# silently stale for any newer build that reads the file afterwards.
+# This build still reads v1/v2 snapshots — lazy opens work, pushdown
+# degrades to hydration until the first write upgrades the file.
+FORMAT_VERSION = 3
+_READ_VERSIONS = (1, 2, 3)
 _MAGIC = "repro-aladin-snapshot"
 
 
@@ -195,6 +202,7 @@ _TABLES = (
     "object_links",
     "index_documents",
     "index_postings",
+    "cells",
 )
 
 _SCHEMA = """
@@ -263,11 +271,66 @@ CREATE TABLE IF NOT EXISTS index_postings (
 );
 CREATE INDEX IF NOT EXISTS idx_index_postings_source ON index_postings (source);
 CREATE INDEX IF NOT EXISTS idx_index_postings_doc ON index_postings (doc);
+CREATE INDEX IF NOT EXISTS idx_index_postings_token ON index_postings (token);
+CREATE TABLE IF NOT EXISTS cells (
+    source TEXT NOT NULL,
+    table_name TEXT NOT NULL,
+    column_name TEXT NOT NULL,
+    row_id INTEGER NOT NULL,
+    value NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cells_lookup
+    ON cells (source, table_name, column_name, value, row_id);
 """
+
+
+def _ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create any missing tables/indexes inside the current transaction.
+
+    Statement-by-statement rather than ``executescript`` (which issues an
+    implicit COMMIT first and would split a checkpoint's transaction), and
+    run by every write path so a v1/v2 file gains the v3 ``cells`` table
+    the first time this build writes to it.
+    """
+    for statement in _SCHEMA.split(";"):
+        statement = statement.strip()
+        if statement:
+            conn.execute(statement)
+
+
+# ``cells`` carries one row per non-null scalar cell of every stored
+# table — the value column is typeless (BLOB affinity, no coercion) so
+# TEXT/INTEGER/REAL probes compare exactly as Python equality does on
+# the in-memory row tuples. Cells a SQLite bind cannot represent
+# losslessly are skipped; lookups for such probe values must therefore
+# fall back to the in-memory path (see ``_cell_value``).
+def _cell_value(value: Any) -> Optional[Any]:
+    """The bindable cells representation of one cell, or None to skip.
+
+    NULL/NaN cells are excluded by the caller (``is_null`` — matching the
+    row_ids index, which is non-null only). Out-of-64-bit ints overflow
+    the SQLite bind; anything non-scalar has no exact SQL equality.
+    ±inf is representable (SQLite REAL) and kept.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value if -(2 ** 63) <= value < 2 ** 63 else None
+    if isinstance(value, (float, str)):
+        return value
+    return None
 
 
 class SnapshotError(RuntimeError):
     """A snapshot file is missing, corrupted, or from another format version."""
+
+
+def _env_lazy_open() -> bool:
+    """Default for ``PersistConfig.lazy_open``: REPRO_PERSIST_LAZY, else on."""
+    raw = os.environ.get("REPRO_PERSIST_LAZY", "").strip().lower()
+    if raw in ("0", "false", "no", "off", "eager"):
+        return False
+    return True
 
 
 @dataclass
@@ -297,6 +360,11 @@ class PersistConfig:
     auto_compact: bool = True
     compact_after_bytes: int = 4 * 1024 * 1024
     compact_churn_ratio: float = 0.5
+    # ``Aladin.open`` reads only the manifest and hydrates sources on
+    # first touch (REPRO_PERSIST_LAZY=0 / CLI --eager restore the old
+    # load-everything open). Host policy like the lock knobs above: how
+    # this process pages data in, never restored from snapshots.
+    lazy_open: bool = field(default_factory=_env_lazy_open)
 
 
 @dataclass
@@ -347,6 +415,48 @@ class SnapshotState:
     object_links: List[ObjectLink]
     index: Optional[InvertedIndex]
     config: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class SourceStub:
+    """One source's manifest slice: everything *but* its row data.
+
+    What a lazy open registers per source — the discovered structure, the
+    persisted ColumnProfiles (the repository serves statistics from these
+    without touching rows), samples, and row counts are all
+    O(columns)-sized. The raw text and the row payloads stay on disk
+    until :meth:`SnapshotStore.load_source_body` faults them in.
+    """
+
+    name: str
+    content_hash: str
+    structure: SourceStructure
+    profiles: Dict[AttributeRef, ColumnProfile]
+    samples: Dict[str, List[dict]]
+    row_counts: Dict[str, int]
+    format_name: Optional[str] = None
+    import_options: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SnapshotManifest:
+    """The O(manifest) part of a snapshot: stubs, flags, config — no rows."""
+
+    version: int
+    index_built: bool
+    has_cells: bool  # the v3 pushdown value index exists in this file
+    sources: List[SourceStub]
+    config: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class SourceBody:
+    """One hydrated source body: the warm database plus its raw input."""
+
+    name: str
+    database: Database
+    payload_bytes: int  # decoded row-payload volume (the RSS proxy)
+    raw_text: Optional[str] = None
 
 
 # One write mutex per snapshot file (realpath), shared by every store of
@@ -463,7 +573,22 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # connection plumbing
     # ------------------------------------------------------------------
-    def _connect(self) -> sqlite3.Connection:
+    def _connect(self, read_only: bool = False) -> sqlite3.Connection:
+        if read_only:
+            # ``mode=ro`` can never take a write lock or create stray
+            # -wal/-shm sidecars — what lazy readers under the read-only
+            # lock policy need while a writer compacts. SQLite refuses a
+            # read-only open of a WAL database whose -wal needs recovery
+            # (or whose -shm it may not create); fall through to the
+            # normal read-write connection in that case — reads still
+            # work, the pragmas below stay safe.
+            uri = f"file:{urllib.parse.quote(os.path.abspath(self.path))}?mode=ro"
+            try:
+                conn = sqlite3.connect(uri, uri=True)
+                conn.execute("PRAGMA busy_timeout = 5000")
+                return conn
+            except sqlite3.DatabaseError:
+                pass
         try:
             conn = sqlite3.connect(self.path)
             # Concurrent-writer safety: WAL keeps readers unblocked while
@@ -531,7 +656,7 @@ class SnapshotStore:
             with conn:
                 self._ensure_overwritable(conn)
                 try:
-                    conn.executescript(_SCHEMA)
+                    _ensure_schema(conn)
                 except sqlite3.DatabaseError as exc:
                     raise SnapshotError(
                         f"cannot write snapshot {self.path!r}: {exc}"
@@ -601,7 +726,8 @@ class SnapshotStore:
                 "VALUES (?, ?, ?)",
                 (name, table_name, schema_json),
             )
-            encoded = _encode_rows(list(table.raw_rows()), executor)
+            raw_rows = list(table.raw_rows())
+            encoded = _encode_rows(raw_rows, executor)
             payloads = []
             for row_id, data in enumerate(encoded):
                 hasher.update(data.encode("utf-8"))
@@ -610,6 +736,28 @@ class SnapshotStore:
                 "INSERT INTO rows (source, table_name, row_id, data) "
                 "VALUES (?, ?, ?, ?)",
                 payloads,
+            )
+            # The pushdown value index: one cells row per non-null scalar
+            # cell, mirroring the ColumnStore's row_ids index so a lazy
+            # reader's point lookups are answered by SQL instead of
+            # hydration. Unrepresentable values are skipped — the reader
+            # rejects such probes and falls back (see ``_cell_value``).
+            column_names = table.schema.column_names
+            cells = []
+            for row_id, tup in enumerate(raw_rows):
+                for position, value in enumerate(tup):
+                    if is_null(value):
+                        continue
+                    stored = _cell_value(value)
+                    if stored is None:
+                        continue
+                    cells.append(
+                        (name, table_name, column_names[position], row_id, stored)
+                    )
+            conn.executemany(
+                "INSERT INTO cells (source, table_name, column_name, row_id, value) "
+                "VALUES (?, ?, ?, ?, ?)",
+                cells,
             )
         conn.executemany(
             "INSERT INTO profiles (source, table_name, column_name, profile) "
@@ -725,6 +873,7 @@ class SnapshotStore:
         try:
             with conn:
                 self._read_manifest(conn)
+                _ensure_schema(conn)  # upgrades a v1/v2 file: adds `cells`
                 self._write_config(conn, aladin)
                 self._delete_source_slice(conn, name)
                 self._write_source(conn, aladin, name, executor=executor)
@@ -751,6 +900,7 @@ class SnapshotStore:
         try:
             with conn:
                 self._read_manifest(conn)
+                _ensure_schema(conn)  # a v1/v2 file has no `cells` to delete from
                 self._delete_source_slice(conn, name)
         finally:
             conn.close()
@@ -808,6 +958,7 @@ class SnapshotStore:
         try:
             with conn:
                 self._read_manifest(conn)
+                _ensure_schema(conn)  # a v1/v2 file lacks the token index
                 try:
                     self._write_index_full(conn, index)
                 except sqlite3.DatabaseError as exc:
@@ -821,6 +972,7 @@ class SnapshotStore:
         conn.execute("DELETE FROM sources WHERE name = ?", (name,))
         conn.execute("DELETE FROM table_schemas WHERE source = ?", (name,))
         conn.execute("DELETE FROM rows WHERE source = ?", (name,))
+        conn.execute("DELETE FROM cells WHERE source = ?", (name,))
         conn.execute("DELETE FROM profiles WHERE source = ?", (name,))
         conn.execute(
             "DELETE FROM attribute_links WHERE source = ? OR target = ?",
@@ -1105,11 +1257,24 @@ class SnapshotStore:
             config=json.loads(config_json) if config_json else None,
         )
 
-    def _load_source(self, conn: sqlite3.Connection, row: Tuple) -> SourceState:
-        (name, content_hash, format_name, raw_text, import_options,
-         structure_json, samples_json, row_counts_json) = row
+    def _load_tables(
+        self,
+        conn: sqlite3.Connection,
+        name: str,
+        content_hash: str,
+        materialize: bool = True,
+    ) -> Tuple[Database, int]:
+        """Rebuild one source's tables from its stored slice, hash-verified.
+
+        Returns the warm database plus the decoded row-payload volume in
+        bytes (the RSS proxy lazy hydration accounts per source). With
+        ``materialize=False`` the ColumnStore access paths are left
+        unbuilt — the lazy path defers them to first access so a
+        snapshot-backed lookup can be answered by pushdown instead.
+        """
         hasher = hashlib.sha256()
         database = Database(name)
+        payload_bytes = 0
         for table_name, schema_json in conn.execute(
             "SELECT table_name, schema FROM table_schemas "
             "WHERE source = ? ORDER BY table_name",
@@ -1126,13 +1291,20 @@ class SnapshotStore:
                 (name, table_name),
             ):
                 hasher.update(data.encode("utf-8"))
+                payload_bytes += len(data)
                 tuples.append(codec.canonical_loads(data))
-            table.bulk_load(tuples)
+            table.bulk_load(tuples, materialize=materialize)
         if hasher.hexdigest() != content_hash:
             raise SnapshotError(
                 f"snapshot {self.path!r}: content hash mismatch for source "
                 f"{name!r} — the stored rows do not match the manifest"
             )
+        return database, payload_bytes
+
+    def _load_source(self, conn: sqlite3.Connection, row: Tuple) -> SourceState:
+        (name, content_hash, format_name, raw_text, import_options,
+         structure_json, samples_json, row_counts_json) = row
+        database, _ = self._load_tables(conn, name, content_hash)
         profiles: Dict[AttributeRef, ColumnProfile] = {}
         for table_name, column_name, profile_json in conn.execute(
             "SELECT table_name, column_name, profile FROM profiles "
@@ -1152,6 +1324,126 @@ class SnapshotStore:
             format_name=format_name,
             raw_text=raw_text,
             import_options=json.loads(import_options) if import_options else {},
+        )
+
+    # ------------------------------------------------------------------
+    # lazy load: manifest now, bodies on first touch
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> SnapshotManifest:
+        """Read the O(manifest) slice: stubs, flags, config — no row data.
+
+        This is the lazy open's whole I/O bill: one row per source plus
+        the per-column profiles. Row payloads, raw inputs, links, and
+        postings stay on disk until :meth:`load_source_body` (or the
+        lazy session's link/index loaders) fault them in.
+        """
+        if not os.path.exists(self.path):
+            raise SnapshotError(f"snapshot {self.path!r} does not exist")
+        conn = self._connect(read_only=True)
+        try:
+            manifest = self._read_manifest(conn)
+            try:
+                # A v1/v2 file has no cells table; pushdown degrades to
+                # hydration for its sources until the first write upgrades
+                # the schema (and per-source availability is re-probed).
+                has_cells = (
+                    conn.execute(
+                        "SELECT 1 FROM sqlite_master "
+                        "WHERE type = 'table' AND name = 'cells'"
+                    ).fetchone()
+                    is not None
+                )
+                profiles_by_source: Dict[str, Dict[AttributeRef, ColumnProfile]] = {}
+                for source, table_name, column_name, profile_json in conn.execute(
+                    "SELECT source, table_name, column_name, profile "
+                    "FROM profiles ORDER BY source, table_name, column_name"
+                ):
+                    profiles_by_source.setdefault(source, {})[
+                        AttributeRef(table_name, column_name)
+                    ] = codec.profile_from_dict(codec.canonical_loads(profile_json))
+                stubs = []
+                for (name, content_hash, format_name, import_options,
+                     structure_json, samples_json, row_counts_json) in conn.execute(
+                    "SELECT name, content_hash, format_name, import_options, "
+                    "structure, samples, row_counts FROM sources ORDER BY name"
+                ):
+                    stubs.append(SourceStub(
+                        name=name,
+                        content_hash=content_hash,
+                        structure=codec.structure_from_dict(
+                            codec.canonical_loads(structure_json)
+                        ),
+                        profiles=profiles_by_source.get(name, {}),
+                        samples=codec.canonical_loads(samples_json),
+                        row_counts=json.loads(row_counts_json),
+                        format_name=format_name,
+                        import_options=(
+                            json.loads(import_options) if import_options else {}
+                        ),
+                    ))
+            except (sqlite3.DatabaseError, json.JSONDecodeError, KeyError,
+                    ValueError, TypeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {self.path!r} is corrupted: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        config_json = manifest.get("config")
+        return SnapshotManifest(
+            version=int(manifest.get("format_version", -1)),
+            index_built=manifest.get("index_built") == "1",
+            has_cells=has_cells,
+            sources=stubs,
+            config=json.loads(config_json) if config_json else None,
+        )
+
+    def load_source_body(self, name: str, materialize: bool = True) -> SourceBody:
+        """Fault in exactly one source's row data (the lazy hydration read).
+
+        The content hash is re-fetched rather than trusted from the stub:
+        a writer may have checkpointed the source since the manifest was
+        read, and the single read transaction below guarantees the hash
+        and the rows it verifies come from one consistent WAL snapshot —
+        old or new, never torn.
+        """
+        if not os.path.exists(self.path):
+            raise SnapshotError(f"snapshot {self.path!r} does not exist")
+        conn = self._connect(read_only=True)
+        try:
+            try:
+                conn.execute("BEGIN")
+            except sqlite3.DatabaseError:
+                pass  # already in a transaction: still one snapshot
+            try:
+                self._read_manifest(conn)
+                row = conn.execute(
+                    "SELECT content_hash, raw_text FROM sources WHERE name = ?",
+                    (name,),
+                ).fetchone()
+                if row is None:
+                    raise SnapshotError(
+                        f"snapshot {self.path!r} has no source {name!r}"
+                    )
+                content_hash, raw_text = row
+                database, payload_bytes = self._load_tables(
+                    conn, name, content_hash, materialize=materialize
+                )
+            except (sqlite3.DatabaseError, json.JSONDecodeError, KeyError,
+                    ValueError, TypeError) as exc:
+                raise SnapshotError(
+                    f"snapshot {self.path!r} is corrupted: {exc}"
+                ) from exc
+        finally:
+            try:
+                conn.rollback()
+            except sqlite3.Error:
+                pass
+            conn.close()
+        return SourceBody(
+            name=name,
+            database=database,
+            payload_bytes=payload_bytes,
+            raw_text=raw_text,
         )
 
     def _load_index(self, conn: sqlite3.Connection) -> InvertedIndex:

@@ -114,18 +114,70 @@ class ColumnStore:
         self._row_ids: Dict[str, Dict[Any, List[int]]] = {}
         self._accumulators: Dict[str, _ProfileAccumulator] = {}
         self._profiles: Dict[str, ColumnProfile] = {}
+        self._backing = None  # ColumnSource while snapshot-backed
         self.hits = 0
         self.misses = 0
+        self.pushdown_hits = 0
 
     # ------------------------------------------------------------------
     # cache accounting
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "pushdown_hits": self.pushdown_hits,
+        }
 
     def reset_cache_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.pushdown_hits = 0
+
+    # ------------------------------------------------------------------
+    # snapshot backing (the ColumnSource seam)
+    # ------------------------------------------------------------------
+    def attach_backing(self, backing: Any) -> None:
+        """Back this store by a lazy column source (snapshot pushdown).
+
+        ``backing`` answers ``lookup_row_ids(column, value)`` from the
+        snapshot's own SQL indexes (or returns ``None`` to decline, e.g.
+        for a probe value SQLite cannot bind exactly). While attached and
+        unmutated, the rows here are a byte-identical replica of the
+        snapshot slice, so cache builds are rehydration work — counted as
+        neither hit nor miss, like :meth:`materialize_all`. The first
+        mutation detaches the backing: the replica has diverged and every
+        answer must come from memory again.
+        """
+        self._backing = backing
+
+    def _note_build(self) -> None:
+        """Account one cache materialization on the lazy-access path.
+
+        With a pristine snapshot backing attached, builds are rehydration
+        work, not cache misses — warm-started stores keep ``misses == 0``.
+        """
+        if self._backing is None:
+            self.misses += 1
+
+    def lookup_row_ids(self, column: str, value: Any) -> List[int]:
+        """``value -> row ids`` through the cheapest available path.
+
+        A materialized ``row_ids`` index answers directly; otherwise an
+        attached backing is asked to push the lookup down to the snapshot
+        (no cache is built); only then is the full index materialized.
+        """
+        column = column.lower()
+        cached = self._row_ids.get(column)
+        if cached is not None:
+            self.hits += 1
+            return cached.get(value, [])
+        if self._backing is not None:
+            pushed = self._backing.lookup_row_ids(column, value)
+            if pushed is not None:
+                self.pushdown_hits += 1
+                return pushed
+        return self.row_ids(column).get(value, [])
 
     # ------------------------------------------------------------------
     # access paths
@@ -137,7 +189,7 @@ class ColumnStore:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
+        self._note_build()
         idx = self._table.schema.column_index(column)
         cached = [tup[idx] for tup in self._table.raw_rows()]
         self._values[column] = cached
@@ -150,7 +202,7 @@ class ColumnStore:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
+        self._note_build()
         cached = [v for v in self.values(column) if not is_null(v)]
         self._non_null[column] = cached
         return cached
@@ -162,7 +214,7 @@ class ColumnStore:
         if frozen is not None:
             self.hits += 1
             return frozen
-        self.misses += 1
+        self._note_build()
         frozen = frozenset(self._mutable_set(column))
         self._frozen[column] = frozen
         return frozen
@@ -174,7 +226,7 @@ class ColumnStore:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
+        self._note_build()
         seen: Set[Any] = set()
         out: List[Any] = []
         for value in self.non_null_values(column):
@@ -195,7 +247,7 @@ class ColumnStore:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
+        self._note_build()
         index: Dict[Any, List[int]] = {}
         idx = self._table.schema.column_index(column)
         for row_id, tup in enumerate(self._table.raw_rows()):
@@ -212,7 +264,7 @@ class ColumnStore:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
+        self._note_build()
         non_null = self.non_null_values(column)
         accumulator = self._accumulators.get(column)
         if accumulator is None:
@@ -351,6 +403,10 @@ class ColumnStore:
         materialized ones are patched in O(1) per structure instead of
         being thrown away.
         """
+        # Before the emptiness check: a snapshot-backed store with no
+        # materialized caches still diverges from its snapshot slice on
+        # insert, and the backing must never answer for diverged rows.
+        self._backing = None
         if not (self._values or self._non_null or self._sets or self._row_ids
                 or self._distinct or self._accumulators or self._profiles
                 or self._frozen):
@@ -397,6 +453,7 @@ class ColumnStore:
 
     def note_delete(self) -> None:
         """Drop every cache: deletions shift row ids and remove values."""
+        self._backing = None
         self._values.clear()
         self._non_null.clear()
         self._sets.clear()

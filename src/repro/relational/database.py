@@ -68,11 +68,14 @@ class Database:
         database whose caches were built by ``materialize_all`` or restored
         from a snapshot reports zero misses, and every subsequent read is a
         hit. A non-zero miss count therefore always means something was
-        genuinely recomputed from the row store.
+        genuinely recomputed from the row store. ``pushdown_hits`` counts
+        lookups answered by a snapshot backing's SQL index instead of a
+        materialized cache (lazy hydration's deferred-work dividend).
         """
         hits = sum(t.columns.hits for t in self._tables.values())
         misses = sum(t.columns.misses for t in self._tables.values())
-        return {"hits": hits, "misses": misses}
+        pushdown = sum(t.columns.pushdown_hits for t in self._tables.values())
+        return {"hits": hits, "misses": misses, "pushdown_hits": pushdown}
 
     # ------------------------------------------------------------------
     # DML convenience

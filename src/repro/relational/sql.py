@@ -39,6 +39,41 @@ class SqlError(ValueError):
     """Raised for unparsable or unsupported SQL."""
 
 
+@dataclass(frozen=True)
+class JoinSpec:
+    """One parsed ``[LEFT] JOIN table ON left = right`` clause."""
+
+    table: str
+    left_column: str
+    right_column: str
+    left: bool
+
+
+@dataclass
+class SelectPlan:
+    """A parsed SELECT held as plain data, unbound to any database.
+
+    The plan is the seam between parsing and execution: the in-memory
+    engine lowers it onto a :class:`Query` (:func:`plan_to_query`), while
+    the snapshot pushdown executor reads the same plan to run
+    single-table scans directly against SQLite without hydrating the
+    source. ``columns`` is the raw select list (``"*"`` entries
+    included), ``order_by`` pairs are ``(column, descending)``.
+    """
+
+    columns: List[str]
+    table: str
+    joins: List[JoinSpec]
+    where: Optional[Expression]
+    order_by: List[Tuple[str, bool]]
+    limit: Optional[int]
+    distinct: bool
+
+    @property
+    def single_table(self) -> bool:
+        return not self.joins
+
+
 _TOKEN_RE = re.compile(
     r"""
     \s*(?:
@@ -153,24 +188,23 @@ class _Parser:
     # ------------------------------------------------------------------
     # grammar
     # ------------------------------------------------------------------
-    def parse_select(self, database: Database) -> Query:
+    def parse_plan(self) -> SelectPlan:
         self._expect_keyword("select")
-        query = Query(database)
-        if self._accept_keyword("distinct"):
-            query.distinct()
+        distinct = self._accept_keyword("distinct") is not None
         columns = self._parse_select_list()
         self._expect_keyword("from")
-        query.from_(self._expect_ident())
+        table = self._expect_ident()
+        joins: List[JoinSpec] = []
         while True:
             if self._accept_keyword("join"):
-                self._parse_join(query, left=False)
+                joins.append(self._parse_join(left=False))
             elif self._accept_keyword("left"):
                 self._expect_keyword("join")
-                self._parse_join(query, left=True)
+                joins.append(self._parse_join(left=True))
             else:
                 break
-        if self._accept_keyword("where"):
-            query.where(self._parse_or())
+        where = self._parse_or() if self._accept_keyword("where") else None
+        order_by: List[Tuple[str, bool]] = []
         if self._accept_keyword("order"):
             self._expect_keyword("by")
             while True:
@@ -180,20 +214,27 @@ class _Parser:
                     descending = True
                 else:
                     self._accept_keyword("asc")
-                query.order_by(column, descending)
+                order_by.append((column, descending))
                 if not self._accept_punct(","):
                     break
+        limit: Optional[int] = None
         if self._accept_keyword("limit"):
             token = self._next()
             if token.kind != "number" or not isinstance(token.value, int):
                 raise SqlError("LIMIT expects an integer")
-            query.limit(token.value)
+            limit = token.value
         leftover = self._peek()
         if leftover is not None:
             raise SqlError(f"unexpected trailing token {leftover.text!r}")
-        if columns != ["*"]:
-            query.select(*columns)
-        return query
+        return SelectPlan(
+            columns=columns,
+            table=table,
+            joins=joins,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
 
     def _parse_select_list(self) -> List[str]:
         columns: List[str] = []
@@ -206,7 +247,7 @@ class _Parser:
                 break
         return columns
 
-    def _parse_join(self, query: Query, left: bool) -> None:
+    def _parse_join(self, left: bool) -> JoinSpec:
         table = self._expect_ident()
         self._expect_keyword("on")
         left_col = self._expect_ident()
@@ -214,10 +255,9 @@ class _Parser:
         if token.kind != "op" or token.value != "=":
             raise SqlError("JOIN ... ON expects an equality")
         right_col = self._expect_ident()
-        if left:
-            query.left_join(table, left_col, right_col)
-        else:
-            query.join(table, left_col, right_col)
+        return JoinSpec(
+            table=table, left_column=left_col, right_column=right_col, left=left
+        )
 
     # condition grammar: or -> and -> not -> primary
     def _parse_or(self) -> Expression:
@@ -293,9 +333,36 @@ class _Parser:
         raise SqlError(f"expected column or literal, got {token.text!r}")
 
 
+def plan_select(sql: str) -> SelectPlan:
+    """Parse a SELECT statement into an unbound :class:`SelectPlan`."""
+    return _Parser(_tokenize(sql)).parse_plan()
+
+
+def plan_to_query(database: Database, plan: SelectPlan) -> Query:
+    """Lower a :class:`SelectPlan` onto the in-memory query engine."""
+    query = Query(database)
+    if plan.distinct:
+        query.distinct()
+    query.from_(plan.table)
+    for join in plan.joins:
+        if join.left:
+            query.left_join(join.table, join.left_column, join.right_column)
+        else:
+            query.join(join.table, join.left_column, join.right_column)
+    if plan.where is not None:
+        query.where(plan.where)
+    for column, descending in plan.order_by:
+        query.order_by(column, descending)
+    if plan.limit is not None:
+        query.limit(plan.limit)
+    if plan.columns != ["*"]:
+        query.select(*plan.columns)
+    return query
+
+
 def parse_sql(database: Database, sql: str) -> Query:
     """Parse a SELECT statement into an executable :class:`Query`."""
-    return _Parser(_tokenize(sql)).parse_select(database)
+    return plan_to_query(database, plan_select(sql))
 
 
 def execute_sql(database: Database, sql: str) -> ResultSet:

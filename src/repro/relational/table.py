@@ -241,7 +241,7 @@ class Table:
                 if tup[idx] == value:
                     return self._as_dict(tup)
             return None
-        row_ids = self.columns.row_ids(column).get(value)
+        row_ids = self.columns.lookup_row_ids(column, value)
         return self.row_at(row_ids[0]) if row_ids else None
 
     def find_where(self, column: str, value: Any) -> List[Row]:
@@ -249,7 +249,7 @@ class Table:
         if is_null(value):
             idx = self.schema.column_index(column)
             return [self._as_dict(tup) for tup in self._rows if tup[idx] == value]
-        row_ids = self.columns.row_ids(column).get(value, ())
+        row_ids = self.columns.lookup_row_ids(column, value)
         return [self.row_at(i) for i in row_ids]
 
     def is_unique(self, column: str) -> bool:

@@ -384,6 +384,7 @@ class TestSnapshotValidation:
         # an older build should refuse it cleanly rather than trip over
         # config keys it does not know.
         name = reopened.source_names()[0]
+        reopened.database(name)  # default open is lazy; fault the source in
         _format, text, _options = reopened._raw_inputs[name]
         reopened.update_source(name, text)  # below threshold: checkpoints
         conn = sqlite3.connect(path)
@@ -406,4 +407,11 @@ class TestSnapshotValidation:
         conn.commit()
         conn.close()
         with pytest.raises(SnapshotError):
-            Aladin.open(path)
+            Aladin.open(path, lazy=False)
+        # A lazy open reads no rows up front, so the tampered slice is
+        # caught at first touch instead of at open time.
+        reopened = Aladin.open(path, read_only=True, lazy=True)
+        with pytest.raises(SnapshotError):
+            for name in reopened.source_names():
+                reopened.database(name)
+        reopened.close()
