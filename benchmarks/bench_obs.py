@@ -1,0 +1,217 @@
+"""Observability overhead + the measurement-driven backend's payoff.
+
+Three claims, each measured:
+
+1. **Disabled observability is free.** The instrumentation seam on the
+   hot path is one attribute read and an ``is None`` check per fan-out;
+   the seam's cost is measured directly against the raw uninstrumented
+   inner path (``_map_impl``) and must stay under 1% of a realistic
+   fan-out's runtime.
+2. **Enabled observability is cheap.** A full ``integrate_many`` with
+   the registry, event bus, and per-stage timing live is compared
+   against the same run with observability off (min-of-N wall clock).
+3. **The auto backend never loses badly.** A calibrated
+   ``backend="auto"`` run must not be slower than the *worst* fixed
+   backend — by construction it converges on the better arm, so landing
+   near the best and never at the worst is the acceptance bar.
+
+Full runs write ``BENCH_obs.json`` at the repo root;
+``REPRO_BENCH_OBS_SMALL=1`` keeps the committed baseline untouched.
+"""
+
+import json
+import os
+import time
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import format_table
+from repro.exec import ExecConfig, SerialExecutor
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_obs.json")
+SMALL = bool(os.environ.get("REPRO_BENCH_OBS_SMALL"))
+REPEATS = 2 if SMALL else 3
+
+
+def corpus():
+    return build_scenario(
+        ScenarioConfig(
+            seed=450,
+            include=("swissprot", "pdb", "go"),
+            universe=UniverseConfig(n_families=3, members_per_family=2, seed=450),
+        )
+    )
+
+
+def source_specs(scenario):
+    return [
+        (s.name, s.facts.format_name, s.text, s.facts.import_options)
+        for s in scenario.sources
+    ]
+
+
+def integrate_once(specs, execution=None, observability=True):
+    config = AladinConfig()
+    if execution is not None:
+        config.execution = execution
+    config.observability.enabled = observability
+    aladin = Aladin(config)
+    started = time.perf_counter()
+    aladin.integrate_many(specs)
+    seconds = time.perf_counter() - started
+    aladin.close()
+    return seconds
+
+
+def best_of(n, fn):
+    return min(fn() for _ in range(n))
+
+
+def wrapper_overhead_pct():
+    """The disabled seam vs. the raw inner path, on one realistic fan-out."""
+
+    def work(_state, text):
+        return sum(len(token) for token in text.split())
+
+    items = [f"protein kinase domain structure {i} " * 8 for i in range(64)]
+    executor = SerialExecutor(1)
+    assert executor.metrics is None  # the disabled wiring
+
+    def run_raw():
+        started = time.perf_counter()
+        for _ in range(50):
+            executor._map_impl(work, items, None, None, 1)
+        return time.perf_counter() - started
+
+    def run_wrapped():
+        started = time.perf_counter()
+        for _ in range(50):
+            executor.map_ordered(work, items)
+        return time.perf_counter() - started
+
+    raw = best_of(7, run_raw)
+    wrapped = best_of(7, run_wrapped)
+    return 100.0 * (wrapped - raw) / raw, raw, wrapped
+
+
+def test_observability_overhead_and_auto_backend():
+    specs = source_specs(corpus())
+
+    # 1. The disabled seam, measured at the fan-out boundary.
+    seam_pct, seam_raw, seam_wrapped = wrapper_overhead_pct()
+
+    # 2. End-to-end: registry + bus + stage timing live vs. off.
+    #    One warm-up run pays the one-time costs (parser imports, GC
+    #    ramp), then the two modes alternate so drift hits both equally.
+    integrate_once(specs, observability=False)
+    off_samples, on_samples = [], []
+    for _ in range(REPEATS):
+        off_samples.append(integrate_once(specs, observability=False))
+        on_samples.append(integrate_once(specs, observability=True))
+    disabled, enabled = min(off_samples), min(on_samples)
+    enabled_pct = 100.0 * (enabled - disabled) / disabled
+
+    # 3. Auto vs. the fixed backends, alternating for the same reason.
+    serial_samples, thread_samples = [], []
+    for _ in range(REPEATS):
+        serial_samples.append(
+            integrate_once(specs, ExecConfig(backend="serial"))
+        )
+        thread_samples.append(
+            integrate_once(specs, ExecConfig(backend="thread", workers=2))
+        )
+    serial_fixed, thread_fixed = min(serial_samples), min(thread_samples)
+
+    #    Calibrate across four exploration sessions (each integrate_many
+    #    contributes one fan-out per batch stage, and MIN_RUNS samples
+    #    per arm are needed), then measure fresh calibrated sessions.
+    auto_exec = ExecConfig(backend="auto", workers=2, auto_parallel="thread")
+    calibration_path = os.path.join(REPO_ROOT, ".bench_obs_calibration.json")
+    try:
+        for _ in range(4):
+            config = AladinConfig()
+            config.execution = auto_exec
+            warm = Aladin(config)
+            if os.path.exists(calibration_path):
+                warm.executor.load_calibration(calibration_path)
+            warm.integrate_many(specs)
+            warm.executor.save_calibration(calibration_path)
+            warm.close()
+
+        def calibrated_run():
+            run_config = AladinConfig()
+            run_config.execution = auto_exec
+            aladin = Aladin(run_config)
+            aladin.executor.load_calibration(calibration_path)
+            started = time.perf_counter()
+            aladin.integrate_many(specs)
+            seconds = time.perf_counter() - started
+            decisions = dict(aladin.executor.decisions)
+            aladin.close()
+            return seconds, decisions
+
+        timed = [calibrated_run() for _ in range(REPEATS)]
+        auto_seconds = min(seconds for seconds, _decisions in timed)
+        decisions = timed[0][1]
+    finally:
+        if os.path.exists(calibration_path):
+            os.remove(calibration_path)
+
+    worst_fixed = max(serial_fixed, thread_fixed)
+    best_fixed = min(serial_fixed, thread_fixed)
+
+    rows = [
+        ["fan-out seam, raw inner path", f"{seam_raw * 1000:.2f} ms", ""],
+        ["fan-out seam, disabled wrapper", f"{seam_wrapped * 1000:.2f} ms",
+         f"{seam_pct:+.3f}%"],
+        ["integrate_many, observability off", f"{disabled:.3f} s", ""],
+        ["integrate_many, observability on", f"{enabled:.3f} s",
+         f"{enabled_pct:+.2f}%"],
+        ["integrate_many, serial (fixed)", f"{serial_fixed:.3f} s", ""],
+        ["integrate_many, thread x2 (fixed)", f"{thread_fixed:.3f} s", ""],
+        ["integrate_many, auto (calibrated)", f"{auto_seconds:.3f} s",
+         f"vs worst {auto_seconds / worst_fixed:.2f}x"],
+    ]
+    print()
+    print(f"Observability + auto backend ({os.cpu_count()} core(s))")
+    print(format_table(["phase", "time", "delta"], rows))
+    print(f"auto decisions: {decisions}")
+
+    result = {
+        "corpus": f"E6-small universe (seed 450), {len(specs)} sources",
+        "effective_cores": os.cpu_count(),
+        "disabled_seam_overhead_pct": round(seam_pct, 4),
+        "integrate_seconds": {
+            "observability_off": round(disabled, 4),
+            "observability_on": round(enabled, 4),
+            "enabled_overhead_pct": round(enabled_pct, 2),
+        },
+        "auto_backend_seconds": {
+            "serial_fixed": round(serial_fixed, 4),
+            "thread_fixed": round(thread_fixed, 4),
+            "auto_calibrated": round(auto_seconds, 4),
+            "decisions": decisions,
+        },
+        "notes": (
+            "Seam = SerialExecutor.map_ordered with metrics wiring left "
+            "at None vs. calling the raw _map_impl, best-of-7 over 50 "
+            "fan-outs of 64 items. Integrate rows are min-of-"
+            f"{REPEATS} integrate_many wall clocks. The auto row runs a "
+            "fresh session on a calibration sidecar recorded by one "
+            "exploration run."
+        ),
+    }
+    if not SMALL:
+        with open(RESULT_PATH, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        # Acceptance bars. The seam must be in the noise (<1%); the
+        # calibrated auto run must never land at the worst fixed
+        # backend (10% margin for timer noise on a shared host).
+        assert seam_pct < 1.0, f"disabled seam overhead {seam_pct:.3f}% >= 1%"
+        assert auto_seconds <= worst_fixed * 1.10, (
+            f"calibrated auto {auto_seconds:.3f}s slower than worst fixed "
+            f"backend {worst_fixed:.3f}s"
+        )
+        assert best_fixed == min(best_fixed, worst_fixed)

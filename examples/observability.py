@@ -1,0 +1,95 @@
+"""The telemetry subsystem: metrics, lifecycle events, auto backend.
+
+One warehouse session with observability live. A subscriber prints
+lifecycle events as the pipeline emits them (checkpoints commit before
+their ``source.added``, updates carry ``reanalyzed``), the metrics
+registry accumulates per-stage histograms and pool fan-out telemetry,
+and a ``backend="auto"`` executor explores serial vs. parallel arms per
+stage kind, freezes the measured winners, and persists them as a
+calibration sidecar next to the snapshot so the next session starts
+already decided.
+
+    python examples/observability.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.core import Aladin, AladinConfig
+from repro.exec import ExecConfig
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+
+def build_corpus():
+    return build_scenario(
+        ScenarioConfig(
+            seed=450,
+            include=("swissprot", "pdb", "go"),
+            universe=UniverseConfig(n_families=3, members_per_family=2, seed=450),
+        )
+    )
+
+
+def auto_config() -> AladinConfig:
+    config = AladinConfig()
+    config.execution = ExecConfig(backend="auto", workers=2, auto_parallel="thread")
+    config.observability.enabled = True  # ignore REPRO_OBS for the demo
+    return config
+
+
+def main() -> None:
+    scenario = build_corpus()
+    specs = [
+        (s.name, s.facts.format_name, s.text, s.facts.import_options)
+        for s in scenario.sources
+    ]
+    snapshot_path = os.path.join(tempfile.mkdtemp(), "warehouse.snapshot")
+
+    # --- session 1: integrate with a live event subscriber -------------
+    aladin = Aladin(auto_config())
+    aladin.obs.events.subscribe(
+        lambda e: print(f"  [{e.seq:>2}] {e.kind:<22} {json.dumps(e.payload)}")
+    )
+    print(f"integrating {len(specs)} sources (watch the lifecycle):")
+    aladin.integrate_many(specs)
+    aladin.save(snapshot_path)
+    # Re-deliver one source unchanged: a below-threshold in-place update
+    # that checkpoints against the now-attached snapshot.
+    name, _format, text, _options = specs[0]
+    aladin.update_source(name, text)
+
+    # --- per-stage timing from the registry ----------------------------
+    snapshot = aladin.metrics()
+    print()
+    print("stage wall clocks (seconds):")
+    for name, stats in sorted(snapshot["histograms"].items()):
+        if name.startswith("stage.") and stats["count"]:
+            print(f"  {name:<28} n={stats['count']} "
+                  f"mean={stats['mean']:.4f} p95={stats['p95']:.4f}")
+    counters = snapshot["counters"]
+    fanouts = counters.get("pool.fanouts", 0)
+    tasks = counters.get("pool.tasks", 0)
+    print(f"pool: {fanouts} fan-outs, {tasks} tasks dispatched")
+    explored = {k: v for k, v in sorted(counters.items())
+                if k.startswith("auto.")}
+    print(f"auto arm samples: {explored}")
+    aladin.close()
+
+    # --- session 2: the calibration sidecar decides up front ------------
+    sidecar = snapshot_path + ".calibration.json"
+    print()
+    print(f"calibration sidecar: {os.path.basename(sidecar)} "
+          f"({os.path.getsize(sidecar)} bytes)")
+    reopened = Aladin.open(snapshot_path, config=auto_config())
+    decisions = reopened.executor.calibration.decisions()
+    for stage, record in sorted(decisions.items()):
+        marker = "calibrated" if record["calibrated"] else "exploring"
+        print(f"  {stage:<16} -> {record['choice']:<8} ({marker}; "
+              f"serial {record['serial']['runs']} runs, "
+              f"parallel {record['parallel']['runs']} runs)")
+    reopened.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -29,11 +29,18 @@ behavior). ``stats`` opens lazily read-only and reports what a query
 actually faulted in::
 
     python -m repro stats warehouse.snapshot --search "kinase"
+
+``metrics`` dumps the full telemetry snapshot of one read-only session —
+every counter, gauge, and duration histogram, plus (``--events``) the
+lifecycle event log::
+
+    python -m repro metrics warehouse.snapshot --search "kinase" --events
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -59,10 +66,11 @@ def _parse_source(spec: str) -> Tuple[str, str, str]:
 def _add_exec_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "auto"),
         default=None,
-        help="execution backend for the pipeline's fan-outs "
-        "(default: REPRO_EXEC_BACKEND or serial)",
+        help="execution backend for the pipeline's fan-outs; 'auto' "
+        "measures serial vs parallel per stage kind and picks from the "
+        "data (default: REPRO_EXEC_BACKEND or serial)",
     )
     subparser.add_argument(
         "--workers",
@@ -180,6 +188,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_cmd.add_argument("snapshot", help="path of the snapshot file to read")
     _add_access_flags(stats_cmd)
+    metrics_cmd = subparsers.add_parser(
+        "metrics",
+        help="open a snapshot read-only, optionally exercise the access "
+        "modes, and dump the session's telemetry snapshot as JSON",
+    )
+    metrics_cmd.add_argument("snapshot", help="path of the snapshot file to read")
+    _add_access_flags(metrics_cmd)
+    _add_exec_flags(metrics_cmd)
+    metrics_cmd.add_argument(
+        "--events",
+        action="store_true",
+        help="append the lifecycle event log (one JSON object per line) "
+        "after the metrics snapshot",
+    )
+    metrics_cmd.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="also write the JSON-lines telemetry export (every event "
+        "eagerly, the final metrics snapshot on close) to FILE",
+    )
     compact = subparsers.add_parser(
         "compact",
         help="rewrite a snapshot's live content into a fresh file, "
@@ -215,6 +244,20 @@ def _hydration_line(stats: dict) -> str:
         f"hydration: {len(hydrated)}/{stats['sources']} sources hydrated "
         f"({names}); resident {resident_text}; "
         f"pushdown hits {stats['pushdown_hits']}"
+    )
+
+
+def _telemetry_line(aladin: Aladin) -> str:
+    """One-line telemetry summary, e.g. for ``repro stats``."""
+    if not aladin.obs.enabled:
+        return "telemetry: disabled (REPRO_OBS=0)"
+    snapshot = aladin.metrics()
+    events = len(aladin.obs.events.history())
+    fanouts = snapshot["counters"].get("pool.fanouts", 0)
+    series = len(snapshot["histograms"])
+    return (
+        f"telemetry: {events} lifecycle events; {fanouts} pool fan-outs; "
+        f"{series} timing series (`repro metrics` for the full dump)"
     )
 
 
@@ -292,10 +335,41 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         except SnapshotError as exc:
             print(f"error: {exc}", file=out)
             return 2
-        print(f"warehouse (read-only): {aladin.summary()}", file=out)
-        code = _run_access_modes(aladin, args, out)
-        print(file=out)
-        print(_hydration_line(aladin.hydration_stats()), file=out)
+        try:
+            print(f"warehouse (read-only): {aladin.summary()}", file=out)
+            code = _run_access_modes(aladin, args, out)
+            print(file=out)
+            print(_hydration_line(aladin.hydration_stats()), file=out)
+            print(_telemetry_line(aladin), file=out)
+        finally:
+            aladin.close()
+        return code
+    if args.command == "metrics":
+        config = AladinConfig()
+        # The whole point of the command is telemetry, so enablement is
+        # forced on even under REPRO_OBS=0.
+        config.observability.enabled = True
+        if args.export:
+            config.observability.export_path = args.export
+        try:
+            aladin = Aladin.open(args.snapshot, config=config, read_only=True, lazy=True)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        try:
+            if args.backend is not None or args.workers is not None or args.resident_pool:
+                aladin.configure_execution(
+                    backend=args.backend,
+                    workers=args.workers,
+                    resident=True if args.resident_pool else None,
+                )
+            code = _run_access_modes(aladin, args, out)
+            print(json.dumps(aladin.metrics(), indent=2, sort_keys=True), file=out)
+            if args.events:
+                for event in aladin.obs.events.history():
+                    print(json.dumps(event.to_dict(), sort_keys=True), file=out)
+        finally:
+            aladin.close()  # flushes the --export sink's final metrics line
         return code
     if args.command == "open":
         try:
@@ -320,7 +394,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         try:
             return _run_access_modes(aladin, args, out)
         finally:
-            aladin.detach_store()  # release the writer lock on the way out
+            # Releases the writer lock, saves the auto backend's
+            # calibration sidecar, and flushes any telemetry export.
+            aladin.close()
     config = AladinConfig()
     config.declare_constraints = args.declare_constraints
     if args.backend is not None:
@@ -344,7 +420,9 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     try:
         return _run_access_modes(aladin, args, out)
     finally:
-        aladin.detach_store()  # release any writer lock on the way out
+        # Releases any writer lock, saves the auto backend's calibration
+        # sidecar, and flushes any telemetry export.
+        aladin.close()
 
 
 def main() -> None:  # pragma: no cover - thin wrapper

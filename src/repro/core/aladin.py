@@ -36,6 +36,7 @@ mutates, so resident fork workers never scan a stale snapshot.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -55,11 +56,20 @@ from repro.discovery.pipeline import discover_structure
 from repro.duplicates.batch import BoundedRecordScorer
 from repro.duplicates.detector import DuplicateConfig, DuplicateDetector
 from repro.exec.graph import TaskGraph
-from repro.exec.pool import Executor, create_executor
+from repro.exec.pool import AutoExecutor, Executor, create_executor
 from repro.linking.engine import LinkDiscoveryEngine, _pair_task
 from repro.linking.model import ObjectLink
 from repro.linking.stats import collect_profiles, collect_statistics, statistics_from_profile
 from repro.metadata.repository import MetadataRepository
+from repro.obs import Observability
+from repro.obs.events import (
+    CHECKPOINT_COMMITTED,
+    COMPACTION_RAN,
+    SNAPSHOT_OPENED,
+    SOURCE_ADDED,
+    SOURCE_REMOVED,
+    SOURCE_UPDATED,
+)
 from repro.persist.lazy import LazySnapshotSession
 from repro.persist.lock import SnapshotLockedError
 from repro.persist.snapshot import CompactionStats, SnapshotError, SnapshotStore
@@ -198,9 +208,13 @@ class Aladin:
 
     def __init__(self, config: Optional[AladinConfig] = None):
         self.config = config or AladinConfig()
+        # Telemetry first: every other subsystem this constructor builds
+        # gets handed the (possibly null) registry/bus handles.
+        self.obs = Observability(self.config.observability)
         self.repository = MetadataRepository()
         self.web = ObjectWeb(self.repository)
         self._executor: Executor = create_executor(self.config.execution)
+        self._wire_executor_obs()
         self._engine = LinkDiscoveryEngine(
             config=self.config.linking,
             channels=self.config.channels,
@@ -223,6 +237,8 @@ class Aladin:
         )
         self._dup_state = (self._engine, self._dup_scorer)
         self.reports: List[IntegrationReport] = []
+        if self.obs.enabled:
+            self._register_gauges()
 
     @property
     def executor(self) -> Executor:
@@ -248,8 +264,145 @@ class Aladin:
             self.config.execution.resident = bool(resident)
         previous = self._executor
         self._executor = create_executor(self.config.execution)
+        self._wire_executor_obs()
         self._engine.executor = self._executor
         previous.shutdown()  # release any resident workers of the old pool
+        # A warm-started system switching to auto inherits the snapshot's
+        # measured workload record.
+        self._load_calibration()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _wire_executor_obs(self) -> None:
+        """Hand the executor the telemetry handles (None when disabled,
+        so the fan-out wrapper short-circuits at one identity check)."""
+        self._executor.metrics = self.obs.metrics_or_none
+        self._executor.events = self.obs.events_or_none
+
+    def _register_gauges(self) -> None:
+        """Registry views over the pre-existing ad-hoc counters.
+
+        Provider gauges resolve at snapshot time from the live objects,
+        so ``Database.column_cache_stats()``, :meth:`hydration_stats`,
+        and the session scorer's counters stay the single source of
+        truth — the registry adds no double bookkeeping, and the old
+        methods keep working unchanged as thin views of the same data.
+        """
+        reg = self.obs.metrics
+
+        def column_totals() -> Dict[str, int]:
+            totals = {"hits": 0, "misses": 0, "pushdown_hits": 0}
+            for database in list(self._databases.values()):
+                stats = database.column_cache_stats()
+                for key in totals:
+                    totals[key] += stats.get(key, 0)
+            return totals
+
+        reg.gauge("column_cache.hits", provider=lambda: column_totals()["hits"])
+        reg.gauge("column_cache.misses", provider=lambda: column_totals()["misses"])
+        reg.gauge(
+            "column_cache.pushdown_hits",
+            provider=lambda: column_totals()["pushdown_hits"],
+        )
+        reg.gauge("scorer.exact_scores", provider=lambda: self._dup_scorer.exact_scores)
+        reg.gauge("scorer.pruned", provider=lambda: self._dup_scorer.pruned)
+        reg.gauge("scorer.cache_hits", provider=lambda: self._dup_scorer.cache_hits)
+        reg.gauge("scorer.evictions", provider=lambda: self._dup_scorer.evictions)
+        reg.gauge(
+            "hydration.sources",
+            provider=lambda: self.hydration_stats()["sources"],
+        )
+        reg.gauge(
+            "hydration.hydrated_sources",
+            provider=lambda: len(self.hydration_stats()["hydrated"]),
+        )
+        reg.gauge(
+            "hydration.resident_bytes",
+            provider=lambda: self.hydration_stats()["resident_bytes"] or 0,
+        )
+        reg.gauge(
+            "hydration.pushdown_hits",
+            provider=lambda: self.hydration_stats()["pushdown_hits"],
+        )
+        reg.gauge(
+            "pool.resident_spins",
+            provider=lambda: getattr(self._executor, "pools_started", 0),
+        )
+        reg.gauge(
+            "pool.resident_forks",
+            provider=lambda: getattr(self._executor, "pools_forked", 0),
+        )
+
+    def metrics(self) -> Dict[str, Any]:
+        """One structured snapshot of every counter, gauge, and histogram.
+
+        ``{"counters": ..., "gauges": ..., "histograms": ...}`` — stage
+        durations (``stage.*``), graph node timings (``graph.*``), pool
+        fan-out/utilization (``pool.*``), persistence latencies
+        (``persist.*``), cache/scorer/hydration views, and the auto
+        backend's routing counters (``auto.*``). Empty when observability
+        is disabled. JSON-safe; the README documents the catalog.
+        """
+        return self.obs.metrics.snapshot()
+
+    def _record_report(self, report: IntegrationReport) -> None:
+        """Fold one integration report's step timings into the registry."""
+        metrics = self.obs.metrics_or_none
+        if metrics is None:
+            return
+        for step in report.steps:
+            metrics.histogram(f"stage.{step.step}").observe(step.seconds)
+
+    def _finish_integration(self, report: IntegrationReport) -> None:
+        """Telemetry tail of one integrated source, on either pipeline path."""
+        self._record_report(report)
+        self.obs.events.emit(
+            SOURCE_ADDED,
+            source=report.source_name,
+            links=report.step("link_discovery").counts["object_links"],
+            duplicates=report.step("duplicate_detection").counts[
+                "duplicates_flagged"
+            ],
+            seconds=report.total_seconds,
+        )
+
+    # -- workload calibration sidecar ----------------------------------
+    def _calibration_path(self) -> Optional[str]:
+        if self._store is None or not isinstance(self._executor, AutoExecutor):
+            return None
+        return f"{self._store.path}.calibration.json"
+
+    def _load_calibration(self) -> None:
+        """Adopt the snapshot's measured workload record (auto backend).
+
+        Missing sidecar -> the executor keeps (or starts) an in-memory
+        record and explores; corrupt sidecar -> same, by
+        :meth:`WorkloadCalibration.load`'s contract.
+        """
+        path = self._calibration_path()
+        if path is None:
+            return
+        if os.path.exists(path):
+            self._executor.load_calibration(path)
+
+    def _save_calibration(self) -> None:
+        """Persist the measured workload record next to the snapshot.
+
+        An empty record is never written: a session that measured nothing
+        must not clobber the sidecar a previous session earned.
+        """
+        path = self._calibration_path()
+        if path is None or self.read_only or self._executor.calibration.empty:
+            return
+        try:
+            self._executor.save_calibration(path)
+        except OSError as exc:
+            warnings.warn(
+                f"could not write calibration sidecar {path!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     # the five-step pipeline
@@ -425,7 +578,14 @@ class Aladin:
             )
             labels.extend(f"duplicates:{name}" for name in names)
         scan_results = self._executor.map_ordered(
-            _batch_scan_task, tagged, state=self._engine, labels=labels
+            _batch_scan_task,
+            tagged,
+            state=self._engine,
+            labels=labels,
+            # One combined fan-out mixes link scans and duplicate chunks:
+            # meter (and auto-calibrate) it as its own stage kind rather
+            # than whichever label happens to come first.
+            stage="batch_scan",
         )
         link_results = scan_results[: len(link_specs)]
         dup_results: List[Optional[Tuple[List[List[ObjectLink]], float]]]
@@ -472,6 +632,7 @@ class Aladin:
             )
             self._index_add_source(name)
             self._checkpoint(name)
+            self._finish_integration(report)
         self.reports.extend(reports)
         return reports
 
@@ -624,7 +785,7 @@ class Aladin:
         graph.add(
             "checkpoint", run_checkpoint, deps=("store_duplicates", "index_update")
         )
-        results = graph.run(self._executor)
+        results = graph.run(self._executor, metrics=self.obs.metrics_or_none)
 
         structure, discover_seconds = results["discover_structure"]
         self._describe_structure(report, structure, discover_seconds)
@@ -648,6 +809,7 @@ class Aladin:
             )
         )
         self.reports.append(report)
+        self._finish_integration(report)
 
     def _detect_duplicates_for(self, name: str) -> List[List[ObjectLink]]:
         """Step-5 for one new source against every existing source.
@@ -748,9 +910,22 @@ class Aladin:
                 self._index.remove_source(name)
                 self._index_add_source(name)
             self._checkpoint(name)
+            self.obs.events.emit(
+                SOURCE_UPDATED,
+                source=name,
+                change_fraction=change_fraction,
+                reanalyzed=False,
+            )
             return None
         self.remove_source(name)
-        return self.add_source(name, format_name, text, **options)
+        report = self.add_source(name, format_name, text, **options)
+        self.obs.events.emit(
+            SOURCE_UPDATED,
+            source=name,
+            change_fraction=change_fraction,
+            reanalyzed=True,
+        )
+        return report
 
     def remove_source(self, name: str) -> None:
         """Drop one source incrementally: nothing else is re-analyzed.
@@ -772,10 +947,17 @@ class Aladin:
         if self._index is not None:
             self._index.remove_source(name)
         if self._store is not None:
+            started = time.perf_counter()
             self._store.checkpoint_remove(name)
+            seconds = time.perf_counter() - started
+            self.obs.metrics.histogram("persist.checkpoint_seconds").observe(seconds)
+            self.obs.events.emit(
+                CHECKPOINT_COMMITTED, source=name, op="remove", seconds=seconds
+            )
             # Removal is the churn-heaviest maintenance op: the dropped
             # slice's pages are all dead weight until a compaction.
             self._auto_compact()
+        self.obs.events.emit(SOURCE_REMOVED, source=name)
 
     def remove_link(self, link: ObjectLink) -> bool:
         """User feedback: delete one wrong link (Section 6.2)."""
@@ -896,6 +1078,9 @@ class Aladin:
             self._store.detach_writer()
         self._store = store
         self.read_only = False
+        # Auto backend: park the session's measured workload record next
+        # to the snapshot so the next open starts calibrated.
+        self._save_calibration()
 
     @classmethod
     def open(
@@ -1011,6 +1196,14 @@ class Aladin:
             raise
         aladin._store = store if attach_writer else None
         aladin.read_only = not attach_writer
+        aladin._load_calibration()
+        aladin.obs.events.emit(
+            SNAPSHOT_OPENED,
+            path=str(path),
+            lazy=lazy_open,
+            read_only=aladin.read_only,
+            sources=len(aladin.source_names()),
+        )
         return aladin
 
     def detach_store(self) -> None:
@@ -1034,7 +1227,23 @@ class Aladin:
                 "no snapshot attached (save or open one first); use "
                 "SnapshotStore.compact or `repro compact` for a bare file"
             )
-        return self._store.compact(self)
+        stats = self._store.compact(self)
+        self._record_compaction(stats)
+        return stats
+
+    def _record_compaction(self, stats: CompactionStats) -> None:
+        """Telemetry for one completed compaction (manual or policy-run)."""
+        self.obs.metrics.histogram("persist.compaction_seconds").observe(
+            stats.seconds
+        )
+        self.obs.events.emit(
+            COMPACTION_RAN,
+            bytes_before=stats.bytes_before,
+            bytes_after=stats.bytes_after,
+            reclaimed_bytes=stats.reclaimed_bytes,
+            sources_verified=stats.sources_verified,
+            seconds=stats.seconds,
+        )
 
     def close(self) -> None:
         """Release lifecycle resources: the writer lock, resident workers.
@@ -1043,17 +1252,27 @@ class Aladin:
         (a later :meth:`save` re-attaches, a later fan-out re-creates
         pool workers).
         """
+        self._save_calibration()
         self.detach_store()
         if self._lazy is not None:
             self._lazy.close()
         self._executor.shutdown()
+        # Flushes the final metrics line into the JSON-lines export sink
+        # (if one is configured) and closes it; safe to call repeatedly.
+        self.obs.close()
 
     def _checkpoint(self, name: str) -> None:
         if self._store is not None:
             # The checkpoint's row encoding fans across the same (resident)
             # pool as the pipeline's other stages — no fresh pool spin-up
             # on the maintenance path.
+            started = time.perf_counter()
             self._store.checkpoint_source(self, name, executor=self._executor)
+            seconds = time.perf_counter() - started
+            self.obs.metrics.histogram("persist.checkpoint_seconds").observe(seconds)
+            self.obs.events.emit(
+                CHECKPOINT_COMMITTED, source=name, op="write", seconds=seconds
+            )
             # Hands-off lifecycle: reclaim checkpoint churn once the
             # policy thresholds say the file carries more dead than live.
             self._auto_compact()
@@ -1068,7 +1287,9 @@ class Aladin:
         never as a failure of the successful foreground call.
         """
         try:
-            self._store.maybe_compact(self, self.config.persist)
+            stats = self._store.maybe_compact(self, self.config.persist)
+            if stats is not None:
+                self._record_compaction(stats)
         except Exception as exc:  # noqa: BLE001 - background housekeeping
             warnings.warn(
                 f"auto-compaction of snapshot {self._store.path!r} failed "

@@ -10,6 +10,7 @@ from repro.duplicates.detector import DuplicateConfig
 from repro.exec.pool import ExecConfig
 from repro.linking.engine import LinkChannels
 from repro.linking.model import LinkConfig
+from repro.obs import ObsConfig
 from repro.persist.snapshot import PersistConfig
 
 
@@ -35,6 +36,10 @@ class AladinConfig:
     # lazily (`lazy_open`, default on, env REPRO_PERSIST_LAZY). A host
     # property like `execution` — it is never restored from snapshots.
     persist: PersistConfig = field(default_factory=PersistConfig)
+    # Telemetry: the metrics registry + lifecycle event bus (default on,
+    # REPRO_OBS=0 disables; REPRO_OBS_EXPORT names a JSON-lines sink).
+    # A host property like `execution` — never restored from snapshots.
+    observability: ObsConfig = field(default_factory=ObsConfig)
     # Step 5 runs between every source pair by default; it can be disabled
     # for ablations.
     detect_duplicates: bool = True
@@ -89,6 +94,10 @@ def config_from_dict(payload: Dict[str, Any]) -> AladinConfig:
     # by an ablation run with the bound disabled must not silently
     # re-unbound every production process that opens it.
     payload.pop("scorer_cache_entries", None)
+    # Observability is host policy too: whether the writer was exporting
+    # telemetry says nothing about what the reader wants (REPRO_OBS and
+    # the reader's own AladinConfig decide).
+    payload.pop("observability", None)
     config = AladinConfig(
         discovery=_tolerant(DiscoveryConfig, payload.pop("discovery")),
         linking=_tolerant(LinkConfig, payload.pop("linking")),

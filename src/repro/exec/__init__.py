@@ -11,6 +11,7 @@ byte-identical across backends by construction.
 from repro.exec.graph import Task, TaskGraph
 from repro.exec.pool import (
     BACKENDS,
+    AutoExecutor,
     ExecConfig,
     ExecError,
     Executor,
@@ -23,6 +24,7 @@ from repro.exec.pool import (
 )
 
 __all__ = [
+    "AutoExecutor",
     "BACKENDS",
     "ExecConfig",
     "ExecError",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import concurrent.futures
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.pool import ExecError, Executor
@@ -59,17 +60,29 @@ class TaskGraph:
         return [task.name for task in self._tasks]
 
     # ------------------------------------------------------------------
-    def run(self, executor: Optional[Executor] = None) -> Dict[str, Any]:
+    def run(
+        self, executor: Optional[Executor] = None, metrics=None
+    ) -> Dict[str, Any]:
         """Execute every task; returns ``{task name: result}``.
 
         With a thread-capable executor, independent tasks overlap (the
         pipelining that takes index updates and snapshot checkpoints off
         the critical path); otherwise execution is inline topological.
+
+        ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or
+        ``None`` for the zero-cost disabled path) records per-node wall
+        time and queue wait — the gap between a node's dependencies
+        completing and the node starting — plus which dispatch mode ran
+        the graph.
         """
         self._validate()
         if executor is not None and executor.parallel_graph and executor.workers > 1:
-            return self._run_threaded(executor)
-        return self._run_serial()
+            if metrics is not None:
+                metrics.counter("graph.dispatch.threaded").inc()
+            return self._run_threaded(executor, metrics)
+        if metrics is not None:
+            metrics.counter("graph.dispatch.serial").inc()
+        return self._run_serial(metrics)
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -103,15 +116,33 @@ class TaskGraph:
         return children
 
     # ------------------------------------------------------------------
-    def _run_serial(self) -> Dict[str, Any]:
+    def _run_serial(self, metrics=None) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
         remaining = list(self._tasks)
+        ready_at: Dict[str, float] = {}
+        children = self._children() if metrics is not None else {}
         while remaining:
             progressed = False
             for task in list(remaining):
                 if any(dep not in results for dep in task.deps):
                     continue
-                results[task.name] = self._invoke(task, results)
+                if metrics is None:
+                    results[task.name] = self._invoke(task, results)
+                else:
+                    # Inline dispatch: "queue wait" is the time a ready
+                    # task sat behind earlier ready siblings this sweep.
+                    started = perf_counter()
+                    became_ready = ready_at.setdefault(task.name, started)
+                    results[task.name] = self._invoke(task, results)
+                    finished = perf_counter()
+                    metrics.histogram(f"graph.{task.name}.seconds").observe(
+                        finished - started
+                    )
+                    metrics.histogram(f"graph.{task.name}.queue_wait").observe(
+                        started - became_ready
+                    )
+                    for child in children.get(task.name, ()):
+                        ready_at.setdefault(child, finished)
                 remaining.remove(task)
                 progressed = True
             if not progressed:  # pragma: no cover - _validate rules this out
@@ -121,22 +152,44 @@ class TaskGraph:
                 )
         return results
 
-    def _run_threaded(self, executor: Executor) -> Dict[str, Any]:
+    def _run_threaded(self, executor: Executor, metrics=None) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
         failures: Dict[str, BaseException] = {}
         children = self._children()
         pending = {task.name: len(task.deps) for task in self._tasks}
         order = {task.name: position for position, task in enumerate(self._tasks)}
         running: Dict[concurrent.futures.Future, str] = {}
+        ready_at: Dict[str, float] = {}
+
+        def timed(task: Task) -> Callable[[Dict[str, Any]], Any]:
+            # Wrap the body on the worker thread so wall time excludes
+            # pool queueing — that gap is the queue_wait histogram.
+            def body(results_in: Dict[str, Any]) -> Any:
+                started = perf_counter()
+                value = task.fn(results_in)
+                metrics.histogram(f"graph.{task.name}.seconds").observe(
+                    perf_counter() - started
+                )
+                metrics.histogram(f"graph.{task.name}.queue_wait").observe(
+                    started - ready_at.get(task.name, started)
+                )
+                return value
+
+            return body
 
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=executor.workers
         ) as pool:
 
             def submit_ready(names):
+                now = perf_counter() if metrics is not None else 0.0
                 for name in sorted(names, key=order.__getitem__):
                     task = self._by_name[name]
-                    running[pool.submit(task.fn, results)] = name
+                    if metrics is None:
+                        running[pool.submit(task.fn, results)] = name
+                    else:
+                        ready_at[name] = now
+                        running[pool.submit(timed(task), results)] = name
 
             submit_ready([t.name for t in self._tasks if not t.deps])
             while running:

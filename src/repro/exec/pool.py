@@ -15,6 +15,10 @@ parallelizes by configuration:
   Workers inherit the parent's memory at fork time, so large shared
   read-only state (the link engine with every registered source) crosses
   into workers without being pickled; only task specs and results travel.
+* ``auto`` — :class:`AutoExecutor`: serial or the configured pool *per
+  stage kind*, decided from measured per-fanout timings (the
+  :class:`~repro.obs.timing.WorkloadCalibration` record). Results are
+  byte-identical either way, so calibration only moves time.
 
 Determinism contract: :meth:`Executor.map_ordered` returns results in
 *item order*, never in completion order, and a failing item raises
@@ -43,6 +47,18 @@ The determinism contract is unchanged in resident mode: results arrive in
 item order and a failure raises :class:`ExecError` for the first failed
 task in submission order, even when pool-level errors (a dead worker, an
 unpicklable result) strike a later chunk first.
+
+Observability: every executor carries optional ``metrics`` / ``events``
+handles (both ``None`` by default — the owning ``Aladin`` wires them).
+The public :meth:`Executor.map_ordered` is an instrumented wrapper around
+the per-backend ``_map_impl``: it derives the fan-out's *stage kind* from
+its labels (``link:...`` -> ``link``), times the whole fan-out with
+``perf_counter``, and records per-stage fan-out histograms, worker
+utilization (summed in-worker busy seconds over ``wall x slots``), and
+dispatch/merge overhead. Resident pools additionally emit
+``pool.spawned`` / ``pool.teardown`` lifecycle events. With ``metrics``
+unset the wrapper is one ``is None`` check — the disabled path stays
+zero-cost.
 """
 
 from __future__ import annotations
@@ -54,9 +70,13 @@ import os
 import threading
 import weakref
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-BACKENDS = ("serial", "thread", "process")
+from repro.obs.events import POOL_SPAWNED, POOL_TEARDOWN
+from repro.obs.timing import PARALLEL, SERIAL, WorkloadCalibration
+
+BACKENDS = ("serial", "thread", "process", "auto")
 
 _DEFAULT_WORKERS = 4
 
@@ -93,6 +113,11 @@ def _env_idle_seconds() -> float:
         return _DEFAULT_IDLE_SECONDS
 
 
+def _env_auto_parallel() -> str:
+    raw = os.environ.get("REPRO_EXEC_AUTO_PARALLEL", "process").strip().lower()
+    return raw if raw in ("thread", "process") else "process"
+
+
 @dataclass
 class ExecConfig:
     """The execution knob: which backend, how many workers.
@@ -106,12 +131,17 @@ class ExecConfig:
     alive across fan-outs instead of creating one per call;
     ``idle_seconds`` (``REPRO_EXEC_IDLE_SECONDS``) is how long a resident
     pool may sit unused before its workers are released.
+
+    ``backend="auto"`` picks serial or a pool per stage kind from
+    measured timings; ``auto_parallel`` (``REPRO_EXEC_AUTO_PARALLEL``)
+    names the pool backend the auto executor's parallel arm uses.
     """
 
     backend: str = field(default_factory=_env_backend)
     workers: int = field(default_factory=_env_workers)
     resident: bool = field(default_factory=_env_resident)
     idle_seconds: float = field(default_factory=_env_idle_seconds)
+    auto_parallel: str = field(default_factory=_env_auto_parallel)
 
 
 class ExecError(RuntimeError):
@@ -141,27 +171,44 @@ _FORK_LOCK = threading.Lock()
 
 def _run_chunk_with_state(
     fn: Callable[[Any, Any], Any], state: Any, chunk: Sequence[Any], offset: int
-) -> Tuple[str, Any]:
+) -> Tuple[str, Any, float]:
     """Run one chunk of items; never raise — failures become values.
 
     Capturing the exception (instead of letting the pool surface it in
     completion order) is what lets the coordinator raise deterministically
     for the first failed *item*, and lets sibling tasks finish cleanly.
+
+    Successful outcomes carry the chunk's in-worker wall seconds
+    (``perf_counter``), which the coordinator sums into the fan-out's
+    busy time for the utilization metric.
     """
+    started = perf_counter()
     results = []
     for position, item in enumerate(chunk):
         try:
             results.append(fn(state, item))
         except BaseException as exc:  # noqa: BLE001 - transported, not hidden
             return ("err", offset + position, repr(exc), exc)
-    return ("ok", results)
+    return ("ok", results, perf_counter() - started)
 
 
 def _run_chunk_forked(
     fn: Callable[[Any, Any], Any], chunk: Sequence[Any], offset: int
-) -> Tuple[str, Any]:
+) -> Tuple[str, Any, float]:
     """Process-pool entry point: state comes from the forked snapshot."""
     return _run_chunk_with_state(fn, _FORK_STATE, chunk, offset)
+
+
+def _stage_kind(fn: Callable, labels: Optional[Sequence[str]]) -> str:
+    """The fan-out's stage family, e.g. ``link:pair:a->b`` -> ``link``.
+
+    Callers that pass no labels are classified by the task function's
+    name — good enough to keep their timings in their own bucket.
+    """
+    if labels:
+        first = labels[0]
+        return first.split(":", 1)[0] if ":" in first else first
+    return getattr(fn, "__name__", "task").strip("_") or "task"
 
 
 # ----------------------------------------------------------------------
@@ -175,10 +222,18 @@ class Executor:
     module-level function when the process backend may run it (it crosses
     the pool pickled by reference); ``state`` is shared worker state —
     passed directly under serial/thread, inherited via fork under process.
+
+    Subclasses implement ``_map_impl`` (returning ``(results, busy)``);
+    the public ``map_ordered`` wraps it with the optional per-stage
+    instrumentation described in the module docstring.
     """
 
     name = "serial"
     resident = False
+    # Observability handles, wired by the owning Aladin. None means the
+    # instrumented wrapper short-circuits to the raw implementation.
+    metrics = None
+    events = None
 
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
@@ -224,8 +279,52 @@ class Executor:
         state: Any = None,
         labels: Optional[Sequence[str]] = None,
         chunksize: int = 1,
+        stage: Optional[str] = None,
     ) -> List[Any]:
         items = list(items)
+        metrics = self.metrics
+        if metrics is None:
+            results, _ = self._map_impl(fn, items, state, labels, chunksize)
+            return results
+        stage = stage or _stage_kind(fn, labels)
+        started = perf_counter()
+        try:
+            results, busy = self._map_impl(fn, items, state, labels, chunksize)
+        except ExecError:
+            metrics.counter("pool.failures").inc()
+            metrics.counter(f"pool.failures.{stage}").inc()
+            raise
+        wall = perf_counter() - started
+        self._record_fanout(metrics, stage, len(items), wall, busy)
+        return results
+
+    def _record_fanout(
+        self, metrics, stage: str, item_count: int, wall: float, busy: float
+    ) -> None:
+        metrics.counter("pool.fanouts").inc()
+        metrics.counter("pool.tasks").inc(item_count)
+        metrics.histogram(f"pool.fanout.{stage}").observe(wall)
+        # Slots actually available to this fan-out: 1 when it ran inline.
+        slots = 1 if item_count <= 1 or self.workers <= 1 else self.workers
+        if wall > 0:
+            metrics.histogram("pool.utilization").observe(
+                min(1.0, busy / (wall * slots))
+            )
+        # Time not spent inside workers, assuming perfect packing:
+        # dispatch, pickling, and ordered merge.
+        metrics.histogram("pool.overhead_seconds").observe(
+            max(0.0, wall - busy / slots)
+        )
+
+    def _map_impl(
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: List[Any],
+        state: Any = None,
+        labels: Optional[Sequence[str]] = None,
+        chunksize: int = 1,
+    ) -> Tuple[List[Any], float]:
+        started = perf_counter()
         results: List[Any] = []
         for index, item in enumerate(items):
             try:
@@ -237,7 +336,7 @@ class Executor:
                     f"task {_label(labels, index)!r} failed: {exc!r}",
                     task=_label(labels, index),
                 ) from exc
-        return results
+        return results, perf_counter() - started
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} workers={self.workers}>"
@@ -256,10 +355,9 @@ class ThreadExecutor(Executor):
     def parallel_graph(self) -> bool:
         return True
 
-    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
-        items = list(items)
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
         if len(items) <= 1 or self.workers <= 1:
-            return super().map_ordered(fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         chunks = _chunk(items, chunksize)
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=min(self.workers, len(chunks))
@@ -288,14 +386,13 @@ class ProcessExecutor(Executor):
     def cpu_parallel(self) -> bool:
         return True
 
-    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
-        items = list(items)
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         chunks = _chunk(items, chunksize)
         global _FORK_STATE
         with _FORK_LOCK:
@@ -426,9 +523,20 @@ class _IdleTimerMixin:
             with self._lock:
                 if generation != self._timer_generation or self._idle_blocked():
                     return
-                self._teardown()
+                self._teardown(reason="idle")
         except Exception:  # noqa: BLE001 - timer thread, nothing to recover
             pass
+
+    def _emit_pool_event(self, kind: str, **payload: Any) -> None:
+        """Resident pool lifecycle onto the owning system's bus.
+
+        May run on a timer thread; the bus serializes emission, and a
+        missing bus (observability disabled, or a bare executor) is one
+        attribute check.
+        """
+        events = self.events
+        if events is not None:
+            events.emit(kind, backend=self.name, workers=self.workers, **payload)
 
 
 class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
@@ -457,10 +565,9 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
     def pool_alive(self) -> bool:
         return self._pool is not None
 
-    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
-        items = list(items)
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         chunks = _chunk(items, chunksize)
         with self._lock:
             self._cancel_timer()
@@ -469,6 +576,7 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
                     max_workers=self.workers
                 )
                 self.pools_started += 1
+                self._emit_pool_event(POOL_SPAWNED, spins=self.pools_started)
             pool = self._pool
             self._active += 1
         try:
@@ -496,15 +604,16 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
     def shutdown(self) -> None:
         with self._lock:
             self._cancel_timer()
-            self._teardown()
+            self._teardown(reason="shutdown")
 
     def _idle_blocked(self) -> bool:
         return bool(self._active)
 
-    def _teardown(self) -> None:
+    def _teardown(self, reason: str = "shutdown") -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False)
             self._pool = None
+            self._emit_pool_event(POOL_TEARDOWN, reason=reason)
 
 
 class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
@@ -544,26 +653,25 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
     def refresh_state(self) -> None:
         with self._lock:
             self._cancel_timer()
-            self._teardown()
+            self._teardown(reason="refresh_state")
 
     def shutdown(self) -> None:
         with self._lock:
             self._cancel_timer()
-            self._teardown()
+            self._teardown(reason="shutdown")
 
-    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1):
-        items = list(items)
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            return Executor.map_ordered(self, fn, items, state=state, labels=labels)
+            return Executor._map_impl(self, fn, items, state, labels)
         if self._degraded:
             # Deterministic pre-spawn failed once on this host: behave as
             # the per-call executor from here on rather than risk a
             # wrong-state worker.
-            return super().map_ordered(
+            return super()._map_impl(
                 fn, items, state=state, labels=labels, chunksize=chunksize
             )
         with self._lock:
@@ -572,8 +680,8 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                 pool = self._ensure_pool(context, state)
             except _ResidencyUnavailable:
                 self._degraded = True
-                self._teardown()
-                return super().map_ordered(
+                self._teardown(reason="degraded")
+                return super()._map_impl(
                     fn, items, state=state, labels=labels, chunksize=chunksize
                 )
             chunks = _chunk(items, chunksize)
@@ -607,7 +715,8 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                     outcomes.append(("err", offset, repr(exc), exc))
                     pool_failure = True
             if pool_failure:
-                self._teardown()  # the pool may be broken; re-fork next call
+                # The pool may be broken; re-fork next call.
+                self._teardown(reason="pool_failure")
             else:
                 self._arm_timer()
         return _collect(outcomes, chunks, labels)
@@ -616,10 +725,11 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
     def _ensure_pool(self, context, state: Any):
         if self._pool is not None and (state is None or state is self._state):
             return self._pool
-        self._teardown()
+        self._teardown(reason="state_change")
         self._pool = self._fork_pool(context, state)
         self._state = state
         self.pools_forked += 1
+        self._emit_pool_event(POOL_SPAWNED, forks=self.pools_forked)
         return self._pool
 
     def _fork_pool(self, context, state: Any):
@@ -664,11 +774,165 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                 _FORK_STATE = None
         return pool
 
-    def _teardown(self) -> None:
+    def _teardown(self, reason: str = "shutdown") -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            self._emit_pool_event(POOL_TEARDOWN, reason=reason)
         self._state = None
+
+
+class AutoExecutor(Executor):
+    """Measurement-driven backend selection, per stage kind.
+
+    Holds two arms — an inline :class:`SerialExecutor` and the configured
+    pool (``auto_parallel`` backend, same workers/residency) — and routes
+    each fan-out to one of them based on the owning system's
+    :class:`~repro.obs.timing.WorkloadCalibration`:
+
+    * single-item fan-outs always run inline (no pool could help);
+    * while a stage kind is uncalibrated the arms are explored in a fixed
+      order (serial first, then parallel, :data:`~repro.obs.timing.MIN_RUNS`
+      fan-outs each);
+    * once calibrated, the faster arm is chosen and **cached for the
+      session** — a stage kind never flip-flops mid-run, and given the
+      same calibration sidecar the choices are fully deterministic.
+
+    Every routed fan-out's wall time feeds back into the calibration, so
+    the record sharpens as the warehouse works. Results are byte-identical
+    across arms by the executor determinism contract; only wall-clock
+    changes. Capability properties (``cpu_parallel``, ``parallel_graph``,
+    ``resident``) mirror the parallel arm so fan-out *shape* gates
+    upstream behave as if the pool were always on — auto then decides
+    whether the shape actually fans out.
+    """
+
+    name = "auto"
+
+    def __init__(self, config: ExecConfig):
+        self._metrics = None
+        self._events = None
+        super().__init__(config.workers)
+        parallel_backend = config.auto_parallel
+        if parallel_backend not in ("thread", "process"):
+            parallel_backend = "process"
+        self._serial = SerialExecutor(1)
+        self._parallel = create_executor(
+            ExecConfig(
+                backend=parallel_backend,
+                workers=config.workers,
+                resident=config.resident,
+                idle_seconds=config.idle_seconds,
+                auto_parallel=parallel_backend,
+            )
+        )
+        self.calibration = WorkloadCalibration()
+        #: Stage kind -> arm, frozen at first calibrated choice.
+        self.decisions: Dict[str, str] = {}
+
+    # -- observability handles propagate to both arms -------------------
+    @property
+    def metrics(self):
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, value):
+        self._metrics = value
+        self._serial.metrics = value
+        self._parallel.metrics = value
+
+    @property
+    def events(self):
+        return self._events
+
+    @events.setter
+    def events(self, value):
+        self._events = value
+        self._serial.events = value
+        self._parallel.events = value
+
+    # -- capabilities mirror the parallel arm ----------------------------
+    @property
+    def parallel_graph(self) -> bool:
+        return self._parallel.parallel_graph
+
+    @property
+    def cpu_parallel(self) -> bool:
+        return self._parallel.cpu_parallel
+
+    @property
+    def resident(self) -> bool:
+        return self._parallel.resident
+
+    @property
+    def pool_alive(self) -> bool:
+        return bool(getattr(self._parallel, "pool_alive", False))
+
+    @property
+    def pools_started(self) -> int:
+        return getattr(self._parallel, "pools_started", 0)
+
+    @property
+    def pools_forked(self) -> int:
+        return getattr(self._parallel, "pools_forked", 0)
+
+    @property
+    def parallel_backend(self) -> str:
+        return self._parallel.name
+
+    def refresh_state(self) -> None:
+        self._parallel.refresh_state()
+
+    def shutdown(self) -> None:
+        self._parallel.shutdown()
+        self._serial.shutdown()
+
+    # -- calibration persistence ----------------------------------------
+    def load_calibration(self, path: str) -> None:
+        """Replace the in-memory record with the sidecar's (missing or
+        corrupt file -> empty record) and forget cached decisions."""
+        self.calibration = WorkloadCalibration.load(path)
+        self.decisions = {}
+
+    def save_calibration(self, path: str) -> None:
+        self.calibration.save(path)
+
+    # -- routing ---------------------------------------------------------
+    def _choose(self, stage: str) -> str:
+        arm = self.decisions.get(stage)
+        if arm is not None:
+            return arm
+        arm, calibrated = self.calibration.choose(stage)
+        if calibrated:
+            self.decisions[stage] = arm
+        return arm
+
+    def map_ordered(self, fn, items, state=None, labels=None, chunksize=1, stage=None):
+        items = list(items)
+        if len(items) <= 1:
+            # Inline, and unrecorded: neither arm could differ here.
+            return self._serial.map_ordered(
+                fn, items, state=state, labels=labels, chunksize=chunksize,
+                stage=stage,
+            )
+        stage = stage or _stage_kind(fn, labels)
+        arm = self._choose(stage)
+        delegate = self._parallel if arm == PARALLEL else self._serial
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(f"auto.{stage}.{arm}").inc()
+        started = perf_counter()
+        results = delegate.map_ordered(
+            fn, items, state=state, labels=labels, chunksize=chunksize, stage=stage
+        )
+        self.calibration.record(stage, arm, len(items), perf_counter() - started)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AutoExecutor workers={self.workers} "
+            f"parallel={self._parallel!r} decisions={self.decisions}>"
+        )
 
 
 def _chunk(items: List[Any], chunksize: int) -> List[Tuple[List[Any], int]]:
@@ -685,13 +949,19 @@ def _label(labels: Optional[Sequence[str]], index: int) -> str:
     return f"task[{index}]"
 
 
-def _collect(outcomes, chunks, labels) -> List[Any]:
-    """Flatten chunk outcomes in item order; raise for the first failure."""
+def _collect(outcomes, chunks, labels) -> Tuple[List[Any], float]:
+    """Flatten chunk outcomes in item order; raise for the first failure.
+
+    Returns ``(results, busy_seconds)`` where busy is the sum of the
+    chunks' in-worker wall times — the numerator of pool utilization.
+    """
     failure: Optional[Tuple[int, str, BaseException]] = None
     results: List[Any] = []
+    busy = 0.0
     for outcome in outcomes:
         if outcome[0] == "ok":
             results.extend(outcome[1])
+            busy += outcome[2]
             continue
         _, index, rendered, exc = outcome
         if failure is None or index < failure[0]:
@@ -702,7 +972,7 @@ def _collect(outcomes, chunks, labels) -> List[Any]:
             f"task {_label(labels, index)!r} failed: {rendered}",
             task=_label(labels, index),
         ) from exc
-    return results
+    return results, busy
 
 
 def create_executor(config: Optional[ExecConfig] = None) -> Executor:
@@ -719,6 +989,8 @@ def create_executor(config: Optional[ExecConfig] = None) -> Executor:
         if resident:
             return ResidentProcessExecutor(config.workers, idle_seconds=idle_seconds)
         return ProcessExecutor(config.workers)
+    if backend == "auto":
+        return AutoExecutor(config)
     if backend != "serial":
         raise ValueError(
             f"unknown execution backend {config.backend!r}; known: {', '.join(BACKENDS)}"

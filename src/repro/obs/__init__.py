@@ -1,0 +1,106 @@
+"""repro.obs — the unified telemetry layer.
+
+A deliberate leaf package: it imports nothing from the rest of
+``repro``, so every other layer (exec, persist, relational, core, CLI)
+can depend on it without cycles.  Three modules:
+
+``metrics``
+    Thread-safe registry of counters, gauges, and duration histograms,
+    with a no-op twin for the disabled path.
+``events``
+    Synchronous lifecycle event bus with typed constants and a
+    JSON-lines exporter.
+``timing``
+    ``perf_counter`` helpers plus :class:`WorkloadCalibration`, the
+    persisted record behind ``backend="auto"``.
+
+:class:`Observability` bundles one registry + one bus per ``Aladin``
+and owns the optional export sink.  Enablement is decided once at
+construction from :class:`ObsConfig` — default **on**, switched off by
+``REPRO_OBS=0`` (or ``false``/``no``/``off``) or per-instance via
+``AladinConfig.observability.enabled = False``.  Disabled, both handles
+are the shared null singletons and hot paths receive ``None`` instead,
+so the instrumented code compiles down to a handful of ``is None``
+checks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.events import (
+    EventBus,
+    JsonlExporter,
+    NULL_BUS,
+    LIFECYCLE_EVENTS,
+)
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.timing import WorkloadCalibration
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "MetricsRegistry",
+    "EventBus",
+    "WorkloadCalibration",
+    "LIFECYCLE_EVENTS",
+]
+
+_FALSY = ("0", "false", "no", "off")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "1").strip().lower() not in _FALSY
+
+
+def _env_export_path() -> Optional[str]:
+    return os.environ.get("REPRO_OBS_EXPORT") or None
+
+
+@dataclass
+class ObsConfig:
+    """Host-local observability policy (never persisted in snapshots)."""
+
+    enabled: bool = field(default_factory=_env_enabled)
+    #: Optional JSON-lines sink: every event is appended eagerly, the
+    #: final metrics snapshot on close.
+    export_path: Optional[str] = field(default_factory=_env_export_path)
+
+
+class Observability:
+    """One registry + one bus, wired per ``Aladin`` instance."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config or ObsConfig()
+        self.enabled = self.config.enabled
+        if self.enabled:
+            self.metrics = MetricsRegistry()
+            self.events = EventBus()
+        else:
+            self.metrics = NULL_REGISTRY
+            self.events = NULL_BUS
+        self._exporter: Optional[JsonlExporter] = None
+        if self.enabled and self.config.export_path:
+            self._exporter = JsonlExporter(self.config.export_path)
+            self.events.subscribe(self._exporter)
+
+    @property
+    def metrics_or_none(self):
+        """The registry for hot paths: ``None`` when disabled, so
+        instrumentation costs one identity check."""
+        return self.metrics if self.enabled else None
+
+    @property
+    def events_or_none(self):
+        return self.events if self.enabled else None
+
+    def close(self) -> None:
+        """Flush the final metrics line and release the export sink.
+        Idempotent."""
+        exporter = self._exporter
+        if exporter is not None:
+            exporter.write_metrics(self.metrics.snapshot())
+            exporter.close()
+            self._exporter = None

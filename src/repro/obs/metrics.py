@@ -1,0 +1,295 @@
+"""Thread-safe metrics registry: counters, gauges, duration histograms.
+
+One registry per :class:`~repro.core.aladin.Aladin` instance holds every
+counter the system used to scatter across layers.  Three metric kinds:
+
+``Counter``
+    Monotonically increasing integer (``pool.fanouts``, ``auto.link.serial``).
+``Gauge``
+    A point-in-time value.  Either set explicitly or registered with a
+    provider callable that is resolved at snapshot time — the provider
+    form is how the pre-existing ad-hoc counters
+    (``Database.column_cache_stats()``, ``Aladin.hydration_stats()``,
+    ``BoundedRecordScorer.cache_hits``) become registry views without
+    double bookkeeping.
+``Histogram``
+    Duration distribution: count/sum/min/max plus p50/p95 over a bounded
+    reservoir of the most recent observations.
+
+Disabled observability must be zero-cost, so the registry has a null
+twin: :data:`NULL_REGISTRY` hands out shared no-op metric objects whose
+methods are empty and whose ``snapshot()`` is ``{}``.  Hot paths
+(executor fan-outs, graph nodes) skip even that by receiving ``None``
+instead of a registry.
+
+All durations recorded here are measured with ``time.perf_counter()`` —
+never wall-clock — per the repo's timing policy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Observations kept per histogram for percentile estimation.  Count,
+#: sum, min, and max remain exact over the full stream; p50/p95 are over
+#: the most recent window, which is what a "where is time going *now*"
+#: question wants anyway.
+HISTOGRAM_RESERVOIR = 1024
+
+
+class Counter:
+    """Monotonic integer counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value; explicit ``set`` or provider-resolved."""
+
+    __slots__ = ("_lock", "_value", "_provider")
+
+    def __init__(
+        self, lock: threading.RLock, provider: Optional[Callable[[], Any]] = None
+    ) -> None:
+        self._lock = lock
+        self._value: Any = 0
+        self._provider = provider
+
+    def set(self, value: Any) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> Any:
+        provider = self._provider
+        if provider is not None:
+            try:
+                return provider()
+            except Exception:  # a broken provider must not break snapshot()
+                return None
+        return self._value
+
+
+class Histogram:
+    """Duration distribution with exact count/sum/min/max and
+    reservoir-estimated p50/p95."""
+
+    __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_recent")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._recent: deque = deque(maxlen=HISTOGRAM_RESERVOIR)
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            self._recent.append(value)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(perf_counter() - started)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0}
+            ordered = sorted(self._recent)
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "p50": _percentile(ordered, 0.50),
+                "p95": _percentile(ordered, 0.95),
+            }
+
+
+def _percentile(ordered: list, q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    Metric names are dot-separated families (``pool.fanout.link``,
+    ``persist.checkpoint_seconds``); the README's observability section
+    documents the catalog.  One shared re-entrant lock guards every
+    mutation — metric updates are tiny, contention is not a concern at
+    this fan-out granularity, and a single lock keeps ``snapshot()``
+    coherent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(self._lock)
+            return metric
+
+    def gauge(self, name: str, provider: Optional[Callable[[], Any]] = None) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(self._lock, provider)
+            elif provider is not None:
+                metric._provider = provider
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(self._lock)
+            return metric
+
+    def timer(self, name: str):
+        """``with registry.timer("stage.link"): ...`` sugar."""
+        return self.histogram(name).time()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One coherent dict of everything: counters, resolved gauges,
+        histogram stats.  Safe to ``json.dumps`` directly."""
+        with self._lock:
+            counters = {name: c.value for name, c in sorted(self._counters.items())}
+            gauges = {name: g.value for name, g in sorted(self._gauges.items())}
+            histograms = {
+                name: h.stats() for name, h in sorted(self._histograms.items())
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def export_jsonl(self, path: str) -> None:
+        """Append the current snapshot as one JSON line."""
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "metrics", "metrics": self.snapshot()}) + "\n")
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value: Any) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
+    def stats(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMetricsRegistry:
+    """The disabled registry: every accessor returns a shared no-op
+    metric, nothing is ever stored, ``snapshot()`` is empty."""
+
+    __slots__ = ()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, provider: Optional[Callable[[], Any]] = None) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str):
+        return _NULL_HISTOGRAM.time()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+    def export_jsonl(self, path: str) -> None:
+        pass
+
+
+NULL_REGISTRY = NullMetricsRegistry()

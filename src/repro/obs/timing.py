@@ -1,0 +1,199 @@
+"""Per-stage timing helpers and the workload calibration record.
+
+:class:`WorkloadCalibration` is the data behind ``backend="auto"``:
+for every stage kind (``import``, ``link``, ``duplicates``,
+``batch_scan``, ``tokenize``, ``encode_rows``) it accumulates measured
+per-fanout wall times for the two arms — ``serial`` and ``parallel``
+(whatever pool the host configured).  The auto executor consults
+:meth:`choose` before each fan-out:
+
+1. While the serial arm has fewer than :data:`MIN_RUNS` samples for a
+   stage, run serial (exploration).
+2. Then, while the parallel arm has fewer than ``MIN_RUNS`` samples,
+   run parallel (exploration).
+3. Once both arms are sampled, the decision is final for the stage:
+   the arm with the lower mean seconds-per-fanout wins, ties going to
+   serial.  The auto executor caches the decision, so a stage kind is
+   decided **once per session** and never flip-flops mid-run.
+
+The record persists as a JSON sidecar next to the snapshot
+(``<snapshot>.calibration.json``), so a warehouse that has measured its
+workload once opens already calibrated: given the same calibration file
+the choices are fully deterministic.  Byte-identical *results* are
+guaranteed independently by the executor contract (fixed-order merges),
+so calibration only ever moves time, never output.
+
+All measurements use ``time.perf_counter()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["ArmSample", "WorkloadCalibration", "MIN_RUNS", "Stopwatch"]
+
+#: Fan-outs each arm must have seen before a stage's choice is final.
+MIN_RUNS = 2
+
+SERIAL = "serial"
+PARALLEL = "parallel"
+
+
+class Stopwatch:
+    """Tiny ``perf_counter`` stopwatch: ``elapsed`` after ``stop()``."""
+
+    __slots__ = ("started", "elapsed")
+
+    def __init__(self) -> None:
+        self.started = perf_counter()
+        self.elapsed = 0.0
+
+    def stop(self) -> float:
+        self.elapsed = perf_counter() - self.started
+        return self.elapsed
+
+
+@dataclass
+class ArmSample:
+    """Accumulated measurements for one arm of one stage."""
+
+    runs: int = 0
+    items: int = 0
+    seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.runs if self.runs else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"runs": self.runs, "items": self.items, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ArmSample":
+        return cls(
+            runs=int(payload.get("runs", 0)),
+            items=int(payload.get("items", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+class WorkloadCalibration:
+    """Serial-vs-parallel per-fanout timings per stage kind."""
+
+    VERSION = 1
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._stages: Dict[str, Dict[str, ArmSample]] = {}
+
+    # -- recording ---------------------------------------------------
+
+    def record(self, stage: str, arm: str, items: int, seconds: float) -> None:
+        with self._lock:
+            arms = self._stages.setdefault(
+                stage, {SERIAL: ArmSample(), PARALLEL: ArmSample()}
+            )
+            sample = arms.setdefault(arm, ArmSample())
+            sample.runs += 1
+            sample.items += items
+            sample.seconds += seconds
+
+    # -- deciding ----------------------------------------------------
+
+    def choose(self, stage: str) -> Tuple[str, bool]:
+        """``(arm, calibrated)`` for the next fan-out of ``stage``.
+
+        ``calibrated`` is False while still exploring; once True the
+        answer is stable for this calibration state.
+        """
+        with self._lock:
+            arms = self._stages.get(stage)
+            if arms is None:
+                return SERIAL, False
+            serial = arms.get(SERIAL, ArmSample())
+            parallel = arms.get(PARALLEL, ArmSample())
+            if serial.runs < MIN_RUNS:
+                return SERIAL, False
+            if parallel.runs < MIN_RUNS:
+                return PARALLEL, False
+            if serial.mean_seconds <= parallel.mean_seconds:
+                return SERIAL, True
+            return PARALLEL, True
+
+    def decisions(self) -> Dict[str, Dict[str, Any]]:
+        """Per-stage summary: chosen arm, calibration state, arm means."""
+        with self._lock:
+            stages = sorted(self._stages)
+        summary = {}
+        for stage in stages:
+            arm, calibrated = self.choose(stage)
+            with self._lock:
+                arms = self._stages[stage]
+                summary[stage] = {
+                    "choice": arm,
+                    "calibrated": calibrated,
+                    "serial": arms.get(SERIAL, ArmSample()).to_dict(),
+                    "parallel": arms.get(PARALLEL, ArmSample()).to_dict(),
+                }
+        return summary
+
+    @property
+    def empty(self) -> bool:
+        with self._lock:
+            return not self._stages
+
+    # -- persistence -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "version": self.VERSION,
+                "stages": {
+                    stage: {arm: sample.to_dict() for arm, sample in arms.items()}
+                    for stage, arms in sorted(self._stages.items())
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WorkloadCalibration":
+        calibration = cls()
+        stages = payload.get("stages", {})
+        if not isinstance(stages, dict):
+            return calibration
+        for stage, arms in stages.items():
+            if not isinstance(arms, dict):
+                continue
+            for arm, sample in arms.items():
+                if arm not in (SERIAL, PARALLEL) or not isinstance(sample, dict):
+                    continue
+                calibration._stages.setdefault(
+                    stage, {SERIAL: ArmSample(), PARALLEL: ArmSample()}
+                )[arm] = ArmSample.from_dict(sample)
+        return calibration
+
+    def save(self, path: str) -> None:
+        """Atomic write (tmp + replace), same crash discipline as the
+        snapshot itself."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadCalibration":
+        """Load a sidecar; a missing or corrupt file yields an empty
+        calibration (the system just re-explores)."""
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return cls()
+        if not isinstance(payload, dict):
+            return cls()
+        return cls.from_dict(payload)

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.access.index import InvertedIndex, PostingField
 from repro.linking.stats import statistics_from_profile
+from repro.obs.events import HYDRATION_FAULTED
 from repro.persist import codec
 from repro.persist.snapshot import SnapshotError, SnapshotManifest, SnapshotStore
 from repro.relational.expressions import ColumnRef, Comparison, Literal
@@ -372,6 +373,11 @@ class LazySnapshotSession:
             self._hydrated.pop(name, None)
             self._evict_from_system(aladin, name)
             raise
+        obs = getattr(aladin, "obs", None)
+        if obs is not None:
+            obs.events.emit(
+                HYDRATION_FAULTED, source=name, payload_bytes=body.payload_bytes
+            )
 
     @staticmethod
     def _evict_from_system(aladin, name: str) -> None:

@@ -359,7 +359,11 @@ class SnapshotLock:
             {
                 "pid": os.getpid(),
                 "host": socket.gethostname(),
+                # Wall time for humans reading the sidecar; the monotonic
+                # stamp is the reference for in-process age arithmetic
+                # (wall clocks can step backwards under NTP).
                 "since": time.time(),
+                "since_monotonic": time.monotonic(),
             }
         )
         _overwrite_fd(fd, payload)

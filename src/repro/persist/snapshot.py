@@ -144,7 +144,9 @@ def _encode_rows(rows: List[tuple], executor=None) -> List[str]:
     ):
         return [_encode_row_task(None, tup) for tup in rows]
     chunksize = max(1, len(rows) // (executor.workers * 4))
-    return executor.map_ordered(_encode_row_task, rows, chunksize=chunksize)
+    return executor.map_ordered(
+        _encode_row_task, rows, chunksize=chunksize, stage="checkpoint_encode"
+    )
 
 def _hash_stored_source(conn: sqlite3.Connection, name: str) -> str:
     """Recompute one stored source's content hash from its persisted slice.

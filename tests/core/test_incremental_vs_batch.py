@@ -21,13 +21,18 @@ from repro.core import Aladin, AladinConfig
 from repro.exec import ExecConfig
 from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
 
-# (backend, resident): the full backend x pool-mode matrix.
+# (backend, resident): the full backend x pool-mode matrix. "auto"
+# measures serial vs parallel per stage kind and picks from the data —
+# whatever it picks, results must stay byte-identical (the arms merge in
+# fixed order, so routing is invisible to the output by construction).
 MODES = [
     ("serial", False),
     ("thread", False),
     ("thread", True),
     ("process", False),
     ("process", True),
+    ("auto", False),
+    ("auto", True),
 ]
 
 

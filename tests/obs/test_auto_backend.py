@@ -1,0 +1,228 @@
+"""The measurement-driven backend: calibration record and auto executor.
+
+``backend="auto"`` may only ever move *time*: every routing decision
+must be deterministic given the calibration state, frozen per stage kind
+within a session, persisted as a sidecar next to the snapshot, and
+invisible in the produced webs/duplicates/postings (the byte-identity
+half is pinned by tests/core/test_incremental_vs_batch.py's matrix).
+"""
+
+import json
+
+import pytest
+
+from repro.core import Aladin, AladinConfig
+from repro.exec import AutoExecutor, ExecConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import MIN_RUNS, PARALLEL, SERIAL, WorkloadCalibration
+
+
+class TestWorkloadCalibration:
+    def test_exploration_then_frozen_decision(self):
+        calibration = WorkloadCalibration()
+        # Unknown stage: serial, still exploring.
+        assert calibration.choose("link") == (SERIAL, False)
+        for _ in range(MIN_RUNS):
+            calibration.record("link", SERIAL, items=4, seconds=0.2)
+        assert calibration.choose("link") == (PARALLEL, False)
+        for _ in range(MIN_RUNS):
+            calibration.record("link", PARALLEL, items=4, seconds=0.1)
+        # Both arms sampled: parallel's mean wins, and stays won.
+        assert calibration.choose("link") == (PARALLEL, True)
+        assert calibration.choose("link") == (PARALLEL, True)
+
+    def test_ties_go_to_serial(self):
+        calibration = WorkloadCalibration()
+        for _ in range(MIN_RUNS):
+            calibration.record("x", SERIAL, items=1, seconds=0.1)
+            calibration.record("x", PARALLEL, items=1, seconds=0.1)
+        assert calibration.choose("x") == (SERIAL, True)
+
+    def test_round_trip_and_atomic_save(self, tmp_path):
+        calibration = WorkloadCalibration()
+        calibration.record("link", SERIAL, items=6, seconds=0.5)
+        calibration.record("link", PARALLEL, items=6, seconds=0.2)
+        path = tmp_path / "cal.json"
+        calibration.save(str(path))
+        assert not (tmp_path / "cal.json.tmp").exists()
+        loaded = WorkloadCalibration.load(str(path))
+        assert loaded.to_dict() == calibration.to_dict()
+        assert json.loads(path.read_text())["version"] == 1
+
+    def test_missing_and_corrupt_files_yield_empty(self, tmp_path):
+        assert WorkloadCalibration.load(str(tmp_path / "nope.json")).empty
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert WorkloadCalibration.load(str(bad)).empty
+        weird = tmp_path / "weird.json"
+        weird.write_text(json.dumps({"stages": {"link": {"bogus_arm": {}}}}))
+        loaded = WorkloadCalibration.load(str(weird))
+        assert loaded.choose("link") == (SERIAL, False)
+
+    def test_decisions_summary(self):
+        calibration = WorkloadCalibration()
+        for _ in range(MIN_RUNS):
+            calibration.record("link", SERIAL, items=2, seconds=0.4)
+            calibration.record("link", PARALLEL, items=2, seconds=0.1)
+        summary = calibration.decisions()
+        assert summary["link"]["choice"] == PARALLEL
+        assert summary["link"]["calibrated"] is True
+        assert summary["link"]["serial"]["runs"] == MIN_RUNS
+
+
+def seeded(stage, winner, loser_seconds=5.0, winner_seconds=0.001):
+    """A calibration whose decision for ``stage`` is already final."""
+    calibration = WorkloadCalibration()
+    loser = PARALLEL if winner == SERIAL else SERIAL
+    for _ in range(MIN_RUNS):
+        calibration.record(stage, winner, items=4, seconds=winner_seconds)
+        calibration.record(stage, loser, items=4, seconds=loser_seconds)
+    return calibration
+
+
+def double(_state, item):
+    return item * 2
+
+
+class TestAutoExecutor:
+    def make(self, **overrides):
+        config = ExecConfig(
+            backend="auto", workers=2, auto_parallel="thread", **overrides
+        )
+        return AutoExecutor(config)
+
+    def test_exploration_routes_serial_then_parallel(self):
+        executor = self.make()
+        registry = MetricsRegistry()
+        executor.metrics = registry
+        try:
+            items = [1, 2, 3]
+            for _ in range(2 * MIN_RUNS):
+                assert executor.map_ordered(double, items, labels=["s:x"] * 3) == [
+                    2, 4, 6,
+                ]
+            counters = registry.snapshot()["counters"]
+            assert counters["auto.s.serial"] == MIN_RUNS
+            assert counters["auto.s.parallel"] == MIN_RUNS
+            assert executor.decisions == {}  # still exploring
+            # The first post-exploration fan-out freezes the decision.
+            executor.map_ordered(double, items, labels=["s:x"] * 3)
+            assert set(executor.decisions) == {"s"}
+        finally:
+            executor.shutdown()
+
+    def test_seeded_calibration_skips_exploration(self, tmp_path):
+        path = tmp_path / "cal.json"
+        seeded("s", SERIAL).save(str(path))
+        executor = self.make()
+        registry = MetricsRegistry()
+        executor.metrics = registry
+        try:
+            executor.load_calibration(str(path))
+            for _ in range(3):
+                executor.map_ordered(double, [1, 2], labels=["s:x"] * 2)
+            counters = registry.snapshot()["counters"]
+            assert counters["auto.s.serial"] == 3
+            assert "auto.s.parallel" not in counters
+            assert executor.decisions == {"s": SERIAL}
+        finally:
+            executor.shutdown()
+
+    def test_single_item_fanouts_run_inline_and_unrecorded(self):
+        executor = self.make()
+        try:
+            assert executor.map_ordered(double, [21], labels=["s:x"]) == [42]
+            assert executor.calibration.empty
+            assert executor.decisions == {}
+        finally:
+            executor.shutdown()
+
+    def test_capabilities_mirror_the_parallel_arm(self):
+        executor = self.make()
+        try:
+            assert executor.name == "auto"
+            assert executor.parallel_backend == "thread"
+            assert executor.parallel_graph  # thread arm overlaps graph stages
+        finally:
+            executor.shutdown()
+
+
+def tsv(rows, tag=""):
+    body = "\n".join(f"ACC{tag}{i:03d}\tname{i}\tdescription {tag} {i}"
+                     for i in range(rows))
+    return "accession\tname\tdescription\n" + body
+
+
+def auto_config():
+    config = AladinConfig()
+    config.execution = ExecConfig(backend="auto", workers=2, auto_parallel="thread")
+    return config
+
+
+class TestCalibrationSidecar:
+    def test_save_writes_and_open_restores_the_sidecar(self, tmp_path):
+        snap = tmp_path / "wh.snap"
+        aladin = Aladin(auto_config())
+        try:
+            for tag in ("a", "b", "c"):
+                aladin.add_source(f"s_{tag}", "delimited", tsv(8, tag))
+            aladin.save(str(snap))
+        finally:
+            aladin.close()
+        sidecar = tmp_path / "wh.snap.calibration.json"
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text())
+        assert payload["version"] == 1
+        assert "link" in payload["stages"]
+
+        reopened = Aladin.open(str(snap), config=auto_config())
+        try:
+            assert isinstance(reopened.executor, AutoExecutor)
+            assert not reopened.executor.calibration.empty
+            loaded = reopened.executor.calibration.to_dict()
+            assert loaded == payload
+        finally:
+            reopened.close()
+
+    def test_decisions_are_deterministic_given_the_sidecar(self, tmp_path):
+        path = tmp_path / "cal.json"
+        seeded("link", SERIAL).save(str(path))
+        choices = []
+        for _ in range(2):
+            executor = AutoExecutor(
+                ExecConfig(backend="auto", workers=2, auto_parallel="thread")
+            )
+            try:
+                executor.load_calibration(str(path))
+                executor.map_ordered(double, [1, 2], labels=["link:a->b"] * 2)
+                choices.append(dict(executor.decisions))
+            finally:
+                executor.shutdown()
+        assert choices[0] == choices[1] == {"link": SERIAL}
+
+    def test_empty_session_never_clobbers_the_sidecar(self, tmp_path):
+        snap = tmp_path / "wh.snap"
+        aladin = Aladin(auto_config())
+        try:
+            for tag in ("a", "b", "c"):
+                aladin.add_source(f"s_{tag}", "delimited", tsv(8, tag))
+            aladin.save(str(snap))
+        finally:
+            aladin.close()
+        sidecar = tmp_path / "wh.snap.calibration.json"
+        before = sidecar.read_text()
+        # A read-only-style session that measures nothing new and closes.
+        idle = Aladin.open(str(snap), config=auto_config())
+        idle.executor.calibration._stages.clear()  # simulate "nothing measured"
+        idle.close()
+        assert sidecar.read_text() == before
+
+    def test_fixed_backends_do_not_write_sidecars(self, tmp_path):
+        snap = tmp_path / "wh.snap"
+        aladin = Aladin(AladinConfig())
+        try:
+            aladin.add_source("s_a", "delimited", tsv(8, "a"))
+            aladin.save(str(snap))
+        finally:
+            aladin.close()
+        assert not (tmp_path / "wh.snap.calibration.json").exists()

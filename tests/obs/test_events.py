@@ -1,0 +1,130 @@
+"""The lifecycle event bus: ordering, subscription, history, export."""
+
+import json
+import threading
+
+from repro.obs.events import (
+    EventBus,
+    JsonlExporter,
+    LIFECYCLE_EVENTS,
+    NULL_BUS,
+    SOURCE_ADDED,
+    SOURCE_REMOVED,
+)
+
+
+class TestEmitAndHistory:
+    def test_sequence_numbers_are_emission_order(self):
+        bus = EventBus()
+        bus.emit(SOURCE_ADDED, source="a")
+        bus.emit(SOURCE_REMOVED, source="a")
+        history = bus.history()
+        assert [e.seq for e in history] == [1, 2]
+        assert [e.kind for e in history] == [SOURCE_ADDED, SOURCE_REMOVED]
+        assert history[0].payload == {"source": "a"}
+        # Dual stamp: wall time for humans, perf_counter for arithmetic.
+        assert history[0].monotonic <= history[1].monotonic
+
+    def test_history_filter_and_kinds(self):
+        bus = EventBus()
+        bus.emit(SOURCE_ADDED, source="a")
+        bus.emit(SOURCE_ADDED, source="b")
+        bus.emit(SOURCE_REMOVED, source="a")
+        assert len(bus.history(SOURCE_ADDED)) == 2
+        assert bus.kinds() == [SOURCE_ADDED, SOURCE_REMOVED]
+        bus.clear()
+        assert bus.history() == []
+
+    def test_history_is_bounded(self):
+        bus = EventBus(history_limit=4)
+        for i in range(10):
+            bus.emit(SOURCE_ADDED, i=i)
+        history = bus.history()
+        assert len(history) == 4
+        assert [e.seq for e in history] == [7, 8, 9, 10]  # seq keeps counting
+
+    def test_concurrent_emitters_get_unique_sequences(self):
+        bus = EventBus()
+
+        def spin():
+            for _ in range(200):
+                bus.emit(SOURCE_ADDED)
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [e.seq for e in bus.history()]
+        assert len(seqs) == len(set(seqs)) == 800
+
+
+class TestSubscription:
+    def test_global_and_kind_scoped_handlers(self):
+        bus = EventBus()
+        seen_all, seen_removed = [], []
+        bus.subscribe(lambda e: seen_all.append(e.kind))
+        bus.subscribe(lambda e: seen_removed.append(e.kind), kind=SOURCE_REMOVED)
+        bus.emit(SOURCE_ADDED)
+        bus.emit(SOURCE_REMOVED)
+        assert seen_all == [SOURCE_ADDED, SOURCE_REMOVED]
+        assert seen_removed == [SOURCE_REMOVED]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(seen.append)
+        bus.emit(SOURCE_ADDED)
+        bus.unsubscribe(handler)
+        bus.emit(SOURCE_ADDED)
+        assert len(seen) == 1
+
+
+class TestEventShape:
+    def test_to_dict_round_trips_through_json(self):
+        bus = EventBus()
+        event = bus.emit(SOURCE_ADDED, source="sp", links=3)
+        record = json.loads(json.dumps(event.to_dict()))
+        assert record["type"] == "event"
+        assert record["kind"] == SOURCE_ADDED
+        assert record["payload"] == {"source": "sp", "links": 3}
+
+    def test_lifecycle_catalog_is_complete(self):
+        assert len(LIFECYCLE_EVENTS) == 9
+        assert len(set(LIFECYCLE_EVENTS)) == 9
+        for kind in LIFECYCLE_EVENTS:
+            assert "." in kind  # family.transition naming
+
+
+class TestNullBus:
+    def test_emits_vanish(self):
+        assert NULL_BUS.emit(SOURCE_ADDED, source="x") is None
+        assert NULL_BUS.history() == []
+        assert NULL_BUS.kinds() == []
+        assert not NULL_BUS.enabled
+        NULL_BUS.unsubscribe(NULL_BUS.subscribe(lambda e: None))  # no-ops
+
+
+class TestJsonlExporter:
+    def test_events_eager_and_metrics_final(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path))
+        bus.subscribe(exporter)
+        bus.emit(SOURCE_ADDED, source="a")
+        # Eager: the line is on disk before close.
+        assert json.loads(path.read_text().splitlines()[0])["kind"] == SOURCE_ADDED
+        exporter.write_metrics({"counters": {"n": 1}})
+        exporter.close()
+        exporter.close()  # idempotent
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["type"] for line in lines] == ["event", "metrics"]
+
+    def test_writes_after_close_are_swallowed(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path))
+        bus.subscribe(exporter)
+        exporter.close()
+        bus.emit(SOURCE_ADDED)  # must not raise through the pipeline
+        assert path.read_text() == ""

@@ -1,0 +1,137 @@
+"""The metrics registry: counters, gauges, histograms, and the null twin."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_RESERVOIR,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    _percentile,
+)
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_and_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("pool.fanouts").inc()
+        registry.counter("pool.fanouts").inc(3)
+        assert registry.counter("pool.fanouts").value == 4
+        assert registry.snapshot()["counters"] == {"pool.fanouts": 4}
+
+    def test_gauge_explicit_set(self):
+        registry = MetricsRegistry()
+        registry.gauge("resident.bytes").set(1234)
+        assert registry.snapshot()["gauges"]["resident.bytes"] == 1234
+
+    def test_gauge_provider_resolves_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        state = {"hits": 0}
+        registry.gauge("cache.hits", provider=lambda: state["hits"])
+        state["hits"] = 7
+        assert registry.snapshot()["gauges"]["cache.hits"] == 7
+
+    def test_broken_provider_degrades_to_none(self):
+        registry = MetricsRegistry()
+        registry.gauge("bad", provider=lambda: 1 / 0)
+        assert registry.snapshot()["gauges"]["bad"] is None
+
+
+class TestHistograms:
+    def test_stats_over_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("stage.link")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(value)
+        stats = registry.snapshot()["histograms"]["stage.link"]
+        assert stats["count"] == 4
+        assert stats["sum"] == pytest.approx(1.0)
+        assert stats["min"] == pytest.approx(0.1)
+        assert stats["max"] == pytest.approx(0.4)
+        assert stats["mean"] == pytest.approx(0.25)
+        assert stats["p50"] == pytest.approx(0.2)
+        assert stats["p95"] == pytest.approx(0.4)
+
+    def test_empty_histogram_stats(self):
+        registry = MetricsRegistry()
+        registry.histogram("never.observed")
+        assert registry.snapshot()["histograms"]["never.observed"] == {
+            "count": 0,
+            "sum": 0.0,
+        }
+
+    def test_count_and_sum_exact_beyond_reservoir(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for _ in range(HISTOGRAM_RESERVOIR + 100):
+            hist.observe(1.0)
+        stats = hist.stats()
+        assert stats["count"] == HISTOGRAM_RESERVOIR + 100
+        assert stats["sum"] == pytest.approx(HISTOGRAM_RESERVOIR + 100)
+
+    def test_timer_context_manager_observes_once(self):
+        registry = MetricsRegistry()
+        with registry.timer("stage.x"):
+            pass
+        assert registry.histogram("stage.x").count == 1
+
+    def test_nearest_rank_percentile(self):
+        assert _percentile([], 0.5) == 0.0
+        assert _percentile([5.0], 0.95) == 5.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_lost_update_free(self):
+        registry = MetricsRegistry()
+
+        def spin():
+            for _ in range(1000):
+                registry.counter("n").inc()
+                registry.histogram("h").observe(0.001)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("n").value == 8000
+        assert registry.histogram("h").count == 8000
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_is_json_safe_and_sorted(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must not raise
+        path = tmp_path / "metrics.jsonl"
+        registry.export_jsonl(str(path))
+        registry.export_jsonl(str(path))  # appends
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["type"] for line in lines] == ["metrics", "metrics"]
+        assert lines[0]["metrics"]["counters"] == {"a": 1, "b": 1}
+
+
+class TestNullRegistry:
+    def test_everything_is_a_shared_noop(self):
+        NULL_REGISTRY.counter("x").inc(100)
+        NULL_REGISTRY.gauge("y").set(5)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        with NULL_REGISTRY.timer("t"):
+            pass
+        assert NULL_REGISTRY.counter("x").value == 0
+        assert NULL_REGISTRY.histogram("z").count == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+        assert MetricsRegistry().enabled
+
+    def test_null_export_writes_nothing(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        NULL_REGISTRY.export_jsonl(str(path))
+        assert not path.exists()
