@@ -70,9 +70,12 @@ class BrowseView:
 class Browser:
     """Stateful navigation over the object web."""
 
-    def __init__(self, web: ObjectWeb):
+    def __init__(self, web: ObjectWeb, tracer=None):
         self._web = web
         self._history: List[Tuple[str, str]] = []
+        #: Optional :class:`~repro.obs.trace.Tracer`; each page visit
+        #: then records one ``op.browse`` root span (``None`` = off).
+        self.tracer = tracer
 
     @property
     def history(self) -> List[Tuple[str, str]]:
@@ -80,6 +83,12 @@ class Browser:
 
     def visit(self, source: str, accession: str) -> BrowseView:
         """Open one object page with all four link types resolved."""
+        if self.tracer is None:
+            return self._visit_impl(source, accession)
+        with self.tracer.span("op.browse", source=source, accession=accession):
+            return self._visit_impl(source, accession)
+
+    def _visit_impl(self, source: str, accession: str) -> BrowseView:
         page = self._web.page(source, accession)
         if page is None:
             raise KeyError(f"no object {source}/{accession}")

@@ -34,8 +34,11 @@ class SearchHit:
 class SearchEngine:
     """BM25 search over an :class:`InvertedIndex`."""
 
-    def __init__(self, index: InvertedIndex):
+    def __init__(self, index: InvertedIndex, tracer=None):
         self._index = index
+        #: Optional :class:`~repro.obs.trace.Tracer`; each query then
+        #: records one ``op.search`` root span (``None`` = span-free).
+        self.tracer = tracer
 
     def search(
         self,
@@ -51,6 +54,20 @@ class SearchEngine:
             fields: vertical partition — only count occurrences in these
                 fields ("a single attribute-type").
         """
+        if self.tracer is None:
+            return self._search_impl(query, top_k, sources, fields)
+        with self.tracer.span("op.search", query=query, top_k=top_k) as span:
+            hits = self._search_impl(query, top_k, sources, fields)
+            span.set(hits=len(hits))
+            return hits
+
+    def _search_impl(
+        self,
+        query: str,
+        top_k: int,
+        sources: Optional[Sequence[str]],
+        fields: Optional[Sequence[str]],
+    ) -> List[SearchHit]:
         tokens = tokenize(query)
         if not tokens:
             return []

@@ -32,20 +32,31 @@ actually faulted in::
 
 ``metrics`` dumps the full telemetry snapshot of one read-only session —
 every counter, gauge, and duration histogram, plus (``--events``) the
-lifecycle event log::
+lifecycle event log, or (``--prometheus``) the whole registry in
+Prometheus text exposition format::
 
     python -m repro metrics warehouse.snapshot --search "kinase" --events
+    python -m repro metrics warehouse.snapshot --search "kinase" --prometheus
+
+``trace`` renders the session's hierarchical span trees — one tree per
+top-level operation, worker task spans re-parented under their fan-out —
+with ``--slow SECONDS`` keeping only the slow offenders (plus their
+ancestor chains)::
+
+    python -m repro trace warehouse.snapshot --search "kinase" --slow 0.5
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core import Aladin, AladinConfig
 from repro.dataimport import registry
+from repro.obs import render_spans
 from repro.persist import SnapshotError, SnapshotStore
 
 
@@ -209,6 +220,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON-lines telemetry export (every event "
         "eagerly, the final metrics snapshot on close) to FILE",
     )
+    metrics_cmd.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the registry in Prometheus text exposition format "
+        "instead of JSON (counters as _total, histograms as summaries "
+        "with p50/p95/p99 quantiles)",
+    )
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="open a snapshot read-only, optionally exercise the access "
+        "modes, and render the session's span trees (hierarchical "
+        "tracing across pools and processes)",
+    )
+    trace_cmd.add_argument("snapshot", help="path of the snapshot file to read")
+    _add_access_flags(trace_cmd)
+    _add_exec_flags(trace_cmd)
+    trace_cmd.add_argument(
+        "--slow",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="only show spans at least this slow (backed by the bounded "
+        "slow-span log, so tail offenders survive ring eviction; the "
+        "ancestor chain of a slow span is kept for context)",
+    )
     compact = subparsers.add_parser(
         "compact",
         help="rewrite a snapshot's live content into a fresh file, "
@@ -363,13 +399,56 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
                     workers=args.workers,
                     resident=True if args.resident_pool else None,
                 )
-            code = _run_access_modes(aladin, args, out)
-            print(json.dumps(aladin.metrics(), indent=2, sort_keys=True), file=out)
+            # Under --prometheus the exposition must be the *only*
+            # output (scrapers read stdout), so the access modes run
+            # against a discarded stream.
+            access_out = io.StringIO() if args.prometheus else out
+            code = _run_access_modes(aladin, args, access_out)
+            if args.prometheus:
+                print(aladin.obs.metrics.render_prometheus(), end="", file=out)
+            else:
+                print(json.dumps(aladin.metrics(), indent=2, sort_keys=True), file=out)
             if args.events:
                 for event in aladin.obs.events.history():
                     print(json.dumps(event.to_dict(), sort_keys=True), file=out)
         finally:
             aladin.close()  # flushes the --export sink's final metrics line
+        return code
+    if args.command == "trace":
+        config = AladinConfig()
+        # Like `metrics`: the whole point is telemetry, so enablement is
+        # forced on even under REPRO_OBS=0 — and the slow-span log's
+        # threshold tracks the filter the user asked for.
+        config.observability.enabled = True
+        if args.slow is not None:
+            config.observability.slow_span_seconds = args.slow
+        try:
+            aladin = Aladin.open(args.snapshot, config=config, read_only=True, lazy=True)
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        try:
+            if args.backend is not None or args.workers is not None or args.resident_pool:
+                aladin.configure_execution(
+                    backend=args.backend,
+                    workers=args.workers,
+                    resident=True if args.resident_pool else None,
+                )
+            code = _run_access_modes(aladin, args, out)
+            spans = aladin.obs.trace.spans()
+            if args.slow is not None:
+                # Ring-evicted slow spans still render, from the slow log.
+                seen = {span.span_id for span in spans}
+                spans += [
+                    span
+                    for span in aladin.obs.trace.slow_spans(args.slow)
+                    if span.span_id not in seen
+                ]
+            rendered = render_spans(spans, slow_threshold=args.slow)
+            print(file=out)
+            print(rendered if rendered else "no spans recorded", file=out)
+        finally:
+            aladin.close()
         return code
     if args.command == "open":
         try:

@@ -220,6 +220,7 @@ class Aladin:
             channels=self.config.channels,
             executor=self._executor,
         )
+        self._engine.tracer = self.obs.trace_or_none
         self._databases: Dict[str, Database] = {}
         self._raw_inputs: Dict[str, tuple] = {}  # name -> (format, text, options)
         self._index: Optional[InvertedIndex] = None
@@ -279,6 +280,7 @@ class Aladin:
         so the fan-out wrapper short-circuits at one identity check)."""
         self._executor.metrics = self.obs.metrics_or_none
         self._executor.events = self.obs.events_or_none
+        self._executor.tracer = self.obs.trace_or_none
 
     def _register_gauges(self) -> None:
         """Registry views over the pre-existing ad-hoc counters.
@@ -346,6 +348,19 @@ class Aladin:
         """
         return self.obs.metrics.snapshot()
 
+    def traces(self) -> List[Dict[str, Any]]:
+        """The retained span trees, one entry per top-level operation.
+
+        ``[{"trace_id": ..., "root": op-name, "spans": [span dicts]}]``
+        in operation order — every ``add_source``/``integrate_many``/
+        ``open``/search/checkpoint of this session as a connected tree
+        of ``graph.*``/``fanout.*``/``task`` spans (worker task spans
+        included, re-parented from thread and fork pools).  Empty when
+        observability is disabled.  ``repro trace`` renders this via
+        :func:`repro.obs.trace.render_spans`.
+        """
+        return self.obs.trace.traces()
+
     def _record_report(self, report: IntegrationReport) -> None:
         """Fold one integration report's step timings into the registry."""
         metrics = self.obs.metrics_or_none
@@ -411,6 +426,16 @@ class Aladin:
         self, name: str, format_name: str, text: str, **import_options
     ) -> IntegrationReport:
         """Integrate one new source from raw text (steps 1-5)."""
+        with self.obs.trace.span("op.add_source", source=name, format=format_name):
+            return self._add_source_impl(name, format_name, text, import_options)
+
+    def _add_source_impl(
+        self,
+        name: str,
+        format_name: str,
+        text: str,
+        import_options: Dict[str, Any],
+    ) -> IntegrationReport:
         self._fault_all_sources()
         report = IntegrationReport(source_name=name)
         # Step 1: data import.
@@ -435,17 +460,21 @@ class Aladin:
 
     def add_database(self, database: Database) -> IntegrationReport:
         """Integrate a source already available as a relational database."""
-        self._fault_all_sources()
-        report = IntegrationReport(source_name=database.name)
-        report.steps.append(
-            StepTiming(
-                "import",
-                0.0,
-                {"tables": len(database.table_names()), "records": database.total_rows()},
+        with self.obs.trace.span("op.add_database", source=database.name):
+            self._fault_all_sources()
+            report = IntegrationReport(source_name=database.name)
+            report.steps.append(
+                StepTiming(
+                    "import",
+                    0.0,
+                    {
+                        "tables": len(database.table_names()),
+                        "records": database.total_rows(),
+                    },
+                )
             )
-        )
-        self._integrate_database(database, report)
-        return report
+            self._integrate_database(database, report)
+            return report
 
     def integrate_many(self, sources: Iterable[Tuple]) -> List[IntegrationReport]:
         """Integrate a batch of independent sources through one pipeline.
@@ -479,6 +508,15 @@ class Aladin:
         run; compare wall clock via ``BENCH_parallel.json``, not by
         summing report steps.
         """
+        sources = list(sources)
+        with self.obs.trace.span(
+            "op.integrate_many", sources=len(sources), backend=self._executor.name
+        ):
+            return self._integrate_many_impl(sources)
+
+    def _integrate_many_impl(
+        self, sources: List[Tuple]
+    ) -> List[IntegrationReport]:
         self._fault_all_sources()
         specs: List[Tuple[str, str, str, Dict[str, Any]]] = []
         for item in sources:
@@ -785,7 +823,11 @@ class Aladin:
         graph.add(
             "checkpoint", run_checkpoint, deps=("store_duplicates", "index_update")
         )
-        results = graph.run(self._executor, metrics=self.obs.metrics_or_none)
+        results = graph.run(
+            self._executor,
+            metrics=self.obs.metrics_or_none,
+            tracer=self.obs.trace_or_none,
+        )
 
         structure, discover_seconds = results["discover_structure"]
         self._describe_structure(report, structure, discover_seconds)
@@ -875,6 +917,10 @@ class Aladin:
         Below the threshold the raw data is swapped in place and existing
         links are kept; above it the source is dropped and re-integrated.
         """
+        with self.obs.trace.span("op.update_source", source=name):
+            return self._update_source_impl(name, text)
+
+    def _update_source_impl(self, name: str, text: str) -> Optional[IntegrationReport]:
         self._fault_all_sources()
         if name not in self._raw_inputs:
             raise KeyError(f"source {name!r} was not added from raw text")
@@ -935,6 +981,10 @@ class Aladin:
         index drops its documents in place — no re-registration, no
         re-crawl of surviving sources.
         """
+        with self.obs.trace.span("op.remove_source", source=name):
+            self._remove_source_impl(name)
+
+    def _remove_source_impl(self, name: str) -> None:
         self._fault_all_sources()
         self.repository.remove_source(name)
         if self._lazy is not None:
@@ -948,7 +998,8 @@ class Aladin:
             self._index.remove_source(name)
         if self._store is not None:
             started = time.perf_counter()
-            self._store.checkpoint_remove(name)
+            with self.obs.trace.span("persist.checkpoint", source=name, op="remove"):
+                self._store.checkpoint_remove(name)
             seconds = time.perf_counter() - started
             self.obs.metrics.histogram("persist.checkpoint_seconds").observe(seconds)
             self.obs.events.emit(
@@ -970,7 +1021,7 @@ class Aladin:
     # access modes
     # ------------------------------------------------------------------
     def browser(self) -> Browser:
-        return Browser(self.web)
+        return Browser(self.web, tracer=self.obs.trace_or_none)
 
     def search_engine(self) -> SearchEngine:
         if self._index is None:
@@ -988,7 +1039,7 @@ class Aladin:
                     # index stays in memory and the next real maintenance
                     # write will surface the problem loudly.
                     pass
-        return SearchEngine(self._index)
+        return SearchEngine(self._index, tracer=self.obs.trace_or_none)
 
     def _fault_all_sources(self) -> None:
         """Maintenance guard under a lazy open: mutate fully resident state.
@@ -1064,23 +1115,25 @@ class Aladin:
         :class:`~repro.persist.lock.SnapshotLockedError` (after waiting
         ``persist.lock_timeout`` seconds under the ``"block"`` policy).
         """
-        self._fault_all_sources()
-        store = SnapshotStore(path)
-        policy = self.config.persist
-        timeout = policy.lock_timeout if policy.lock_policy == "block" else 0.0
-        store.attach_writer(timeout=timeout)
-        try:
-            store.write_full(self)
-        except BaseException:
-            store.detach_writer()
-            raise
-        if self._store is not None and self._store is not store:
-            self._store.detach_writer()
-        self._store = store
-        self.read_only = False
-        # Auto backend: park the session's measured workload record next
-        # to the snapshot so the next open starts calibrated.
-        self._save_calibration()
+        with self.obs.trace.span("op.save", path=str(path)):
+            self._fault_all_sources()
+            store = SnapshotStore(path)
+            store.tracer = self.obs.trace_or_none
+            policy = self.config.persist
+            timeout = policy.lock_timeout if policy.lock_policy == "block" else 0.0
+            store.attach_writer(timeout=timeout)
+            try:
+                store.write_full(self)
+            except BaseException:
+                store.detach_writer()
+                raise
+            if self._store is not None and self._store is not store:
+                self._store.detach_writer()
+            self._store = store
+            self.read_only = False
+            # Auto backend: park the session's measured workload record
+            # next to the snapshot so the next open starts calibrated.
+            self._save_calibration()
 
     @classmethod
     def open(
@@ -1132,6 +1185,10 @@ class Aladin:
         thresholds, duplicate detection, importer constraints) behaves
         exactly like the system that wrote the snapshot.
         """
+        # Root-span timing starts before the Aladin (and its tracer)
+        # exists; the span is recorded after the fact.
+        opened_wall = time.time()
+        opened = time.perf_counter()
         store = SnapshotStore(path)
         policy = config.persist if config is not None else AladinConfig().persist
         attach_writer = attach and not read_only
@@ -1195,10 +1252,20 @@ class Aladin:
                 store.detach_writer()
             raise
         aladin._store = store if attach_writer else None
+        store.tracer = aladin.obs.trace_or_none
         aladin.read_only = not attach_writer
         aladin._load_calibration()
         aladin.obs.events.emit(
             SNAPSHOT_OPENED,
+            path=str(path),
+            lazy=lazy_open,
+            read_only=aladin.read_only,
+            sources=len(aladin.source_names()),
+        )
+        aladin.obs.trace.record_complete(
+            "op.open",
+            opened_wall,
+            time.perf_counter() - opened,
             path=str(path),
             lazy=lazy_open,
             read_only=aladin.read_only,
@@ -1227,7 +1294,9 @@ class Aladin:
                 "no snapshot attached (save or open one first); use "
                 "SnapshotStore.compact or `repro compact` for a bare file"
             )
-        stats = self._store.compact(self)
+        with self.obs.trace.span("op.compact") as span:
+            stats = self._store.compact(self)
+            span.set(reclaimed_bytes=stats.reclaimed_bytes)
         self._record_compaction(stats)
         return stats
 
@@ -1267,7 +1336,8 @@ class Aladin:
             # pool as the pipeline's other stages — no fresh pool spin-up
             # on the maintenance path.
             started = time.perf_counter()
-            self._store.checkpoint_source(self, name, executor=self._executor)
+            with self.obs.trace.span("persist.checkpoint", source=name, op="write"):
+                self._store.checkpoint_source(self, name, executor=self._executor)
             seconds = time.perf_counter() - started
             self.obs.metrics.histogram("persist.checkpoint_seconds").observe(seconds)
             self.obs.events.emit(
@@ -1287,7 +1357,9 @@ class Aladin:
         never as a failure of the successful foreground call.
         """
         try:
-            stats = self._store.maybe_compact(self, self.config.persist)
+            with self.obs.trace.span("persist.compaction", auto=True) as span:
+                stats = self._store.maybe_compact(self, self.config.persist)
+                span.set(ran=stats is not None)
             if stats is not None:
                 self._record_compaction(stats)
         except Exception as exc:  # noqa: BLE001 - background housekeeping

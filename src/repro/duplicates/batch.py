@@ -76,6 +76,17 @@ class BoundedRecordScorer:
         self.cache_hits = 0
         self.evictions = 0  # entries dropped by the LRU bound
 
+    def stats(self) -> Dict[str, int]:
+        """The scorer's counters as one JSON-safe dict — the shape the
+        ``scorer.*`` gauges and worker span attributes report."""
+        return {
+            "exact_scores": self.exact_scores,
+            "pruned": self.pruned,
+            "cache_hits": self.cache_hits,
+            "evictions": self.evictions,
+            "cache_entries": len(self.cache),
+        }
+
     def _cache_store(self, key: Tuple[str, str], score: float) -> None:
         cache = self.cache
         cache[key] = score

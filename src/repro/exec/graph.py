@@ -61,7 +61,7 @@ class TaskGraph:
 
     # ------------------------------------------------------------------
     def run(
-        self, executor: Optional[Executor] = None, metrics=None
+        self, executor: Optional[Executor] = None, metrics=None, tracer=None
     ) -> Dict[str, Any]:
         """Execute every task; returns ``{task name: result}``.
 
@@ -74,15 +74,23 @@ class TaskGraph:
         time and queue wait — the gap between a node's dependencies
         completing and the node starting — plus which dispatch mode ran
         the graph.
+
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`, or ``None``)
+        opens one ``graph.{node}`` span per task under the caller's
+        active span.  Thread dispatch captures that context *here*, on
+        the submitting thread, and re-activates it inside each worker —
+        ``ThreadPoolExecutor`` does not carry contextvars into reused
+        worker threads on its own — so fan-out spans opened inside a
+        node body still hang off the right node.
         """
         self._validate()
         if executor is not None and executor.parallel_graph and executor.workers > 1:
             if metrics is not None:
                 metrics.counter("graph.dispatch.threaded").inc()
-            return self._run_threaded(executor, metrics)
+            return self._run_threaded(executor, metrics, tracer)
         if metrics is not None:
             metrics.counter("graph.dispatch.serial").inc()
-        return self._run_serial(metrics)
+        return self._run_serial(metrics, tracer)
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -116,7 +124,7 @@ class TaskGraph:
         return children
 
     # ------------------------------------------------------------------
-    def _run_serial(self, metrics=None) -> Dict[str, Any]:
+    def _run_serial(self, metrics=None, tracer=None) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
         remaining = list(self._tasks)
         ready_at: Dict[str, float] = {}
@@ -126,23 +134,28 @@ class TaskGraph:
             for task in list(remaining):
                 if any(dep not in results for dep in task.deps):
                     continue
-                if metrics is None:
+                if metrics is None and tracer is None:
                     results[task.name] = self._invoke(task, results)
                 else:
                     # Inline dispatch: "queue wait" is the time a ready
                     # task sat behind earlier ready siblings this sweep.
                     started = perf_counter()
                     became_ready = ready_at.setdefault(task.name, started)
-                    results[task.name] = self._invoke(task, results)
+                    if tracer is None:
+                        results[task.name] = self._invoke(task, results)
+                    else:
+                        with tracer.span(f"graph.{task.name}"):
+                            results[task.name] = self._invoke(task, results)
                     finished = perf_counter()
-                    metrics.histogram(f"graph.{task.name}.seconds").observe(
-                        finished - started
-                    )
-                    metrics.histogram(f"graph.{task.name}.queue_wait").observe(
-                        started - became_ready
-                    )
-                    for child in children.get(task.name, ()):
-                        ready_at.setdefault(child, finished)
+                    if metrics is not None:
+                        metrics.histogram(f"graph.{task.name}.seconds").observe(
+                            finished - started
+                        )
+                        metrics.histogram(f"graph.{task.name}.queue_wait").observe(
+                            started - became_ready
+                        )
+                        for child in children.get(task.name, ()):
+                            ready_at.setdefault(child, finished)
                 remaining.remove(task)
                 progressed = True
             if not progressed:  # pragma: no cover - _validate rules this out
@@ -152,7 +165,9 @@ class TaskGraph:
                 )
         return results
 
-    def _run_threaded(self, executor: Executor, metrics=None) -> Dict[str, Any]:
+    def _run_threaded(
+        self, executor: Executor, metrics=None, tracer=None
+    ) -> Dict[str, Any]:
         results: Dict[str, Any] = {}
         failures: Dict[str, BaseException] = {}
         children = self._children()
@@ -160,6 +175,9 @@ class TaskGraph:
         order = {task.name: position for position, task in enumerate(self._tasks)}
         running: Dict[concurrent.futures.Future, str] = {}
         ready_at: Dict[str, float] = {}
+        # The graph's parent span context, captured on the submitting
+        # thread; worker threads re-activate it around each node body.
+        parent_context = tracer.current() if tracer is not None else None
 
         def timed(task: Task) -> Callable[[Dict[str, Any]], Any]:
             # Wrap the body on the worker thread so wall time excludes
@@ -177,6 +195,14 @@ class TaskGraph:
 
             return body
 
+        def traced(task: Task, inner) -> Callable[[Dict[str, Any]], Any]:
+            def body(results_in: Dict[str, Any]) -> Any:
+                with tracer.activate(parent_context):
+                    with tracer.span(f"graph.{task.name}"):
+                        return inner(results_in)
+
+            return body
+
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=executor.workers
         ) as pool:
@@ -186,10 +212,13 @@ class TaskGraph:
                 for name in sorted(names, key=order.__getitem__):
                     task = self._by_name[name]
                     if metrics is None:
-                        running[pool.submit(task.fn, results)] = name
+                        body = task.fn
                     else:
                         ready_at[name] = now
-                        running[pool.submit(timed(task), results)] = name
+                        body = timed(task)
+                    if tracer is not None:
+                        body = traced(task, body)
+                    running[pool.submit(body, results)] = name
 
             submit_ready([t.name for t in self._tasks if not t.deps])
             while running:

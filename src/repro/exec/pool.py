@@ -49,16 +49,25 @@ task in submission order, even when pool-level errors (a dead worker, an
 unpicklable result) strike a later chunk first.
 
 Observability: every executor carries optional ``metrics`` / ``events``
-handles (both ``None`` by default — the owning ``Aladin`` wires them).
-The public :meth:`Executor.map_ordered` is an instrumented wrapper around
-the per-backend ``_map_impl``: it derives the fan-out's *stage kind* from
-its labels (``link:...`` -> ``link``), times the whole fan-out with
-``perf_counter``, and records per-stage fan-out histograms, worker
-utilization (summed in-worker busy seconds over ``wall x slots``), and
-dispatch/merge overhead. Resident pools additionally emit
-``pool.spawned`` / ``pool.teardown`` lifecycle events. With ``metrics``
-unset the wrapper is one ``is None`` check — the disabled path stays
-zero-cost.
+/ ``tracer`` handles (all ``None`` by default — the owning ``Aladin``
+wires them).  The public :meth:`Executor.map_ordered` is an instrumented
+wrapper around the per-backend ``_map_impl``: it derives the fan-out's
+*stage kind* from its labels (``link:...`` -> ``link``), times the whole
+fan-out with ``perf_counter``, and records per-stage fan-out histograms,
+worker utilization (summed in-worker busy seconds over ``wall x
+slots``), and dispatch/merge overhead. Resident pools additionally emit
+``pool.spawned`` / ``pool.teardown`` lifecycle events.
+
+Tracing: with a ``tracer`` wired, each fan-out opens a ``fanout.{stage}``
+span under the caller's active span, and the picklable parent context
+``(trace_id, span_id)`` travels *inside the task spec* to the chunk
+runners.  Workers — inline, thread, or forked process — record one
+``task`` span per item with a :class:`~repro.obs.trace.WorkerSpanRecorder`
+(plain dicts) and ship them back as the last element of the existing
+outcome tuples; ``_collect`` gathers them in deterministic submission
+order and the wrapper re-parents them under the fan-out span via
+``Tracer.adopt``.  With ``metrics``/``tracer`` unset the wrapper is two
+``is None`` checks — the disabled path stays zero-cost.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.obs.events import POOL_SPAWNED, POOL_TEARDOWN
 from repro.obs.timing import PARALLEL, SERIAL, WorkloadCalibration
+from repro.obs.trace import WorkerSpanRecorder
 
 BACKENDS = ("serial", "thread", "process", "auto")
 
@@ -170,33 +180,53 @@ _FORK_LOCK = threading.Lock()
 
 
 def _run_chunk_with_state(
-    fn: Callable[[Any, Any], Any], state: Any, chunk: Sequence[Any], offset: int
-) -> Tuple[str, Any, float]:
+    fn: Callable[[Any, Any], Any],
+    state: Any,
+    chunk: Sequence[Any],
+    offset: int,
+    trace: Optional[Tuple[str, str]] = None,
+) -> Tuple[Any, ...]:
     """Run one chunk of items; never raise — failures become values.
 
     Capturing the exception (instead of letting the pool surface it in
     completion order) is what lets the coordinator raise deterministically
     for the first failed *item*, and lets sibling tasks finish cleanly.
 
-    Successful outcomes carry the chunk's in-worker wall seconds
-    (``perf_counter``), which the coordinator sums into the fan-out's
-    busy time for the utilization metric.
+    Successful outcomes ``("ok", results, busy, spans)`` carry the
+    chunk's in-worker wall seconds (``perf_counter``), which the
+    coordinator sums into the fan-out's busy time for the utilization
+    metric, plus the worker-recorded ``task`` spans (``None`` when
+    untraced): ``trace`` is the fan-out span's picklable
+    ``(trace_id, span_id)`` context, serialized into the task spec, and
+    the spans travel home on this same result channel for the
+    coordinator to re-parent.  Failures are
+    ``("err", index, rendered, exc, spans)``.
     """
+    recorder = None if trace is None else WorkerSpanRecorder(trace)
     started = perf_counter()
     results = []
     for position, item in enumerate(chunk):
         try:
-            results.append(fn(state, item))
+            if recorder is None:
+                results.append(fn(state, item))
+            else:
+                with recorder.task(offset + position):
+                    results.append(fn(state, item))
         except BaseException as exc:  # noqa: BLE001 - transported, not hidden
-            return ("err", offset + position, repr(exc), exc)
-    return ("ok", results, perf_counter() - started)
+            spans = None if recorder is None else recorder.spans
+            return ("err", offset + position, repr(exc), exc, spans)
+    spans = None if recorder is None else recorder.spans
+    return ("ok", results, perf_counter() - started, spans)
 
 
 def _run_chunk_forked(
-    fn: Callable[[Any, Any], Any], chunk: Sequence[Any], offset: int
-) -> Tuple[str, Any, float]:
+    fn: Callable[[Any, Any], Any],
+    chunk: Sequence[Any],
+    offset: int,
+    trace: Optional[Tuple[str, str]] = None,
+) -> Tuple[Any, ...]:
     """Process-pool entry point: state comes from the forked snapshot."""
-    return _run_chunk_with_state(fn, _FORK_STATE, chunk, offset)
+    return _run_chunk_with_state(fn, _FORK_STATE, chunk, offset, trace)
 
 
 def _stage_kind(fn: Callable, labels: Optional[Sequence[str]]) -> str:
@@ -223,9 +253,10 @@ class Executor:
     the pool pickled by reference); ``state`` is shared worker state —
     passed directly under serial/thread, inherited via fork under process.
 
-    Subclasses implement ``_map_impl`` (returning ``(results, busy)``);
-    the public ``map_ordered`` wraps it with the optional per-stage
-    instrumentation described in the module docstring.
+    Subclasses implement ``_map_impl`` (returning ``(results, busy,
+    worker_spans)``); the public ``map_ordered`` wraps it with the
+    optional per-stage instrumentation described in the module
+    docstring.
     """
 
     name = "serial"
@@ -234,6 +265,7 @@ class Executor:
     # instrumented wrapper short-circuits to the raw implementation.
     metrics = None
     events = None
+    tracer = None
 
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
@@ -283,19 +315,36 @@ class Executor:
     ) -> List[Any]:
         items = list(items)
         metrics = self.metrics
-        if metrics is None:
-            results, _ = self._map_impl(fn, items, state, labels, chunksize)
+        tracer = self.tracer
+        if metrics is None and tracer is None:
+            results, _busy, _spans = self._map_impl(fn, items, state, labels, chunksize)
             return results
         stage = stage or _stage_kind(fn, labels)
+        handle = None
+        if tracer is not None:
+            handle = tracer.start_span(
+                f"fanout.{stage}", backend=self.name, items=len(items)
+            )
         started = perf_counter()
         try:
-            results, busy = self._map_impl(fn, items, state, labels, chunksize)
-        except ExecError:
-            metrics.counter("pool.failures").inc()
-            metrics.counter(f"pool.failures.{stage}").inc()
+            results, busy, spans = self._map_impl(
+                fn, items, state, labels, chunksize,
+                trace=None if handle is None else handle.context(),
+            )
+        except ExecError as exc:
+            if metrics is not None:
+                metrics.counter("pool.failures").inc()
+                metrics.counter(f"pool.failures.{stage}").inc()
+            if handle is not None:
+                tracer.finish(handle, error=exc)
             raise
         wall = perf_counter() - started
-        self._record_fanout(metrics, stage, len(items), wall, busy)
+        if metrics is not None:
+            self._record_fanout(metrics, stage, len(items), wall, busy)
+        if handle is not None:
+            if spans:
+                tracer.adopt(spans, handle, labels=list(labels) if labels else None)
+            tracer.finish(handle)
         return results
 
     def _record_fanout(
@@ -323,12 +372,18 @@ class Executor:
         state: Any = None,
         labels: Optional[Sequence[str]] = None,
         chunksize: int = 1,
-    ) -> Tuple[List[Any], float]:
+        trace: Optional[Tuple[str, str]] = None,
+    ) -> Tuple[List[Any], float, Optional[List[Dict[str, Any]]]]:
+        recorder = None if trace is None else WorkerSpanRecorder(trace)
         started = perf_counter()
         results: List[Any] = []
         for index, item in enumerate(items):
             try:
-                results.append(fn(state, item))
+                if recorder is None:
+                    results.append(fn(state, item))
+                else:
+                    with recorder.task(index):
+                        results.append(fn(state, item))
             except ExecError:
                 raise
             except BaseException as exc:
@@ -336,7 +391,11 @@ class Executor:
                     f"task {_label(labels, index)!r} failed: {exc!r}",
                     task=_label(labels, index),
                 ) from exc
-        return results, perf_counter() - started
+        return (
+            results,
+            perf_counter() - started,
+            None if recorder is None else recorder.spans,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} workers={self.workers}>"
@@ -355,15 +414,15 @@ class ThreadExecutor(Executor):
     def parallel_graph(self) -> bool:
         return True
 
-    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1, trace=None):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         chunks = _chunk(items, chunksize)
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=min(self.workers, len(chunks))
         ) as pool:
             futures = [
-                pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                pool.submit(_run_chunk_with_state, fn, state, chunk, offset, trace)
                 for chunk, offset in chunks
             ]
             outcomes = [future.result() for future in futures]
@@ -386,13 +445,13 @@ class ProcessExecutor(Executor):
     def cpu_parallel(self) -> bool:
         return True
 
-    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1, trace=None):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         chunks = _chunk(items, chunksize)
         global _FORK_STATE
         with _FORK_LOCK:
@@ -402,7 +461,7 @@ class ProcessExecutor(Executor):
                     max_workers=min(self.workers, len(chunks)), mp_context=context
                 ) as pool:
                     futures = [
-                        pool.submit(_run_chunk_forked, fn, chunk, offset)
+                        pool.submit(_run_chunk_forked, fn, chunk, offset, trace)
                         for chunk, offset in chunks
                     ]
                     outcomes = []
@@ -417,7 +476,7 @@ class ProcessExecutor(Executor):
                             # task in submission order even when an earlier
                             # chunk carried a transported error.
                             offset = chunks[index][1]
-                            outcomes.append(("err", offset, repr(exc), exc))
+                            outcomes.append(("err", offset, repr(exc), exc, None))
             finally:
                 _FORK_STATE = None
         return _collect(outcomes, chunks, labels)
@@ -565,9 +624,9 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
     def pool_alive(self) -> bool:
         return self._pool is not None
 
-    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1, trace=None):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         chunks = _chunk(items, chunksize)
         with self._lock:
             self._cancel_timer()
@@ -584,7 +643,9 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
             for chunk, offset in chunks:
                 try:
                     futures.append(
-                        pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                        pool.submit(
+                            _run_chunk_with_state, fn, state, chunk, offset, trace
+                        )
                     )
                 except RuntimeError:
                     # shutdown() closed the pool under an in-flight
@@ -593,7 +654,7 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
                     break
             outcomes = [future.result() for future in futures]
             for chunk, offset in chunks[len(futures):]:
-                outcomes.append(_run_chunk_with_state(fn, state, chunk, offset))
+                outcomes.append(_run_chunk_with_state(fn, state, chunk, offset, trace))
         finally:
             with self._lock:
                 self._active -= 1
@@ -660,19 +721,20 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
             self._cancel_timer()
             self._teardown(reason="shutdown")
 
-    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1):
+    def _map_impl(self, fn, items, state=None, labels=None, chunksize=1, trace=None):
         if len(items) <= 1 or self.workers <= 1:
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            return Executor._map_impl(self, fn, items, state, labels)
+            return Executor._map_impl(self, fn, items, state, labels, trace=trace)
         if self._degraded:
             # Deterministic pre-spawn failed once on this host: behave as
             # the per-call executor from here on rather than risk a
             # wrong-state worker.
             return super()._map_impl(
-                fn, items, state=state, labels=labels, chunksize=chunksize
+                fn, items, state=state, labels=labels, chunksize=chunksize,
+                trace=trace,
             )
         with self._lock:
             self._cancel_timer()
@@ -682,13 +744,14 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                 self._degraded = True
                 self._teardown(reason="degraded")
                 return super()._map_impl(
-                    fn, items, state=state, labels=labels, chunksize=chunksize
+                    fn, items, state=state, labels=labels, chunksize=chunksize,
+                    trace=trace,
                 )
             chunks = _chunk(items, chunksize)
             if state is not None and state is self._state:
                 # The workers inherited this exact state at fork time.
                 futures = [
-                    pool.submit(_run_chunk_forked, fn, chunk, offset)
+                    pool.submit(_run_chunk_forked, fn, chunk, offset, trace)
                     for chunk, offset in chunks
                 ]
             else:
@@ -696,7 +759,9 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                 # ship the (trivial) state pickled per task instead of
                 # paying a re-fork.
                 futures = [
-                    pool.submit(_run_chunk_with_state, fn, state, chunk, offset)
+                    pool.submit(
+                        _run_chunk_with_state, fn, state, chunk, offset, trace
+                    )
                     for chunk, offset in chunks
                 ]
             outcomes = []
@@ -712,7 +777,7 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
                     # chunk's pool error completes before an earlier
                     # chunk's transported one.
                     offset = chunks[index][1]
-                    outcomes.append(("err", offset, repr(exc), exc))
+                    outcomes.append(("err", offset, repr(exc), exc, None))
                     pool_failure = True
             if pool_failure:
                 # The pool may be broken; re-fork next call.
@@ -812,6 +877,7 @@ class AutoExecutor(Executor):
     def __init__(self, config: ExecConfig):
         self._metrics = None
         self._events = None
+        self._tracer = None
         super().__init__(config.workers)
         parallel_backend = config.auto_parallel
         if parallel_backend not in ("thread", "process"):
@@ -850,6 +916,16 @@ class AutoExecutor(Executor):
         self._events = value
         self._serial.events = value
         self._parallel.events = value
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value):
+        self._tracer = value
+        self._serial.tracer = value
+        self._parallel.tracer = value
 
     # -- capabilities mirror the parallel arm ----------------------------
     @property
@@ -949,21 +1025,31 @@ def _label(labels: Optional[Sequence[str]], index: int) -> str:
     return f"task[{index}]"
 
 
-def _collect(outcomes, chunks, labels) -> Tuple[List[Any], float]:
+def _collect(
+    outcomes, chunks, labels
+) -> Tuple[List[Any], float, Optional[List[Dict[str, Any]]]]:
     """Flatten chunk outcomes in item order; raise for the first failure.
 
-    Returns ``(results, busy_seconds)`` where busy is the sum of the
-    chunks' in-worker wall times — the numerator of pool utilization.
+    Returns ``(results, busy_seconds, worker_spans)`` where busy is the
+    sum of the chunks' in-worker wall times — the numerator of pool
+    utilization — and worker_spans gathers the chunks' recorded ``task``
+    spans in deterministic *submission* order (chunks were submitted in
+    item order and are iterated here in that same order), ready for
+    ``Tracer.adopt``.  ``None`` when the fan-out was untraced.
     """
     failure: Optional[Tuple[int, str, BaseException]] = None
     results: List[Any] = []
     busy = 0.0
+    spans: Optional[List[Dict[str, Any]]] = None
     for outcome in outcomes:
+        chunk_spans = outcome[3] if outcome[0] == "ok" else outcome[4]
+        if chunk_spans:
+            spans = chunk_spans if spans is None else spans + chunk_spans
         if outcome[0] == "ok":
             results.extend(outcome[1])
             busy += outcome[2]
             continue
-        _, index, rendered, exc = outcome
+        _, index, rendered, exc, _spans = outcome
         if failure is None or index < failure[0]:
             failure = (index, rendered, exc)
     if failure is not None:
@@ -972,7 +1058,7 @@ def _collect(outcomes, chunks, labels) -> Tuple[List[Any], float]:
             f"task {_label(labels, index)!r} failed: {rendered}",
             task=_label(labels, index),
         ) from exc
-    return results, busy
+    return results, busy, spans
 
 
 def create_executor(config: Optional[ExecConfig] = None) -> Executor:

@@ -87,6 +87,10 @@ class LinkDiscoveryEngine:
         self.config = config or LinkConfig()
         self.channels = channels or LinkChannels()
         self.executor = executor  # None = inline (serial) pair scans
+        #: Optional :class:`~repro.obs.trace.Tracer` (``None`` when
+        #: observability is off).  Inline pair scans open one span per
+        #: spec; executor fan-outs get per-task spans from the pool.
+        self.tracer = None
         self._sources: Dict[str, _SourceEntry] = {}
         self.comparisons_made = 0  # attribute-pair scans, for E6
         self.registrations = 0  # register_source calls, for maintenance tests
@@ -205,7 +209,15 @@ class LinkDiscoveryEngine:
         """
         specs = list(specs)
         if self.executor is None:
-            return [_pair_task(self, spec) for spec in specs]
+            if self.tracer is None:
+                return [_pair_task(self, spec) for spec in specs]
+            results = []
+            for mode, a, b in specs:
+                with self.tracer.span(
+                    "link.scan", mode=mode, source=a, target=b
+                ):
+                    results.append(_pair_task(self, (mode, a, b)))
+            return results
         labels = [f"link:{mode}:{a}->{b}" for mode, a, b in specs]
         return self.executor.map_ordered(_pair_task, specs, state=self, labels=labels)
 

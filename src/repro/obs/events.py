@@ -213,35 +213,55 @@ class NullEventBus:
 NULL_BUS = NullEventBus()
 
 
-class JsonlExporter:
-    """Append-only JSON-lines sink for events plus a final metrics line.
+#: Records buffered between exporter flushes.  One syscall per batch
+#: instead of one per lifecycle event; ``write_metrics`` and ``close()``
+#: always flush, so a finished run never loses tail records.
+EXPORT_FLUSH_EVERY = 64
 
-    Subscribed to a bus, it writes each event eagerly (one JSON object
-    per line, ``"type": "event"``); ``write_metrics`` appends the final
-    registry snapshot (``"type": "metrics"``) — ``Aladin.close()`` calls
-    it so an exported run always ends with its totals.  IO failures
-    disable the exporter rather than break the pipeline.
+
+class JsonlExporter:
+    """Append-only JSON-lines sink for events, spans, and a final
+    metrics line.
+
+    Subscribed to a bus it writes each event (``"type": "event"``);
+    registered as a tracer sink (:meth:`write_span`) it interleaves
+    finished spans (``"type": "span"``) into the same stream;
+    ``write_metrics`` appends the final registry snapshot
+    (``"type": "metrics"``) — ``Aladin.close()`` calls it so an exported
+    run always ends with its totals.  Writes are buffered and flushed
+    every :data:`EXPORT_FLUSH_EVERY` records plus on ``write_metrics``
+    and ``close()``.  IO failures disable the exporter rather than
+    break the pipeline.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, flush_every: int = EXPORT_FLUSH_EVERY) -> None:
         self.path = path
         self._lock = threading.Lock()
         self._fh = open(path, "a", encoding="utf-8")
         self._closed = False
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
 
     def __call__(self, event: Event) -> None:
         self._write(event.to_dict())
 
-    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
-        self._write({"type": "metrics", "metrics": snapshot})
+    def write_span(self, span) -> None:
+        """Tracer sink: interleave one finished span into the stream."""
+        self._write(span.to_dict())
 
-    def _write(self, record: Dict[str, Any]) -> None:
+    def write_metrics(self, snapshot: Dict[str, Any]) -> None:
+        self._write({"type": "metrics", "metrics": snapshot}, flush=True)
+
+    def _write(self, record: Dict[str, Any], flush: bool = False) -> None:
         with self._lock:
             if self._closed:
                 return
             try:
                 self._fh.write(json.dumps(record) + "\n")
-                self._fh.flush()
+                self._pending += 1
+                if flush or self._pending >= self._flush_every:
+                    self._fh.flush()
+                    self._pending = 0
             except (OSError, ValueError):
                 self._closed = True
 
@@ -250,6 +270,6 @@ class JsonlExporter:
             if not self._closed:
                 self._closed = True
                 try:
-                    self._fh.close()
+                    self._fh.close()  # closing flushes buffered records
                 except OSError:
                     pass

@@ -13,8 +13,8 @@ counter the system used to scatter across layers.  Three metric kinds:
     ``BoundedRecordScorer.cache_hits``) become registry views without
     double bookkeeping.
 ``Histogram``
-    Duration distribution: count/sum/min/max plus p50/p95 over a bounded
-    reservoir of the most recent observations.
+    Duration distribution: count/sum/min/max plus p50/p95/p99 over a
+    bounded reservoir of the most recent observations.
 
 Disabled observability must be zero-cost, so the registry has a null
 twin: :data:`NULL_REGISTRY` hands out shared no-op metric objects whose
@@ -46,9 +46,9 @@ __all__ = [
 ]
 
 #: Observations kept per histogram for percentile estimation.  Count,
-#: sum, min, and max remain exact over the full stream; p50/p95 are over
-#: the most recent window, which is what a "where is time going *now*"
-#: question wants anyway.
+#: sum, min, and max remain exact over the full stream; p50/p95/p99 are
+#: over the most recent window, which is what a "where is time going
+#: *now*" question wants anyway.
 HISTOGRAM_RESERVOIR = 1024
 
 
@@ -73,14 +73,18 @@ class Counter:
 class Gauge:
     """Point-in-time value; explicit ``set`` or provider-resolved."""
 
-    __slots__ = ("_lock", "_value", "_provider")
+    __slots__ = ("_lock", "_value", "_provider", "_on_error")
 
     def __init__(
-        self, lock: threading.RLock, provider: Optional[Callable[[], Any]] = None
+        self,
+        lock: threading.RLock,
+        provider: Optional[Callable[[], Any]] = None,
+        on_error: Optional[Callable[[], None]] = None,
     ) -> None:
         self._lock = lock
         self._value: Any = 0
         self._provider = provider
+        self._on_error = on_error
 
     def set(self, value: Any) -> None:
         with self._lock:
@@ -93,13 +97,16 @@ class Gauge:
             try:
                 return provider()
             except Exception:  # a broken provider must not break snapshot()
+                on_error = self._on_error
+                if on_error is not None:
+                    on_error()
                 return None
         return self._value
 
 
 class Histogram:
     """Duration distribution with exact count/sum/min/max and
-    reservoir-estimated p50/p95."""
+    reservoir-estimated p50/p95/p99."""
 
     __slots__ = ("_lock", "_count", "_sum", "_min", "_max", "_recent")
 
@@ -150,6 +157,7 @@ class Histogram:
                 "mean": self._sum / self._count,
                 "p50": _percentile(ordered, 0.50),
                 "p95": _percentile(ordered, 0.95),
+                "p99": _percentile(ordered, 0.99),
             }
 
 
@@ -159,6 +167,24 @@ def _percentile(ordered: list, q: float) -> float:
         return 0.0
     rank = max(1, math.ceil(q * len(ordered)))
     return ordered[rank - 1]
+
+
+def _prometheus_name(name: str) -> str:
+    """Map a dot-separated family to a legal Prometheus metric name."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"repro_{safe}"
+
+
+def _prometheus_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
 
 
 class MetricsRegistry:
@@ -193,10 +219,18 @@ class MetricsRegistry:
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
-                metric = self._gauges[name] = Gauge(self._lock, provider)
+                metric = self._gauges[name] = Gauge(
+                    self._lock, provider, on_error=self._count_provider_error
+                )
             elif provider is not None:
                 metric._provider = provider
             return metric
+
+    def _count_provider_error(self) -> None:
+        """A gauge provider raised during resolution: the gauge degrades
+        to ``None`` (documented), but the failure is counted so broken
+        providers are visible instead of invisible."""
+        self.counter("obs.provider_errors").inc()
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -224,6 +258,57 @@ class MetricsRegistry:
         """Append the current snapshot as one JSON line."""
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps({"type": "metrics", "metrics": self.snapshot()}) + "\n")
+
+    def render_prometheus(self) -> str:
+        """Render the whole registry in Prometheus text exposition format.
+
+        One family per metric, names prefixed ``repro_`` with dots
+        mapped to underscores.  Counters get the conventional ``_total``
+        suffix; gauges expose only numeric values (a provider that
+        degraded to ``None`` is skipped — and counted in
+        ``obs.provider_errors``); histograms render as summaries:
+        ``{quantile="0.5|0.95|0.99"}`` sample lines plus ``_sum`` and
+        ``_count``.  Families are emitted once each (a sanitization
+        collision drops the later family rather than corrupting the
+        exposition), so scrapers always see well-formed output.
+        """
+        snapshot = self.snapshot()
+        lines: list = []
+        seen: set = set()
+
+        def family(name: str, kind: str) -> Optional[str]:
+            fam = _prometheus_name(name)
+            if kind == "counter":
+                fam += "_total"
+            if fam in seen:
+                return None
+            seen.add(fam)
+            lines.append(f"# TYPE {fam} {kind}")
+            return fam
+
+        for name, value in snapshot["counters"].items():
+            fam = family(name, "counter")
+            if fam is not None:
+                lines.append(f"{fam} {_prometheus_value(value)}")
+        for name, value in snapshot["gauges"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            fam = family(name, "gauge")
+            if fam is not None:
+                lines.append(f"{fam} {_prometheus_value(value)}")
+        for name, stats in snapshot["histograms"].items():
+            fam = family(name, "summary")
+            if fam is None:
+                continue
+            for quantile in ("p50", "p95", "p99"):
+                if quantile in stats:
+                    lines.append(
+                        f'{fam}{{quantile="0.{quantile[1:]}"}} '
+                        f"{_prometheus_value(stats[quantile])}"
+                    )
+            lines.append(f"{fam}_sum {_prometheus_value(stats['sum'])}")
+            lines.append(f"{fam}_count {_prometheus_value(stats['count'])}")
+        return "\n".join(lines) + "\n" if lines else ""
 
 
 class _NullCounter:
@@ -290,6 +375,9 @@ class NullMetricsRegistry:
 
     def export_jsonl(self, path: str) -> None:
         pass
+
+    def render_prometheus(self) -> str:
+        return ""
 
 
 NULL_REGISTRY = NullMetricsRegistry()

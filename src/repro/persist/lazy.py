@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.access.index import InvertedIndex, PostingField
@@ -262,6 +263,9 @@ class LazySnapshotSession:
         self._cells_cache: Dict[str, bool] = {}
         self._conn: Optional[sqlite3.Connection] = None
         self._maintained = False
+        # Serializes fault-ins: two threads touching the same stub must
+        # hydrate it (and emit HYDRATION_FAULTED) exactly once.
+        self._hydrate_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # wiring
@@ -337,9 +341,33 @@ class LazySnapshotSession:
         if isinstance(index, LazyInvertedIndex):
             index._ensure_all()  # noqa: SLF001
 
+    def _trace(self):
+        """The owning system's tracer, or ``None`` (obs off / detached)."""
+        aladin = self._aladin
+        obs = getattr(aladin, "obs", None)
+        return None if obs is None else obs.trace_or_none
+
+    def _metrics(self):
+        aladin = self._aladin
+        obs = getattr(aladin, "obs", None)
+        return None if obs is None else obs.metrics_or_none
+
     def _hydrate_one(self, name: str) -> None:
+        # Unlocked fast path, then double-checked under the lock.
         if name in self._hydrated or self._aladin is None:
             return
+        with self._hydrate_lock:
+            if name in self._hydrated:
+                return
+            tracer = self._trace()
+            if tracer is None:
+                self._hydrate_locked(name)
+            else:
+                with tracer.span("persist.hydration_fault", source=name) as span:
+                    self._hydrate_locked(name)
+                    span.set(payload_bytes=self._hydrated.get(name, 0))
+
+    def _hydrate_locked(self, name: str) -> None:
         body = self._store.load_source_body(name, materialize=False)
         stub = self._stubs[name]
         database = body.database
@@ -481,6 +509,7 @@ class LazySnapshotSession:
         """Ascending row ids where ``column = value``, or None to decline."""
         probe = _probe_value(value)
         if probe is None or not self._cells_available(source):
+            self._count_decline("lookup")
             return None
         try:
             rows = self._connection().execute(
@@ -489,8 +518,9 @@ class LazySnapshotSession:
                 (source, table, column, probe),
             ).fetchall()
         except (sqlite3.Error, OverflowError):
+            self._count_decline("lookup")
             return None
-        self._count_pushdown(source)
+        self._count_pushdown(source, "lookup")
         return [row_id for (row_id,) in rows]
 
     def aggregate(
@@ -515,8 +545,10 @@ class LazySnapshotSession:
                 f"{sorted(expressions)}"
             )
         if source in self._hydrated or source not in self._stubs:
+            self._count_decline("aggregate")
             return None
         if not self._cells_available(source):
+            self._count_decline("aggregate")
             return None
         try:
             row = self._connection().execute(
@@ -525,12 +557,22 @@ class LazySnapshotSession:
                 (source, table, column),
             ).fetchone()
         except sqlite3.Error:
+            self._count_decline("aggregate")
             return None
-        self._count_pushdown(source)
+        self._count_pushdown(source, "aggregate")
         return row[0]
 
-    def _count_pushdown(self, source: str) -> None:
+    def _count_pushdown(self, source: str, kind: str = "select") -> None:
         self._pushdown_counts[source] = self._pushdown_counts.get(source, 0) + 1
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter(f"persist.pushdown.{kind}.accepted").inc()
+
+    def _count_decline(self, kind: str) -> None:
+        """An answered-in-memory fallback; declining is correct, just slower."""
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics.counter(f"persist.pushdown.{kind}.declined").inc()
 
     # ------------------------------------------------------------------
     # pushdown: single-table SELECT
@@ -544,9 +586,19 @@ class LazySnapshotSession:
         from.
         """
         if source not in self._stubs or source in self._hydrated:
+            self._count_decline("select")
             return None
         plan = plan_select(statement)
-        return self._execute_plan(source, plan)
+        tracer = self._trace()
+        if tracer is None:
+            result = self._execute_plan(source, plan)
+        else:
+            with tracer.span("persist.pushdown.select", source=source) as span:
+                result = self._execute_plan(source, plan)
+                span.set(accepted=result is not None)
+        if result is None:
+            self._count_decline("select")
+        return result
 
     def _execute_plan(self, source: str, plan: SelectPlan) -> Optional[ResultSet]:
         if plan.joins:

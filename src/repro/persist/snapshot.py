@@ -80,6 +80,7 @@ import threading
 import time
 import urllib.parse
 import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -541,6 +542,19 @@ class SnapshotStore:
     def __init__(self, path) -> None:
         self.path = os.fspath(path)
         self._lock = None  # SnapshotLock while attached as a writer
+        #: Optional :class:`~repro.obs.trace.Tracer`; the owning
+        #: ``Aladin`` sets it so full writes and compactions record
+        #: ``persist.*`` spans.  ``None`` keeps the store span-free.
+        self.tracer = None
+
+    @contextmanager
+    def _span(self, name: str, **attributes):
+        tracer = self.tracer
+        if tracer is None:
+            yield None
+        else:
+            with tracer.span(name, **attributes) as handle:
+                yield handle
 
     # ------------------------------------------------------------------
     # advisory writer lock
@@ -653,28 +667,31 @@ class SnapshotStore:
     def write_full(self, aladin) -> None:
         """Serialize the entire integrated state, replacing any previous
         content of the snapshot file."""
-        conn = self._connect()
-        try:
-            with conn:
-                self._ensure_overwritable(conn)
-                try:
-                    _ensure_schema(conn)
-                except sqlite3.DatabaseError as exc:
-                    raise SnapshotError(
-                        f"cannot write snapshot {self.path!r}: {exc}"
-                    ) from exc
-                for table in _TABLES:
-                    conn.execute(f"DELETE FROM {table}")
-                self._set_manifest(conn, "magic", _MAGIC)
-                self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
-                self._write_config(conn, aladin)
-                executor = getattr(aladin, "_executor", None)
-                for name in aladin.source_names():
-                    self._write_source(conn, aladin, name, executor=executor)
-                self._write_all_links(conn, aladin.repository)
-                self._write_index_full(conn, aladin._index)
-        finally:
-            conn.close()
+        with self._span(
+            "persist.write_full", sources=len(aladin.source_names())
+        ):
+            conn = self._connect()
+            try:
+                with conn:
+                    self._ensure_overwritable(conn)
+                    try:
+                        _ensure_schema(conn)
+                    except sqlite3.DatabaseError as exc:
+                        raise SnapshotError(
+                            f"cannot write snapshot {self.path!r}: {exc}"
+                        ) from exc
+                    for table in _TABLES:
+                        conn.execute(f"DELETE FROM {table}")
+                    self._set_manifest(conn, "magic", _MAGIC)
+                    self._set_manifest(conn, "format_version", str(FORMAT_VERSION))
+                    self._write_config(conn, aladin)
+                    executor = getattr(aladin, "_executor", None)
+                    for name in aladin.source_names():
+                        self._write_source(conn, aladin, name, executor=executor)
+                    self._write_all_links(conn, aladin.repository)
+                    self._write_index_full(conn, aladin._index)
+            finally:
+                conn.close()
 
     def _ensure_overwritable(self, conn: sqlite3.Connection) -> None:
         """Refuse to clobber an SQLite file that is not ours.
@@ -1084,43 +1101,47 @@ class SnapshotStore:
         pre-compaction file should reopen after a compaction.
         """
         started = time.perf_counter()
-        if not os.path.exists(self.path):
-            raise SnapshotError(f"snapshot {self.path!r} does not exist")
-        before = self.file_stats()
-        tmp = self.path + ".compact"
-        self._remove_file_set(tmp)
-        conn = self._connect()
-        try:
-            self._read_manifest(conn)  # never "compact" a foreign database
-            # Fold the WAL into the main file so VACUUM INTO sees — and
-            # the leftover sidecar after the swap holds — nothing live.
-            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-            try:
-                conn.execute("VACUUM INTO ?", (tmp,))
-            except sqlite3.DatabaseError as exc:
-                raise SnapshotError(
-                    f"cannot compact snapshot {self.path!r}: {exc}"
-                ) from exc
-        finally:
-            conn.close()
-        try:
-            verified = self._verify_compacted(tmp, aladin)
-            os.replace(tmp, self.path)
-        except BaseException:
+        with self._span("persist.compact") as span:
+            if not os.path.exists(self.path):
+                raise SnapshotError(f"snapshot {self.path!r} does not exist")
+            before = self.file_stats()
+            tmp = self.path + ".compact"
             self._remove_file_set(tmp)
-            raise
-        # The old file's journal sidecars must not survive next to the
-        # new file — SQLite could mis-associate them. The WAL was
-        # truncated above, so nothing live is lost.
-        self._remove_file_set(self.path, main=False)
-        after = self.file_stats()
-        return CompactionStats(
-            bytes_before=before["total_bytes"],
-            bytes_after=after["total_bytes"],
-            reclaimed_bytes=before["total_bytes"] - after["total_bytes"],
-            seconds=time.perf_counter() - started,
-            sources_verified=verified,
-        )
+            conn = self._connect()
+            try:
+                self._read_manifest(conn)  # never "compact" a foreign database
+                # Fold the WAL into the main file so VACUUM INTO sees — and
+                # the leftover sidecar after the swap holds — nothing live.
+                conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+                try:
+                    conn.execute("VACUUM INTO ?", (tmp,))
+                except sqlite3.DatabaseError as exc:
+                    raise SnapshotError(
+                        f"cannot compact snapshot {self.path!r}: {exc}"
+                    ) from exc
+            finally:
+                conn.close()
+            try:
+                verified = self._verify_compacted(tmp, aladin)
+                os.replace(tmp, self.path)
+            except BaseException:
+                self._remove_file_set(tmp)
+                raise
+            # The old file's journal sidecars must not survive next to the
+            # new file — SQLite could mis-associate them. The WAL was
+            # truncated above, so nothing live is lost.
+            self._remove_file_set(self.path, main=False)
+            after = self.file_stats()
+            stats = CompactionStats(
+                bytes_before=before["total_bytes"],
+                bytes_after=after["total_bytes"],
+                reclaimed_bytes=before["total_bytes"] - after["total_bytes"],
+                seconds=time.perf_counter() - started,
+                sources_verified=verified,
+            )
+            if span is not None:
+                span.set(reclaimed_bytes=stats.reclaimed_bytes)
+            return stats
 
     @_serialized
     def maybe_compact(self, aladin, policy: PersistConfig) -> Optional[CompactionStats]:

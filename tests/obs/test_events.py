@@ -80,6 +80,68 @@ class TestSubscription:
         assert len(seen) == 1
 
 
+class TestSubscriptionConcurrency:
+    def test_subscribe_unsubscribe_racing_emit(self):
+        """Handlers churn from four threads while four more emit.
+
+        The bus snapshots the handler list under its lock before
+        delivering, so emission never trips over concurrent list
+        mutation, and a handler registered for the whole run sees every
+        event exactly once.
+        """
+        bus = EventBus(history_limit=10_000)
+        stop = threading.Event()
+        seen = []
+        bus.subscribe(seen.append)  # the stable witness
+        errors = []
+
+        def churn():
+            while not stop.is_set():
+                handler = bus.subscribe(lambda e: None)
+                bus.unsubscribe(handler)
+
+        def emit():
+            try:
+                for _ in range(500):
+                    bus.emit(SOURCE_ADDED)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        churners = [threading.Thread(target=churn) for _ in range(4)]
+        emitters = [threading.Thread(target=emit) for _ in range(4)]
+        for t in churners + emitters:
+            t.start()
+        for t in emitters:
+            t.join()
+        stop.set()
+        for t in churners:
+            t.join()
+        assert errors == []
+        assert len(seen) == 2000
+        assert sorted(e.seq for e in seen) == list(range(1, 2001))
+
+    def test_kind_scoped_churn_does_not_drop_global_delivery(self):
+        bus = EventBus()
+        stop = threading.Event()
+        removed_seen = []
+        bus.subscribe(removed_seen.append, kind=SOURCE_REMOVED)
+
+        def churn():
+            while not stop.is_set():
+                handler = bus.subscribe(lambda e: None, kind=SOURCE_REMOVED)
+                bus.unsubscribe(handler)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for _ in range(300):
+                bus.emit(SOURCE_REMOVED, source="x")
+        finally:
+            stop.set()
+            churner.join()
+        assert len(removed_seen) == 300
+
+
 class TestEventShape:
     def test_to_dict_round_trips_through_json(self):
         bus = EventBus()
@@ -106,19 +168,49 @@ class TestNullBus:
 
 
 class TestJsonlExporter:
-    def test_events_eager_and_metrics_final(self, tmp_path):
+    def test_events_batched_and_metrics_final(self, tmp_path):
         path = tmp_path / "obs.jsonl"
         bus = EventBus()
         exporter = JsonlExporter(str(path))
         bus.subscribe(exporter)
         bus.emit(SOURCE_ADDED, source="a")
-        # Eager: the line is on disk before close.
-        assert json.loads(path.read_text().splitlines()[0])["kind"] == SOURCE_ADDED
+        # Batched: the event may still sit in the buffer, but
+        # write_metrics forces a flush of everything before it.
         exporter.write_metrics({"counters": {"n": 1}})
+        assert json.loads(path.read_text().splitlines()[0])["kind"] == SOURCE_ADDED
         exporter.close()
         exporter.close()  # idempotent
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert [line["type"] for line in lines] == ["event", "metrics"]
+
+    def test_flush_every_batches_writes(self, tmp_path):
+        path = tmp_path / "obs.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path), flush_every=3)
+        bus.subscribe(exporter)
+        bus.emit(SOURCE_ADDED, source="a")
+        bus.emit(SOURCE_ADDED, source="b")
+        # Below the batch size nothing has hit the disk yet...
+        assert path.read_text() == ""
+        bus.emit(SOURCE_ADDED, source="c")
+        # ...and the Nth record flushes the whole batch.
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_no_records_lost_across_close(self, tmp_path):
+        # Regression: buffered tail records must survive close().
+        path = tmp_path / "obs.jsonl"
+        bus = EventBus()
+        exporter = JsonlExporter(str(path), flush_every=1000)
+        bus.subscribe(exporter)
+        total = 157  # not a multiple of any flush interval
+        for n in range(total):
+            bus.emit(SOURCE_ADDED, source=f"s{n}")
+        exporter.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == total
+        assert [line["payload"]["source"] for line in lines] == [
+            f"s{n}" for n in range(total)
+        ]
 
     def test_writes_after_close_are_swallowed(self, tmp_path):
         path = tmp_path / "obs.jsonl"

@@ -7,6 +7,8 @@ must match the documented lifecycle exactly: no backend and no pool mode
 may emit an extra (or swallow a) transition.
 """
 
+import threading
+
 import pytest
 
 from repro.core import Aladin, AladinConfig
@@ -132,6 +134,43 @@ def test_open_and_hydration_events(tmp_path):
         assert faults[0].payload["payload_bytes"] > 0
         reader.database("s2")  # already resident: no second fault
         assert len(reader.obs.events.history(HYDRATION_FAULTED)) == 1
+    finally:
+        reader.close()
+
+
+def test_concurrent_faults_emit_exactly_once(tmp_path):
+    """Two threads touching the same stub race to hydrate it; the
+    double-checked hydrate lock makes one of them win, so exactly one
+    HYDRATION_FAULTED is emitted — never two."""
+    snap = tmp_path / "wh.snap"
+    writer = Aladin(AladinConfig())
+    writer.add_source("s1", "delimited", tsv(10, "a"))
+    writer.add_source("s2", "delimited", tsv(10, "b"))
+    writer.save(str(snap))
+    writer.close()
+
+    config = AladinConfig()
+    config.observability.enabled = True
+    reader = Aladin.open(str(snap), config=config, read_only=True, lazy=True)
+    try:
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def fault():
+            try:
+                barrier.wait()
+                reader.database("s1")
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fault) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        faults = reader.obs.events.history(HYDRATION_FAULTED)
+        assert [e.payload["source"] for e in faults] == ["s1"]
     finally:
         reader.close()
 
