@@ -1,0 +1,194 @@
+"""Serving layer — concurrent throughput and tail latency over a snapshot.
+
+The serving contract of PR 9: an `AsyncQueryService` attached to a
+read-only snapshot must absorb hundreds of concurrent search/browse
+clients, answer every request (no rejects below the admission bound),
+and drain cleanly on stop. This bench hammers a running service with
+``CONCURRENT_CLIENTS`` simultaneous connections across a mixed
+search/browse workload — one cold pass (cache off) and one warm pass
+(cache on) — and records throughput and p50/p95/p99 per-request latency
+to ``BENCH_serve.json`` at the repo root so the committed baseline
+tracks the code.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.core import Aladin, AladinConfig
+from repro.eval import format_table
+from repro.serve import AsyncQueryService, ServeConfig
+from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULT_PATH = os.path.join(REPO_ROOT, "BENCH_serve.json")
+
+CONCURRENT_CLIENTS = 200
+ROUNDS = 3  # per pass: total requests = CONCURRENT_CLIENTS * ROUNDS
+
+
+def build_snapshot(tmp_path) -> str:
+    scenario = build_scenario(
+        ScenarioConfig(
+            seed=320,
+            universe=UniverseConfig(
+                n_families=10, members_per_family=4, n_go_terms=30,
+                n_diseases=12, n_interactions=25, seed=320,
+            ),
+        )
+    )
+    aladin = Aladin(AladinConfig())
+    for source in scenario.sources:
+        aladin.add_source(
+            source.name,
+            source.facts.format_name,
+            source.text,
+            **source.facts.import_options,
+        )
+    aladin.search_engine()
+    path = str(tmp_path / "bench.snapshot")
+    aladin.save(path)
+    aladin.close()
+    return path
+
+
+def workload_targets(snapshot_path):
+    """A mixed search/browse target list, derived from the data itself."""
+    aladin = Aladin.open(snapshot_path, read_only=True, lazy=True)
+    try:
+        hits = aladin.search_engine().search("protein", top_k=20)
+        targets = [f"/search?q=protein&top_k={k}" for k in range(1, 11)]
+        targets += [f"/search?q={word}&top_k=10" for word in
+                    ("kinase", "binding", "nucleus", "family", "transport")]
+        targets += [
+            f"/browse?source={hit.source}&accession={hit.accession}"
+            for hit in hits[:10]
+        ]
+        return targets
+    finally:
+        aladin.close()
+
+
+async def _one_request(port, target, latencies):
+    started = time.perf_counter()
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    latencies.append(time.perf_counter() - started)
+    status = int(raw.split(b" ", 2)[1])
+    assert status == 200, raw[:200]
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def _hammer(service, targets):
+    """ROUNDS waves of CONCURRENT_CLIENTS simultaneous requests."""
+    latencies = []
+    started = time.perf_counter()
+    for round_index in range(ROUNDS):
+        await asyncio.gather(
+            *(
+                _one_request(
+                    service.port,
+                    targets[(round_index + i) % len(targets)],
+                    latencies,
+                )
+                for i in range(CONCURRENT_CLIENTS)
+            )
+        )
+    elapsed = time.perf_counter() - started
+    return {
+        "requests": len(latencies),
+        "seconds": round(elapsed, 4),
+        "throughput_rps": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000, 2),
+        "p95_ms": round(_percentile(latencies, 0.95) * 1000, 2),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000, 2),
+    }
+
+
+async def run_pass(snapshot_path, targets, cache_entries):
+    service = AsyncQueryService(
+        snapshot_path,
+        ServeConfig(
+            port=0,
+            max_concurrency=64,
+            max_pending=CONCURRENT_CLIENTS * 2,
+            cache_entries=cache_entries,
+        ),
+    )
+    await service.start()
+    try:
+        stats = await _hammer(service, targets)
+        stats["rejected"] = service.requests_rejected
+        stats["cache"] = service.cache.stats()
+        return stats, await service.stop()
+    except BaseException:
+        await service.stop()
+        raise
+
+
+def test_serve_throughput_and_tail_latency(tmp_path):
+    snapshot_path = build_snapshot(tmp_path)
+    targets = workload_targets(snapshot_path)
+
+    cold, cold_drained = asyncio.run(run_pass(snapshot_path, targets, 0))
+    warm, warm_drained = asyncio.run(run_pass(snapshot_path, targets, 1024))
+
+    # The serving contract: nothing rejected below the admission bound,
+    # a clean drain on stop, and the cache actually absorbing the warm
+    # pass (every target repeats after the first wave).
+    assert cold["rejected"] == 0 and warm["rejected"] == 0
+    assert cold_drained and warm_drained
+    assert warm["cache"]["hits"] > 0
+    assert warm["throughput_rps"] > cold["throughput_rps"]
+
+    rows = [
+        ("cold (cache off)", cold["throughput_rps"], cold["p50_ms"],
+         cold["p95_ms"], cold["p99_ms"]),
+        ("warm (cache on)", warm["throughput_rps"], warm["p50_ms"],
+         warm["p95_ms"], warm["p99_ms"]),
+    ]
+    print()
+    print(
+        format_table(
+            ["pass", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+            [[str(cell) for cell in row] for row in rows],
+        )
+    )
+
+    result = {
+        "benchmark": "benchmarks/bench_serve.py",
+        "command": "PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q -s",
+        "workload": (
+            f"{CONCURRENT_CLIENTS} concurrent clients x {ROUNDS} rounds, "
+            f"{len(targets)}-target mixed search/browse over a "
+            "10-family snapshot"
+        ),
+        "machine_note": "container, single run; expect ~10% run-to-run noise",
+        "concurrent_clients": CONCURRENT_CLIENTS,
+        "cold": cold,
+        "warm": warm,
+        "acceptance": (
+            "no rejects below the admission bound, clean drain on stop, "
+            "warm (cached) pass beats the cold pass on throughput"
+        ),
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -49,8 +49,11 @@ ancestor chains)::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import io
 import json
+import os
+import signal
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -265,6 +268,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="break an existing writer lock (only when its holder is known dead)",
     )
+    serve_cmd = subparsers.add_parser(
+        "serve",
+        help="serve search/browse/crawl/walk over HTTP from a snapshot "
+        "(read-only lazy open; keeps serving while a writer checkpoints)",
+    )
+    serve_cmd.add_argument("snapshot", help="path of the snapshot file to serve")
+    serve_cmd.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks an ephemeral port (default: 8080)",
+    )
+    serve_cmd.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queries executing on the pool at once (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="admitted requests before the accept path answers 503 "
+        "(default: 1024)",
+    )
+    serve_cmd.add_argument(
+        "--cache-entries",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="bounded per-query result cache size; 0 disables caching "
+        "(default: 1024)",
+    )
+    serve_cmd.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="how often the snapshot's content fingerprint is re-read to "
+        "notice a writer's checkpoint (default: 0.5)",
+    )
+    serve_cmd.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long shutdown waits for in-flight requests (default: 10)",
+    )
+    _add_exec_flags(serve_cmd)
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
@@ -343,9 +400,71 @@ def _integrate_sources(aladin: Aladin, sources, out) -> int:
     return 0
 
 
+def _run_serve(args, out) -> int:
+    from repro.serve import AsyncQueryService, ServeConfig
+
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+        cache_entries=args.cache_entries,
+        refresh_interval=args.refresh_interval,
+        drain_deadline=args.drain_deadline,
+    )
+    aladin_config = AladinConfig()
+    if args.backend is not None:
+        aladin_config.execution.backend = args.backend
+    if args.workers is not None:
+        aladin_config.execution.workers = max(1, args.workers)
+    if args.resident_pool:
+        aladin_config.execution.resident = True
+
+    async def serve_main() -> int:
+        service = AsyncQueryService(
+            args.snapshot, config=serve_config, aladin_config=aladin_config
+        )
+        try:
+            await service.start()
+        except SnapshotError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        host, port = service.address
+        print(
+            f"serving {args.snapshot} on http://{host}:{port} "
+            "(/search /browse /crawl /walk /healthz /statz)",
+            file=out,
+        )
+        out.flush()
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        await stop_requested.wait()
+        drained = await service.stop()
+        print(
+            f"stopped: {service.requests_served} served, "
+            f"{service.requests_rejected} rejected, "
+            f"{service.generation_swaps} generation swaps, "
+            f"drain {'clean' if drained else 'timed out'}",
+            file=out,
+        )
+        return 0 if drained else 1
+
+    try:
+        return asyncio.run(serve_main())
+    except KeyboardInterrupt:  # signal handler unavailable: plain ctrl-C
+        return 0
+
+
 def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args, out)
     if args.command == "formats":
         for format_name in registry.formats():
             print(format_name, file=out)
@@ -504,5 +623,17 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
         aladin.close()
 
 
-def main() -> None:  # pragma: no cover - thin wrapper
-    raise SystemExit(run())
+def main() -> None:
+    try:
+        code = run()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The consumer of a pipeline stopped reading (`repro trace ... |
+        # head`): that is the default SIGPIPE outcome, not an error.
+        # Point stdout at devnull so the interpreter's final implicit
+        # flush cannot raise again, and exit 0 like any well-behaved
+        # filter.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -269,6 +269,8 @@ class Executor:
 
     def __init__(self, workers: int = 1):
         self.workers = max(1, int(workers))
+        self._submit_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._submit_lock = threading.Lock()
 
     @property
     def parallel_graph(self) -> bool:
@@ -301,8 +303,39 @@ class Executor:
         holds a fork-time snapshot until told otherwise.
         """
 
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "concurrent.futures.Future":
+        """Run one callable on a pool thread; returns a real Future.
+
+        The serving layer's bridge into asyncio: ``loop.run_in_executor``
+        accepts any object with a ``submit`` returning a
+        :class:`concurrent.futures.Future`. Every backend answers from
+        one lazily created thread pool sized to ``workers`` — per-request
+        query work is SQLite faults plus list scans (I/O and C calls,
+        which threads serve well), and forked pools could not see the
+        live warehouse heap anyway. Released by :meth:`shutdown`; a
+        later submit transparently re-creates the pool.
+        """
+        pool = self._submit_pool
+        if pool is None:
+            with self._submit_lock:
+                pool = self._submit_pool
+                if pool is None:
+                    pool = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix=f"repro-{self.name}-submit",
+                    )
+                    self._submit_pool = pool
+        return pool.submit(fn, *args)
+
+    def _release_submit_pool(self) -> None:
+        with self._submit_lock:
+            pool, self._submit_pool = self._submit_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
     def shutdown(self) -> None:
         """Release any long-lived workers. No-op for per-call pools."""
+        self._release_submit_pool()
 
     def map_ordered(
         self,
@@ -666,6 +699,7 @@ class ResidentThreadExecutor(_IdleTimerMixin, ThreadExecutor):
         with self._lock:
             self._cancel_timer()
             self._teardown(reason="shutdown")
+        self._release_submit_pool()
 
     def _idle_blocked(self) -> bool:
         return bool(self._active)
@@ -720,6 +754,7 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
         with self._lock:
             self._cancel_timer()
             self._teardown(reason="shutdown")
+        self._release_submit_pool()
 
     def _map_impl(self, fn, items, state=None, labels=None, chunksize=1, trace=None):
         if len(items) <= 1 or self.workers <= 1:
@@ -962,6 +997,7 @@ class AutoExecutor(Executor):
     def shutdown(self) -> None:
         self._parallel.shutdown()
         self._serial.shutdown()
+        self._release_submit_pool()
 
     # -- calibration persistence ----------------------------------------
     def load_calibration(self, path: str) -> None:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
@@ -42,6 +43,12 @@ class MetadataRepository:
         # A lazy open defers the whole-web link load behind this loader;
         # the first link read or write replays it (see set_deferred_links).
         self._deferred_links = None
+        # True once links are authoritative in memory. Eager repositories
+        # are born loaded; set_deferred_links flips this off until the
+        # one-shot replay completes, and _links_lock keeps a concurrent
+        # reader from observing the replay half-done.
+        self._links_loaded = True
+        self._links_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # deferred link loading (lazy snapshot opens)
@@ -55,13 +62,22 @@ class MetadataRepository:
         grow with the corpus, not with the query — are deferred.
         """
         self._deferred_links = loader
+        self._links_loaded = False
 
     def _ensure_links(self) -> None:
-        loader, self._deferred_links = self._deferred_links, None
-        if loader is not None:
-            # Popped before the call: the loader replays links through the
-            # public mutators below, which re-enter _ensure_links.
+        if self._links_loaded:
+            return
+        with self._links_lock:
+            if self._links_loaded:
+                return
+            loader, self._deferred_links = self._deferred_links, None
+            if loader is None:
+                # Re-entrant call from the loader itself (it replays links
+                # through the public mutators below); the outer frame owns
+                # the flag, so the replay cannot publish itself half-done.
+                return
             loader(self)
+            self._links_loaded = True
 
     # ------------------------------------------------------------------
     # sources

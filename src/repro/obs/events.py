@@ -51,6 +51,9 @@ __all__ = [
     "HYDRATION_FAULTED",
     "POOL_SPAWNED",
     "POOL_TEARDOWN",
+    "SERVE_STARTED",
+    "SERVE_GENERATION_SWAPPED",
+    "SERVE_DRAINED",
     "LIFECYCLE_EVENTS",
     "Event",
     "EventBus",
@@ -68,6 +71,9 @@ SNAPSHOT_OPENED = "snapshot.opened"
 HYDRATION_FAULTED = "hydration.faulted"
 POOL_SPAWNED = "pool.spawned"
 POOL_TEARDOWN = "pool.teardown"
+SERVE_STARTED = "serve.started"
+SERVE_GENERATION_SWAPPED = "serve.generation_swapped"
+SERVE_DRAINED = "serve.drained"
 
 LIFECYCLE_EVENTS = (
     SOURCE_ADDED,
@@ -79,6 +85,9 @@ LIFECYCLE_EVENTS = (
     HYDRATION_FAULTED,
     POOL_SPAWNED,
     POOL_TEARDOWN,
+    SERVE_STARTED,
+    SERVE_GENERATION_SWAPPED,
+    SERVE_DRAINED,
 )
 
 #: Events kept in the in-memory history ring.

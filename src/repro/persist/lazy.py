@@ -132,64 +132,93 @@ class LazyInvertedIndex(InvertedIndex):
         self._loaded_tokens: set = set()
         self._doc_pks: List[int] = []
         self._pk_index: Dict[int, int] = {}
+        # Serializes page-ins, double-checked like ``_hydrate_lock``:
+        # concurrent same-token queries must load a posting list (and the
+        # document metadata) exactly once — a doubled restore_document
+        # pass would shift doc_ids and double every document's length,
+        # silently corrupting BM25 scores for every query after it.
+        self._load_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def _ensure_docs(self) -> None:
         if self._docs_loaded:
             return
-        fetched = self._session.fetch_documents()
-        for pk, source, accession, length, is_primary in fetched:
-            self._pk_index[pk] = len(self._doc_pks)
-            self._doc_pks.append(pk)
-            InvertedIndex.restore_document(
-                self, source, accession, length, bool(is_primary), []
-            )
-        self._docs_loaded = True
+        with self._load_lock:
+            if self._docs_loaded:
+                return
+            fetched = self._session.fetch_documents()
+            for pk, source, accession, length, is_primary in fetched:
+                self._pk_index[pk] = len(self._doc_pks)
+                self._doc_pks.append(pk)
+                InvertedIndex.restore_document(
+                    self, source, accession, length, bool(is_primary), []
+                )
+            # Published last: unlocked fast-path readers that see the flag
+            # must also see every document restored above.
+            self._docs_loaded = True
 
     def _ensure_all(self) -> None:
         if self._all_loaded:
             return
-        self._ensure_docs()
-        by_pk = self._session.fetch_all_postings()
-        unknown = set(by_pk) - set(self._doc_pks)
-        if unknown:
-            raise SnapshotError(
-                "snapshot index changed under a lazy reader; reopen the snapshot"
-            )
-        # Rebuilt from scratch (partial per-token loads discarded): token
-        # insertion order must be the eager loader's — docs in id order,
-        # postings in rowid order — so export_documents round-trips
-        # byte-identically.
-        postings: Dict[str, List[PostingField]] = type(self._postings)(list)
-        for doc_id, pk in enumerate(self._doc_pks):
-            for token, field_name, frequency in by_pk.get(pk, ()):
-                postings[token].append(
-                    PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
+        with self._load_lock:
+            if self._all_loaded:
+                return
+            self._ensure_docs()
+            by_pk = self._session.fetch_all_postings()
+            unknown = set(by_pk) - set(self._doc_pks)
+            if unknown:
+                raise SnapshotError(
+                    "snapshot index changed under a lazy reader; "
+                    "reopen the snapshot"
                 )
-        self._postings = postings
-        self._loaded_tokens.clear()
-        self._all_loaded = True
+            # Rebuilt from scratch (partial per-token loads discarded):
+            # token insertion order must be the eager loader's — docs in
+            # id order, postings in rowid order — so export_documents
+            # round-trips byte-identically.
+            postings: Dict[str, List[PostingField]] = type(self._postings)(list)
+            for doc_id, pk in enumerate(self._doc_pks):
+                for token, field_name, frequency in by_pk.get(pk, ()):
+                    postings[token].append(
+                        PostingField(
+                            doc_id=doc_id, field=field_name, frequency=frequency
+                        )
+                    )
+            self._postings = postings
+            self._loaded_tokens.clear()
+            self._all_loaded = True
 
     # ------------------------------------------------------------------
     # per-token reads (the BM25 query path)
     # ------------------------------------------------------------------
     def postings(self, token: str) -> List[PostingField]:
+        # Unlocked fast path, then double-checked under the lock: two
+        # threads racing the same cold token page it in exactly once, and
+        # the token joins _loaded_tokens only after its list is in place,
+        # so a fast-path hit can never read a half-loaded posting list.
         if not self._all_loaded and token not in self._loaded_tokens:
-            self._ensure_docs()
-            loaded = []
-            for pk, field_name, frequency in self._session.fetch_token_postings(token):
-                doc_id = self._pk_index.get(pk)
-                if doc_id is None:
-                    raise SnapshotError(
-                        "snapshot index changed under a lazy reader; "
-                        "reopen the snapshot"
-                    )
-                loaded.append(
-                    PostingField(doc_id=doc_id, field=field_name, frequency=frequency)
-                )
-            if loaded:
-                self._postings[token] = loaded
-            self._loaded_tokens.add(token)
+            with self._load_lock:
+                if not self._all_loaded and token not in self._loaded_tokens:
+                    self._ensure_docs()
+                    loaded = []
+                    for pk, field_name, frequency in (
+                        self._session.fetch_token_postings(token)
+                    ):
+                        doc_id = self._pk_index.get(pk)
+                        if doc_id is None:
+                            raise SnapshotError(
+                                "snapshot index changed under a lazy reader; "
+                                "reopen the snapshot"
+                            )
+                        loaded.append(
+                            PostingField(
+                                doc_id=doc_id,
+                                field=field_name,
+                                frequency=frequency,
+                            )
+                        )
+                    if loaded:
+                        self._postings[token] = loaded
+                    self._loaded_tokens.add(token)
         return super().postings(token)
 
     def document_frequency(self, token: str) -> int:
@@ -261,7 +290,15 @@ class LazySnapshotSession:
         self._hydrated: Dict[str, int] = {}  # name -> resident payload bytes
         self._pushdown_counts: Dict[str, int] = {}
         self._cells_cache: Dict[str, bool] = {}
-        self._conn: Optional[sqlite3.Connection] = None
+        # One connection per reader thread: sqlite3 connections are not
+        # safe for concurrent use (and by default refuse cross-thread use
+        # outright), and a serving layer drives this session from a pool
+        # of worker threads. Every connection is also tracked in
+        # ``_conns`` so ``close`` can tear them all down from whichever
+        # thread the owner closes on.
+        self._conn_local = threading.local()
+        self._conns: List[sqlite3.Connection] = []
+        self._conn_lock = threading.Lock()
         self._maintained = False
         # Serializes fault-ins: two threads touching the same stub must
         # hydrate it (and emit HYDRATION_FAULTED) exactly once.
@@ -297,17 +334,29 @@ class LazySnapshotSession:
             aladin._index = LazyInvertedIndex(self)  # noqa: SLF001 - session owns wiring
 
     def _connection(self) -> sqlite3.Connection:
-        if self._conn is None:
-            self._conn = self._store._connect(read_only=True)  # noqa: SLF001
-        return self._conn
+        local = self._conn_local
+        conn = getattr(local, "conn", None)
+        if conn is None:
+            conn = self._store._connect(  # noqa: SLF001
+                read_only=True, cross_thread=True
+            )
+            with self._conn_lock:
+                self._conns.append(conn)
+            local.conn = conn
+        return conn
 
     def close(self) -> None:
-        if self._conn is not None:
+        # Swap in a fresh thread-local map first so a racing reader can
+        # only reopen (harmless), never observe a half-closed connection
+        # through a stale slot.
+        self._conn_local = threading.local()
+        with self._conn_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
             try:
-                self._conn.close()
+                conn.close()
             except sqlite3.Error:
                 pass
-            self._conn = None
 
     # ------------------------------------------------------------------
     # hydration
@@ -427,17 +476,22 @@ class LazySnapshotSession:
         Refused once maintenance has written through this system: the
         in-memory state may then be ahead of the snapshot, and a re-fault
         could resurrect stale rows.
+
+        Eviction takes ``_hydrate_lock``: a reader mid-fault in another
+        thread must never observe a half-evicted source, and an eviction
+        must never tear down a source whose fault-in is still attaching.
         """
-        if name not in self._hydrated:
-            return False
-        if self._maintained:
-            raise SnapshotError(
-                "cannot release a source after maintenance writes; "
-                "reopen the snapshot for a fresh lazy session"
-            )
-        self._evict_from_system(self._aladin, name)
-        del self._hydrated[name]
-        return True
+        with self._hydrate_lock:
+            if name not in self._hydrated:
+                return False
+            if self._maintained:
+                raise SnapshotError(
+                    "cannot release a source after maintenance writes; "
+                    "reopen the snapshot for a fresh lazy session"
+                )
+            self._evict_from_system(self._aladin, name)
+            del self._hydrated[name]
+            return True
 
     def forget(self, name: str) -> None:
         """Drop a removed source's stub so it can never re-fault."""

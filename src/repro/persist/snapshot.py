@@ -589,7 +589,14 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # connection plumbing
     # ------------------------------------------------------------------
-    def _connect(self, read_only: bool = False) -> sqlite3.Connection:
+    def _connect(
+        self, read_only: bool = False, cross_thread: bool = False
+    ) -> sqlite3.Connection:
+        # ``cross_thread`` relaxes sqlite3's same-thread check so a
+        # connection can at least be *closed* from another thread (a lazy
+        # session hands each worker thread its own connection but tears
+        # them all down from whichever thread calls ``close``). Callers
+        # must still confine each connection's queries to one thread.
         if read_only:
             # ``mode=ro`` can never take a write lock or create stray
             # -wal/-shm sidecars — what lazy readers under the read-only
@@ -600,13 +607,15 @@ class SnapshotStore:
             # work, the pragmas below stay safe.
             uri = f"file:{urllib.parse.quote(os.path.abspath(self.path))}?mode=ro"
             try:
-                conn = sqlite3.connect(uri, uri=True)
+                conn = sqlite3.connect(
+                    uri, uri=True, check_same_thread=not cross_thread
+                )
                 conn.execute("PRAGMA busy_timeout = 5000")
                 return conn
             except sqlite3.DatabaseError:
                 pass
         try:
-            conn = sqlite3.connect(self.path)
+            conn = sqlite3.connect(self.path, check_same_thread=not cross_thread)
             # Concurrent-writer safety: WAL keeps readers unblocked while
             # an off-critical-path checkpoint (the pipelined add_source's
             # final task) writes, and the busy timeout makes two stores on
@@ -1419,6 +1428,37 @@ class SnapshotStore:
             sources=stubs,
             config=json.loads(config_json) if config_json else None,
         )
+
+    def content_fingerprint(self) -> str:
+        """One hash over the snapshot's per-source content hashes.
+
+        Cheap — a manifest-sized SELECT on a short-lived read-only
+        connection — and it changes exactly when a writer's checkpoint
+        changes what a reader would observe. Serving layers key result
+        caches on it, so a checkpoint invalidates precisely: same
+        fingerprint, same bytes.
+        """
+        if not os.path.exists(self.path):
+            raise SnapshotError(f"snapshot {self.path!r} does not exist")
+        conn = self._connect(read_only=True)
+        try:
+            manifest = self._read_manifest(conn)
+            try:
+                rows = conn.execute(
+                    "SELECT name, content_hash FROM sources ORDER BY name"
+                ).fetchall()
+            except sqlite3.DatabaseError as exc:
+                raise SnapshotError(
+                    f"snapshot {self.path!r} is corrupted: {exc}"
+                ) from exc
+        finally:
+            conn.close()
+        hasher = hashlib.sha256()
+        hasher.update(manifest.get("index_built", "").encode("utf-8"))
+        for name, content_hash in rows:
+            hasher.update(b"\x00" + name.encode("utf-8"))
+            hasher.update(b"\x01" + content_hash.encode("utf-8"))
+        return hasher.hexdigest()
 
     def load_source_body(self, name: str, materialize: bool = True) -> SourceBody:
         """Fault in exactly one source's row data (the lazy hydration read).

@@ -1,0 +1,36 @@
+"""The concurrent read-path serving layer.
+
+The paper's promise covers serving, not just building: an integrated
+warehouse is only useful if many clients can query the integrated
+product at once. This package turns a snapshot into exactly that — an
+``asyncio`` HTTP/JSON service (:class:`AsyncQueryService`) over a
+read-only, lazily hydrated open, with bounded concurrency, per-query
+result caching keyed on the snapshot's content fingerprint
+(:class:`QueryResultCache`), generation swaps when a writer
+checkpoints, and drain-then-stop shutdown. ``repro serve`` is the CLI
+front door.
+"""
+
+from repro.serve.cache import QueryResultCache
+from repro.serve.service import (
+    ENDPOINTS,
+    AsyncQueryService,
+    ServeConfig,
+    ServeError,
+    encode_body,
+    serialize_hits,
+    serialize_ranked,
+    serialize_view,
+)
+
+__all__ = [
+    "AsyncQueryService",
+    "ServeConfig",
+    "ServeError",
+    "QueryResultCache",
+    "ENDPOINTS",
+    "encode_body",
+    "serialize_hits",
+    "serialize_ranked",
+    "serialize_view",
+]

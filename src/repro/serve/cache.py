@@ -1,0 +1,95 @@
+"""Per-query result caching for the serving layer.
+
+Entries are keyed on ``(snapshot content fingerprint, endpoint,
+normalized params)`` — the fingerprint is a hash over every source's
+content hash (:meth:`SnapshotStore.content_fingerprint`), so a writer's
+checkpoint changes the key space and stale entries stop matching
+immediately. :meth:`retain` then actually evicts the dead generation's
+entries, so a long-lived service does not carry obsolete bytes until LRU
+pressure happens to push them out.
+
+Values are the fully serialized response bodies (bytes): a cache hit is
+byte-identical to the miss that populated it, by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+#: ``(fingerprint, endpoint, normalized params)``
+CacheKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
+
+
+class QueryResultCache:
+    """A bounded LRU over serialized query responses.
+
+    Thread-safe: the event loop reads and writes it, while ``/statz``
+    snapshots may be rendered from an executor thread.
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max(0, int(max_entries))
+        self._entries: "OrderedDict[CacheKey, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    @staticmethod
+    def key(
+        fingerprint: str, endpoint: str, params: Dict[str, str]
+    ) -> CacheKey:
+        """The canonical cache key: params sorted, so order never matters."""
+        return (fingerprint, endpoint, tuple(sorted(params.items())))
+
+    def get(self, key: CacheKey) -> Optional[bytes]:
+        with self._lock:
+            body = self._entries.get(key)
+            if body is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return body
+
+    def put(self, key: CacheKey, body: bytes) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def retain(self, fingerprint: str) -> int:
+        """Drop every entry not keyed on ``fingerprint``; return the count.
+
+        Called on a generation swap: the old fingerprint can never match
+        again, so its entries are dead weight.
+        """
+        with self._lock:
+            stale = [key for key in self._entries if key[0] != fingerprint]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._entries)
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "invalidations": self._invalidations,
+            }

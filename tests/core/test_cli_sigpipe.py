@@ -1,0 +1,93 @@
+"""``repro ... | head`` must exit 0, not crash with BrokenPipeError.
+
+Python ignores SIGPIPE at startup, so when the consumer of a pipeline
+stops reading (``head`` exiting after its first lines) every later write
+to stdout raises ``BrokenPipeError`` instead of killing the process the
+classic Unix way. Before the fix that surfaced as a traceback and a
+nonzero exit from otherwise-successful commands; ``main()`` now catches
+it, parks stdout on devnull so the interpreter's final implicit flush
+cannot raise again, and exits 0 — the moral equivalent of the default
+SIGPIPE disposition for a well-behaved filter.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import cli
+
+
+def _run_main(argv, stdout):
+    """Invoke ``cli.main()`` with patched argv/stdout; return the exit code."""
+    saved_argv, saved_stdout = sys.argv, sys.stdout
+    sys.argv, sys.stdout = ["repro", *argv], stdout
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main()
+        return excinfo.value.code
+    finally:
+        sys.argv, sys.stdout = saved_argv, saved_stdout
+
+
+def test_main_exits_zero_when_stdout_pipe_breaks():
+    """The reader half of stdout's pipe is gone: main() still exits 0."""
+    read_fd, write_fd = os.pipe()
+    os.close(read_fd)  # the consumer has already exited
+    stdout = os.fdopen(write_fd, "w")
+    # `formats` writes little enough to sit in the userspace buffer; the
+    # BrokenPipeError fires on main()'s explicit flush — exactly the
+    # final-flush crash the fix exists for.
+    code = _run_main(["formats"], stdout)
+    assert code == 0
+
+
+def test_main_exits_zero_when_consumer_stops_mid_stream():
+    """The consumer walks away while output is still being written."""
+    read_fd, write_fd = os.pipe()
+    stdout = os.fdopen(write_fd, "w")
+
+    # A `head -c`-shaped consumer: read a few bytes, then hang up.
+    def consumer():
+        os.read(read_fd, 64)
+        os.close(read_fd)
+
+    reader = threading.Thread(target=consumer)
+    reader.start()
+    try:
+        # Enough lines to overrun the pipe buffer after the reader leaves.
+        code = _run_main(["formats"] , stdout)
+    finally:
+        reader.join(timeout=10)
+    assert code == 0
+
+
+def test_cli_piped_to_head_exits_zero():
+    """End to end: the real interpreter, a real pipe, a real early exit."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(os.getcwd(), "src"), env.get("PYTHONPATH")])
+    )
+    # PIPESTATUS[0] is the repro process's own exit code, untouched by head's.
+    result = subprocess.run(
+        ["bash", "-c",
+         "python -m repro formats | head -c 8; exit ${PIPESTATUS[0]}"],
+        env=env,
+        capture_output=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr.decode()
+
+
+def test_main_propagates_real_errors():
+    """Only the broken pipe is forgiven — failures still exit nonzero."""
+    read_fd, write_fd = os.pipe()
+    stdout = os.fdopen(write_fd, "w")
+    try:
+        code = _run_main(["stats", "/nonexistent/never.snapshot"], stdout)
+        assert code not in (0, None)
+    finally:
+        stdout.close()
+        os.close(read_fd)

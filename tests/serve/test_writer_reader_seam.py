@@ -1,0 +1,185 @@
+"""The writer/reader seam, across real process boundaries.
+
+A forked writer process checkpoints the snapshot (``update_source``)
+while the parent's service keeps answering queries. The contract under
+test is the one the serving layer's generation machinery exists for:
+
+* every response during the overlap is complete and belongs to exactly
+  one generation — the old snapshot or the new one, never a torn blend;
+* once the watcher observes the new content fingerprint, the service
+  swaps generations and the cache drops every stale entry;
+* after the writer is done, the service's answers are byte-identical to
+  a direct read-only open of the final file.
+
+The writer is forked *before* the event loop starts, parked on an
+inherited pipe, and released mid-hammer — so the fork itself never has
+to cross a threaded parent.
+"""
+
+import asyncio
+import multiprocessing
+import os
+import shutil
+import sys
+from urllib.parse import quote
+
+import pytest
+
+from repro.core import Aladin
+from repro.serve import (
+    AsyncQueryService,
+    ServeConfig,
+    encode_body,
+    serialize_hits,
+    serialize_view,
+)
+
+SEARCH = "/search?q=protein&top_k=5&sources=swissprot"
+
+
+def _writer_main(path, text, go_read_fd, status_write_fd):
+    """The forked writer: wait for go, update swissprot, report rc."""
+    rc = 1
+    try:
+        os.read(go_read_fd, 1)  # parent says go
+        writer = Aladin.open(path)
+        try:
+            writer.update_source("swissprot", text)
+        finally:
+            writer.close()
+        rc = 0
+    except BaseException as exc:  # noqa: BLE001 - reported via the pipe
+        print(f"writer failed: {exc!r}", file=sys.stderr)
+    finally:
+        os.write(status_write_fd, bytes([rc]))
+        os._exit(rc)
+
+
+def _expected_bodies(path):
+    """Direct-open oracle: the canonical search + browse bodies for ``path``."""
+    aladin = Aladin.open(path, read_only=True, lazy=True)
+    try:
+        hits = aladin.search_engine().search(
+            "protein", top_k=5, sources=["swissprot"]
+        )
+        search_body = encode_body(
+            {"query": "protein", "hits": serialize_hits(hits)}
+        )
+        pdb_hits = aladin.search_engine().search("protein", top_k=1, sources=["pdb"])
+        source, accession = pdb_hits[0].source, pdb_hits[0].accession
+        browse_body = encode_body(
+            serialize_view(aladin.browser().visit(source, accession))
+        )
+        return search_body, (source, accession), browse_body
+    finally:
+        aladin.close()
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-based seam test needs POSIX fork"
+)
+def test_forked_writer_checkpoint_is_old_or_new_never_torn(
+    snapshot_path, alt_swissprot_text, client, tmp_path
+):
+    path = str(tmp_path / "seam.snapshot")
+    shutil.copy(snapshot_path, path)
+
+    old_search, (browse_source, browse_accession), old_browse = (
+        _expected_bodies(path)
+    )
+    browse_target = (
+        f"/browse?source={quote(browse_source)}"
+        f"&accession={quote(browse_accession)}"
+    )
+
+    # Fork the writer before any event loop or pool thread exists in
+    # this test; it parks on the go-pipe until the service is serving.
+    go_read, go_write = os.pipe()
+    status_read, status_write = os.pipe()
+    ctx = multiprocessing.get_context("fork")
+    writer = ctx.Process(
+        target=_writer_main,
+        args=(path, alt_swissprot_text, go_read, status_write),
+    )
+    writer.start()
+    os.close(go_read)
+    os.close(status_write)
+
+    async def flow():
+        service = AsyncQueryService(
+            path, ServeConfig(port=0, refresh_interval=0.1)
+        )
+        await service.start()
+        try:
+            port = service.port
+            fp0 = service.fingerprint
+            assert (await client(port, SEARCH)) == (200, old_search)
+            assert (await client(port, browse_target)) == (200, old_browse)
+
+            os.write(go_write, b"g")  # release the writer
+            loop = asyncio.get_running_loop()
+
+            observed = []
+            deadline = loop.time() + 120
+            # Hammer straight through the writer's checkpoint until the
+            # service has swapped to the new fingerprint.
+            while service.fingerprint == fp0:
+                assert loop.time() < deadline, "generation swap never happened"
+                results = await asyncio.gather(
+                    *(client(port, SEARCH) for _ in range(4)),
+                    *(client(port, browse_target) for _ in range(2)),
+                )
+                observed.extend(
+                    [("search", r) for r in results[:4]]
+                    + [("browse", r) for r in results[4:]]
+                )
+            # The writer has committed; collect its exit status.
+            rc = await loop.run_in_executor(
+                None, lambda: os.read(status_read, 1)
+            )
+            assert rc == b"\x00", "writer process failed"
+
+            final_search = await client(port, SEARCH)
+            final_browse = await client(port, browse_target)
+            return (
+                observed,
+                final_search,
+                final_browse,
+                service.generation_swaps,
+                service.cache.stats(),
+            )
+        finally:
+            await service.stop()
+
+    try:
+        observed, final_search, final_browse, swaps, cache_stats = (
+            asyncio.run(flow())
+        )
+    finally:
+        writer.join(timeout=60)
+        os.close(go_write)
+        os.close(status_read)
+    assert writer.exitcode == 0
+
+    new_search, _, new_browse = _expected_bodies(path)
+    assert new_search != old_search, (
+        "the update must actually change the search answer, or this "
+        "test proves nothing"
+    )
+
+    # Old-or-new, never torn: every overlap response is byte-identical
+    # to one of the two generations' direct serializations.
+    for endpoint, (status, body) in observed:
+        assert status == 200, body
+        if endpoint == "search":
+            assert body in (old_search, new_search)
+        else:
+            assert body in (old_browse, new_browse)
+
+    # Post-swap the service serves the new generation, byte-identical.
+    assert final_search == (200, new_search)
+    assert final_browse == (200, new_browse)
+    assert swaps >= 1
+    assert cache_stats["invalidations"] >= 1, (
+        "the swap must drop the old generation's cache entries"
+    )
