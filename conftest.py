@@ -1,0 +1,18 @@
+"""Root pytest hook: opt-in runtime sanitizers.
+
+``REPRO_ANALYSIS_LOCKWATCH=1 python -m pytest`` runs the whole suite
+with every repro-created lock instrumented; an observed lock-order
+inversion fails the test that produced it (set
+``REPRO_ANALYSIS_LOCKWATCH_MODE=warn`` to survey instead).  The install
+must happen before any repro module creates a lock, which is why it
+lives here rather than in a fixture.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+
+from repro.analysis import lockwatch  # noqa: E402
+
+lockwatch.install_from_env()

@@ -1,0 +1,43 @@
+"""Project-specific static analysis + runtime sanitizers.
+
+A leaf package (like ``obs``): it imports nothing from the rest of
+``repro``, so every layer — and CI — can run it without dragging the
+pipeline in.  The pieces:
+
+* :mod:`repro.analysis.engine` — one-walk AST engine with pluggable
+  checkers and inline ``# repro-lint: allow[...]`` suppressions;
+* :mod:`repro.analysis.checkers` — the rule battery (layering,
+  fork/thread-safety, lock-order, determinism, canonical-JSON,
+  obs-seam, broad-except);
+* :mod:`repro.analysis.baseline` — grandfathering for legacy findings,
+  each with a written justification;
+* :mod:`repro.analysis.lockwatch` — the opt-in runtime lock-order
+  sanitizer (``REPRO_ANALYSIS_LOCKWATCH=1``).
+
+Entry point: ``repro lint`` (see :mod:`repro.cli`).
+"""
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.engine import (
+    AnalysisEngine,
+    Checker,
+    ModuleContext,
+    iter_python_files,
+    module_name_for,
+    parse_suppressions,
+)
+from repro.analysis.model import Finding, Report, make_finding
+
+__all__ = [
+    "AnalysisEngine",
+    "Baseline",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "Report",
+    "iter_python_files",
+    "make_finding",
+    "module_name_for",
+    "parse_suppressions",
+]

@@ -1,0 +1,47 @@
+"""The checker battery: project-specific rules for the ALADIN repro.
+
+``DEFAULT_CHECKER_TYPES`` is the registry the CLI builds from; each
+entry is a zero-argument class so every run gets fresh project state
+(the lock-order graph accumulates across files within one run).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Type
+
+from repro.analysis.engine import Checker
+from repro.analysis.checkers.broadexcept import BroadExceptChecker
+from repro.analysis.checkers.canonjson import CanonicalJsonChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.forksafety import ForkSafetyChecker
+from repro.analysis.checkers.layering import LayeringChecker
+from repro.analysis.checkers.lockorder import LockOrderChecker
+from repro.analysis.checkers.obsseam import ObsSeamChecker
+
+DEFAULT_CHECKER_TYPES: Sequence[Type[Checker]] = (
+    LayeringChecker,
+    ForkSafetyChecker,
+    LockOrderChecker,
+    DeterminismChecker,
+    CanonicalJsonChecker,
+    BroadExceptChecker,
+    ObsSeamChecker,
+)
+
+
+def build_checkers() -> List[Checker]:
+    """A fresh instance of every default checker."""
+    return [checker_type() for checker_type in DEFAULT_CHECKER_TYPES]
+
+
+__all__ = [
+    "BroadExceptChecker",
+    "CanonicalJsonChecker",
+    "DeterminismChecker",
+    "ForkSafetyChecker",
+    "LayeringChecker",
+    "LockOrderChecker",
+    "ObsSeamChecker",
+    "DEFAULT_CHECKER_TYPES",
+    "build_checkers",
+]

@@ -1,0 +1,72 @@
+"""Broad-except checker: every ``except Exception`` must be deliberate.
+
+Concurrent code that swallows everything hides real races.  The rule
+flags bare ``except:``, ``except Exception``, and ``except
+BaseException`` handlers unless one of the following holds:
+
+* the handler body re-raises (``raise`` with no argument) or wraps and
+  chains (``raise Other(...) from exc`` naming the caught exception) —
+  both keep the failure alive instead of swallowing it;
+* the line carries ``# noqa: BLE001`` (the repo's pre-existing
+  annotation idiom for intentional guard seams) or a
+  ``# repro-lint: allow[broad-except]`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Checker, ModuleContext
+
+RULE = "broad-except"
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    node = handler.type
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(e, ast.Name) and e.id in _BROAD_NAMES for e in node.elts
+        )
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body end by propagating the caught exception —
+    either a bare ``raise`` or ``raise Other(...) from exc``?"""
+    body = handler.body
+    if not body:
+        return False
+    last = body[-1]
+    if not isinstance(last, ast.Raise):
+        return False
+    if last.exc is None:
+        return True
+    return (
+        handler.name is not None
+        and isinstance(last.cause, ast.Name)
+        and last.cause.id == handler.name
+    )
+
+
+class BroadExceptChecker(Checker):
+    rule = RULE
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: ModuleContext) -> None:
+        if not _is_broad(node) or _reraises(node):
+            return
+        caught = "bare except" if node.type is None else ast.unparse(node.type)
+        ctx.report(
+            RULE,
+            node,
+            f"broad handler ({caught}) without an annotation",
+            hint="narrow to the exception types the block can actually "
+            "raise, or — for an intentional guard seam — annotate with "
+            "# noqa: BLE001 and the reason",
+        )

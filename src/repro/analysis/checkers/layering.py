@@ -1,0 +1,128 @@
+"""Layering checker: each package imports only layers below it.
+
+The rank table is the machine-readable form of the ROADMAP architecture
+map.  Rank 0 packages are leaves (``obs`` and ``analysis`` may import
+nothing from ``repro`` at all — that is what lets every other layer
+depend on them without cycles); every other package may import strictly
+lower-ranked packages only.  Equal-rank packages are siblings and must
+not import each other either — a sideways import is how cycles start.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import Checker, ModuleContext
+
+RULE = "layering"
+
+#: Import rank per top-level package under ``repro`` (plus the top-level
+#: modules ``cli``/``__main__``).  Lower rank = lower layer.  Mirrors the
+#: ROADMAP table: storage/substrate (relational) and the obs + analysis
+#: leaves at the bottom, the pipeline layers in consumption order, then
+#: persist under core, with the serving/eval/CLI surfaces on top.
+LAYER_RANKS = {
+    "obs": 0,
+    "analysis": 0,
+    "relational": 0,
+    "dataimport": 1,
+    "discovery": 1,
+    "exec": 1,
+    "linking": 2,
+    "synth": 2,
+    "duplicates": 3,
+    "metadata": 4,
+    "access": 5,
+    "persist": 6,
+    "core": 7,
+    "serve": 8,
+    "eval": 8,
+    "cli": 9,
+    "__main__": 10,
+}
+
+#: Leaf packages: may not import *anything* from repro outside themselves.
+LEAVES = frozenset({"obs", "analysis"})
+
+
+def _import_targets(node: ast.AST, ctx: ModuleContext):
+    """Yield the top-level repro package each import statement touches."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro":
+                yield parts[1] if len(parts) > 1 else "repro"
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            if node.module and node.module.split(".")[0] == "repro":
+                parts = node.module.split(".")
+                yield parts[1] if len(parts) > 1 else "repro"
+        else:
+            resolved = _resolve_relative(node, ctx)
+            if resolved is not None:
+                yield resolved
+
+
+def _resolve_relative(node: ast.ImportFrom, ctx: ModuleContext) -> Optional[str]:
+    """Top-level repro package a relative import lands in, or None."""
+    parts = ctx.module.split(".")
+    if parts[0] != "repro":
+        return None
+    # ``from . import x`` in repro/a/b.py: level 1 -> repro.a
+    base = parts[:-1]
+    hops = node.level - 1
+    if hops >= len(base):
+        return None
+    if hops:
+        base = base[:-hops]
+    if node.module:
+        base = base + node.module.split(".")
+    if len(base) < 2 or base[0] != "repro":
+        return None
+    return base[1]
+
+
+class LayeringChecker(Checker):
+    rule = RULE
+    interests = (ast.Import, ast.ImportFrom)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        own = ctx.package
+        own_rank = LAYER_RANKS.get(own)
+        if own_rank is None:
+            return  # a package outside the layer map is not checked
+        for target in _import_targets(node, ctx):
+            if target == own or target == "repro":
+                continue
+            if own in LEAVES:
+                ctx.report(
+                    RULE,
+                    node,
+                    f"leaf package '{own}' imports 'repro.{target}'",
+                    hint="obs/analysis are leaves: move the dependency up "
+                    "a layer or pass the value in from the caller",
+                )
+                continue
+            target_rank = LAYER_RANKS.get(target)
+            if target_rank is None:
+                ctx.report(
+                    RULE,
+                    node,
+                    f"import of 'repro.{target}', which is not in the "
+                    "layer map",
+                    hint="add the package to LAYER_RANKS in "
+                    "repro/analysis/checkers/layering.py (and the ROADMAP "
+                    "table) when a new layer is introduced",
+                )
+                continue
+            if target_rank >= own_rank:
+                ctx.report(
+                    RULE,
+                    node,
+                    f"'{own}' (rank {own_rank}) imports 'repro.{target}' "
+                    f"(rank {target_rank}); layers may only import below "
+                    "themselves",
+                    hint="move the shared code into a lower layer or "
+                    "invert the dependency",
+                )

@@ -1,0 +1,51 @@
+"""Obs-seam checker: hot-path telemetry access must be None-guarded.
+
+The zero-cost-when-disabled contract: ``Observability.metrics_or_none``
+/ ``events_or_none`` / ``trace_or_none`` return ``None`` when telemetry
+is off, so instrumented hot paths pay one identity check.  Chaining a
+call or attribute straight off the accessor —
+``aladin.obs.metrics_or_none.counter("x").inc()`` — crashes the moment
+someone sets ``REPRO_OBS=0``.  The compliant shape binds the handle
+first and guards it::
+
+    metrics = aladin.obs.metrics_or_none
+    if metrics is not None:
+        metrics.counter("x").inc()
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Checker, ModuleContext
+
+RULE = "unguarded-obs"
+
+_ACCESSORS = frozenset({"metrics_or_none", "events_or_none", "trace_or_none"})
+
+
+class ObsSeamChecker(Checker):
+    rule = RULE
+    interests = (ast.Attribute,)
+
+    def visit(self, node: ast.Attribute, ctx: ModuleContext) -> None:
+        if node.attr not in _ACCESSORS:
+            return
+        parent = ctx.parent(node)
+        # Direct chaining: the accessor is itself the object of another
+        # attribute access (``...metrics_or_none.counter``) or subscript.
+        chained = (
+            isinstance(parent, ast.Attribute) and parent.value is node
+        ) or (isinstance(parent, ast.Subscript) and parent.value is node)
+        # ``...metrics_or_none(...)`` — calling the property result.
+        called = isinstance(parent, ast.Call) and parent.func is node
+        if not (chained or called):
+            return
+        ctx.report(
+            RULE,
+            node,
+            f"telemetry accessor '{node.attr}' used without a None guard",
+            hint="bind it first (handle = obj.obs."
+            f"{node.attr}) and guard with 'if handle is not None' — the "
+            "accessor returns None when observability is disabled",
+        )

@@ -1,0 +1,243 @@
+"""Runtime lock-order sanitizer: a mini-TSan for the repro's locks.
+
+The static lock-order checker sees lexically nested ``with`` blocks;
+this watcher sees what actually happens at runtime — locks acquired
+across call boundaries, in worker threads, under whichever interleaving
+the test run produced.  Every instrumented acquisition records an edge
+*currently-held -> being-acquired* into a process-global graph; the
+moment an edge closes a cycle, two call sites have taken the same locks
+in opposite orders and a deadlock is one unlucky schedule away.
+
+Opt-in, zero overhead when off:
+
+* ``REPRO_ANALYSIS_LOCKWATCH=1`` — the root ``conftest.py`` calls
+  :func:`install`, which monkeypatches ``threading.Lock`` /
+  ``threading.RLock`` so locks *created by repro code* (decided by the
+  caller's filename) come back instrumented.  Everything else —
+  stdlib internals, third-party code — gets the real constructors.
+* ``REPRO_ANALYSIS_LOCKWATCH_MODE=raise|warn`` — ``raise`` (default)
+  throws :class:`LockOrderInversion` at the acquisition that closes the
+  cycle; ``warn`` records it and prints to stderr, for surveying.
+
+Fork hygiene: a forked child inherits the parent's graph and the forking
+thread's held-stack, but no other thread survives the fork — the child
+would see phantom "held" locks forever.  ``install`` registers an
+``os.register_at_fork`` hook that clears the per-thread held state in
+the child (the edge graph is kept: edges already observed are still
+true of the code).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Tuple
+
+ENV_KNOB = "REPRO_ANALYSIS_LOCKWATCH"
+ENV_MODE = "REPRO_ANALYSIS_LOCKWATCH_MODE"
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+class LockOrderInversion(RuntimeError):
+    """Two locks were taken in opposite orders on different paths."""
+
+
+def _creation_site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class LockWatch:
+    """The process-global acquisition graph and per-thread held stacks."""
+
+    def __init__(self, mode: str = "raise"):
+        self.mode = mode
+        #: (held lock name) -> {acquired lock name: observed-at site}
+        self.edges: Dict[str, Dict[str, str]] = {}
+        self.inversions: List[str] = []
+        self._graph_guard = _REAL_LOCK()
+        self._held = threading.local()
+
+    # -- per-thread held stack ---------------------------------------------
+    def _stack(self) -> List["WatchedLock"]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def held_names(self) -> List[str]:
+        return [lock.name for lock in self._stack()]
+
+    def reset_thread_holds(self) -> None:
+        """Drop this thread's held-stack (fork-child hygiene)."""
+        self._held.stack = []
+
+    # -- recording ---------------------------------------------------------
+    def on_acquired(self, lock: "WatchedLock", site: str) -> None:
+        stack = self._stack()
+        if any(held is lock for held in stack):
+            stack.append(lock)  # re-entrant RLock: no new edges
+            return
+        cycle: Optional[List[str]] = None
+        with self._graph_guard:
+            for held in stack:
+                if held.name == lock.name:
+                    continue
+                targets = self.edges.setdefault(held.name, {})
+                if lock.name not in targets:
+                    targets[lock.name] = site
+                    found = self._find_cycle(lock.name, held.name)
+                    if found is not None and cycle is None:
+                        cycle = found
+        stack.append(lock)
+        if cycle is not None:
+            self._report(cycle, site)
+
+    def on_released(self, lock: "WatchedLock") -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # -- cycle detection ---------------------------------------------------
+    def _find_cycle(self, start: str, target: str) -> Optional[List[str]]:
+        """Path start -> ... -> target in the edge graph (caller just
+        added target -> start, so such a path closes a cycle)."""
+        work: List[Tuple[str, List[str]]] = [(start, [start])]
+        visited = {start}
+        while work:
+            node, path = work.pop()
+            for nxt in self.edges.get(node, ()):
+                if nxt == target:
+                    return path + [nxt]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    work.append((nxt, path + [nxt]))
+        return None
+
+    def _report(self, cycle: List[str], site: str) -> None:
+        with self._graph_guard:
+            detail_parts = []
+            loop = [cycle[-1]] + cycle
+            for held, acquired in zip(loop, loop[1:]):
+                where = self.edges.get(held, {}).get(acquired, "?")
+                detail_parts.append(f"{held} -> {acquired} (at {where})")
+        message = (
+            "lock-order inversion: "
+            + " ; ".join(detail_parts)
+            + f" ; closing acquisition at {site}"
+        )
+        self.inversions.append(message)
+        if self.mode == "raise":
+            raise LockOrderInversion(message)
+        print(f"[lockwatch] {message}", file=sys.stderr)
+
+
+class WatchedLock:
+    """A lock proxy that reports acquisitions/releases to a LockWatch."""
+
+    def __init__(self, inner, name: str, watch: LockWatch):
+        self._inner = inner
+        self.name = name
+        self._watch = watch
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._watch.on_acquired(self, _creation_site())
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watch.on_released(self)
+
+    def __enter__(self) -> bool:
+        got = self._inner.acquire()
+        if got:
+            self._watch.on_acquired(self, _creation_site())
+        return got
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._inner.release()
+        self._watch.on_released(self)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __repr__(self) -> str:
+        return f"WatchedLock({self.name}, {self._inner!r})"
+
+
+_ACTIVE: Optional[LockWatch] = None
+_INSTALL_GUARD = _REAL_LOCK()
+_FORK_HOOKED = False
+
+
+def active() -> Optional[LockWatch]:
+    return _ACTIVE
+
+
+def _should_watch(filename: str) -> bool:
+    normalized = filename.replace(os.sep, "/")
+    return "/repro/" in normalized or normalized.endswith("/repro")
+
+
+def _make_factory(real, kind: str, watch: LockWatch):
+    def factory():
+        caller = sys._getframe(1).f_code.co_filename
+        inner = real()
+        if not _should_watch(caller):
+            return inner
+        name = f"{kind}@{_creation_site()}"
+        return WatchedLock(inner, name, watch)
+
+    return factory
+
+
+def install(mode: Optional[str] = None) -> LockWatch:
+    """Patch ``threading.Lock``/``RLock`` to hand repro code watched
+    locks.  Idempotent; returns the active watch."""
+    global _ACTIVE, _FORK_HOOKED
+    with _INSTALL_GUARD:
+        if _ACTIVE is not None:
+            return _ACTIVE
+        resolved = mode or os.environ.get(ENV_MODE, "raise")
+        if resolved not in ("raise", "warn"):
+            resolved = "raise"
+        watch = LockWatch(mode=resolved)
+        threading.Lock = _make_factory(_REAL_LOCK, "Lock", watch)
+        threading.RLock = _make_factory(_REAL_RLOCK, "RLock", watch)
+        if not _FORK_HOOKED and hasattr(os, "register_at_fork"):
+            os.register_at_fork(after_in_child=_after_fork_in_child)
+            _FORK_HOOKED = True
+        _ACTIVE = watch
+        return watch
+
+
+def _after_fork_in_child() -> None:
+    watch = _ACTIVE
+    if watch is not None:
+        watch.reset_thread_holds()
+
+
+def uninstall() -> None:
+    """Restore the real constructors (already-created watched locks keep
+    reporting to their watch; new locks come back plain)."""
+    global _ACTIVE
+    with _INSTALL_GUARD:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        _ACTIVE = None
+
+
+def install_from_env() -> Optional[LockWatch]:
+    """Install iff ``REPRO_ANALYSIS_LOCKWATCH`` is a truthy value."""
+    value = os.environ.get(ENV_KNOB, "").strip().lower()
+    if value in ("", "0", "false", "no", "off"):
+        return None
+    return install()

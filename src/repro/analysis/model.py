@@ -1,0 +1,127 @@
+"""The findings model of the static-analysis engine.
+
+A :class:`Finding` is one rule violation at one source location:
+``file:line``, the rule id, a one-line message, and a fix hint telling
+the author what the compliant code looks like.  Findings carry a
+*fingerprint* — a stable hash over the rule, the file, and the
+(whitespace-normalized) offending source line — which is what the
+baseline file matches on, so a finding survives unrelated edits that
+shift line numbers but stops matching the moment the offending line
+itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+def _normalize(text: str) -> str:
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative where possible, always forward slashes
+    line: int
+    message: str
+    hint: str = ""
+    #: The offending source line, whitespace-normalized; the stable part
+    #: of the fingerprint.
+    context: str = ""
+    #: Populated when the finding matched a baseline entry.
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        payload = f"{self.rule}\x1f{self.path}\x1f{_normalize(self.context)}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        text = f"{self.location}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Report:
+    """The outcome of one engine run over a file set."""
+
+    findings: list  # List[Finding], baselined ones excluded
+    baselined: list  # List[Finding] matched by the baseline
+    suppressed: int  # findings silenced by inline allow comments
+    checked_files: int
+    stale_baseline: list  # baseline fingerprints that matched nothing
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": self.suppressed,
+            "checked_files": self.checked_files,
+            "stale_baseline": list(self.stale_baseline),
+            "clean": self.clean,
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        if verbose:
+            for finding in self.baselined:
+                lines.append(f"(baselined) {finding.render()}")
+        summary = (
+            f"{len(self.findings)} finding(s), {len(self.baselined)} "
+            f"baselined, {self.suppressed} suppressed, "
+            f"{self.checked_files} file(s) checked"
+        )
+        if self.stale_baseline:
+            summary += f", {len(self.stale_baseline)} stale baseline entr(ies)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def make_finding(
+    rule: str,
+    path: str,
+    line: int,
+    message: str,
+    hint: str = "",
+    context: Optional[str] = None,
+    source_lines: Optional[list] = None,
+) -> Finding:
+    """Build a finding, deriving ``context`` from the source when given."""
+    if context is None and source_lines and 1 <= line <= len(source_lines):
+        context = source_lines[line - 1]
+    return Finding(
+        rule=rule,
+        path=path,
+        line=line,
+        message=message,
+        hint=hint,
+        context=context or "",
+    )

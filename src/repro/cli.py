@@ -51,7 +51,6 @@ from __future__ import annotations
 import argparse
 import asyncio
 import io
-import json
 import os
 import signal
 import sys
@@ -61,6 +60,7 @@ from repro.core import Aladin, AladinConfig
 from repro.dataimport import registry
 from repro.obs import render_spans
 from repro.persist import SnapshotError, SnapshotStore
+from repro.persist.codec import canonical_json, display_json
 
 
 def _parse_source(spec: str) -> Tuple[str, str, str]:
@@ -322,6 +322,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="how long shutdown waits for in-flight requests (default: 10)",
     )
     _add_exec_flags(serve_cmd)
+    lint_cmd = subparsers.add_parser(
+        "lint",
+        help="run the project's static-analysis battery (layering, "
+        "lock-order, fork-safety, determinism, canonical-JSON, obs-seam, "
+        "broad-except) over the source tree",
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to check (default: the installed "
+        "repro package source)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings as human-readable text or one JSON document "
+        "(default: text)",
+    )
+    lint_cmd.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline file of grandfathered findings "
+        "(default: ./analysis-baseline.json when present)",
+    )
+    lint_cmd.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; every finding counts",
+    )
+    lint_cmd.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file (each entry "
+        "gets a placeholder justification to replace) and exit 0",
+    )
+    lint_cmd.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined findings in text output",
+    )
     formats = subparsers.add_parser("formats", help="list registered import formats")
     del formats  # no extra arguments
     return parser
@@ -460,9 +504,61 @@ def _run_serve(args, out) -> int:
         return 0
 
 
+def _run_lint(args, out) -> int:
+    from repro.analysis import AnalysisEngine, Baseline, BaselineError
+    from repro.analysis.baseline import DEFAULT_BASELINE
+    from repro.analysis.checkers import build_checkers
+
+    paths = list(args.paths)
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    baseline_path = args.baseline or (
+        DEFAULT_BASELINE if os.path.exists(DEFAULT_BASELINE) else None
+    )
+    baseline = Baseline()
+    if baseline_path and not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    engine = AnalysisEngine(build_checkers(), baseline=baseline)
+    report = engine.run(paths)
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE
+        fresh = Baseline()
+        for finding in report.findings:
+            fresh.add(
+                finding,
+                "(added by repro lint --write-baseline; replace with a "
+                "real justification)",
+            )
+        fresh.save(target)
+        print(
+            f"baseline written: {target} ({len(report.findings)} entr(ies))",
+            file=out,
+        )
+        return 0
+    if args.output_format == "json":
+        print(display_json(report.to_dict()), file=out)
+    else:
+        print(report.render(verbose=args.verbose), file=out)
+        for fingerprint in report.stale_baseline:
+            print(
+                f"stale baseline entry {fingerprint}: matched no finding "
+                "(remove it or re-run --write-baseline)",
+                file=out,
+            )
+    return 0 if report.clean else 1
+
+
 def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args, out)
     if args.command == "serve":
         return _run_serve(args, out)
     if args.command == "formats":
@@ -526,10 +622,10 @@ def run(argv: Optional[Sequence[str]] = None, out=None) -> int:
             if args.prometheus:
                 print(aladin.obs.metrics.render_prometheus(), end="", file=out)
             else:
-                print(json.dumps(aladin.metrics(), indent=2, sort_keys=True), file=out)
+                print(display_json(aladin.metrics()), file=out)
             if args.events:
                 for event in aladin.obs.events.history():
-                    print(json.dumps(event.to_dict(), sort_keys=True), file=out)
+                    print(canonical_json(event.to_dict()), file=out)
         finally:
             aladin.close()  # flushes the --export sink's final metrics line
         return code

@@ -13,32 +13,20 @@ import math
 from collections import Counter
 from typing import Callable, List, Sequence
 
+# Levenshtein is defined one layer down (linking.schemamatch needs it
+# too) and re-exported here so the toolbox keeps one public surface.
+from repro.linking.editdistance import levenshtein, levenshtein_similarity
 
-def levenshtein(a: str, b: str) -> int:
-    """Classic edit distance (insert/delete/substitute)."""
-    if a == b:
-        return 0
-    if not a:
-        return len(b)
-    if not b:
-        return len(a)
-    if len(a) < len(b):
-        a, b = b, a
-    previous = list(range(len(b) + 1))
-    for i, ca in enumerate(a, start=1):
-        current = [i]
-        for j, cb in enumerate(b, start=1):
-            cost = 0 if ca == cb else 1
-            current.append(min(previous[j] + 1, current[-1] + 1, previous[j - 1] + cost))
-        previous = current
-    return previous[-1]
-
-
-def levenshtein_similarity(a: str, b: str) -> float:
-    """1 - normalized edit distance."""
-    if not a and not b:
-        return 1.0
-    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+__all__ = [
+    "damerau_levenshtein",
+    "jaccard_ngrams",
+    "jaro",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "token_cosine",
+]
 
 
 def damerau_levenshtein(a: str, b: str) -> int:

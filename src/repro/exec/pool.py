@@ -501,7 +501,7 @@ class ProcessExecutor(Executor):
                     for index, future in enumerate(futures):
                         try:
                             outcomes.append(future.result())
-                        except BaseException as exc:
+                        except BaseException as exc:  # noqa: BLE001 - transported, not hidden
                             # The pool itself failed for this chunk
                             # (unpicklable result, dead worker): record it
                             # as a transported failure at the chunk's first
@@ -804,7 +804,7 @@ class ResidentProcessExecutor(_IdleTimerMixin, ProcessExecutor):
             for index, future in enumerate(futures):
                 try:
                     outcomes.append(future.result())
-                except BaseException as exc:
+                except BaseException as exc:  # noqa: BLE001 - transported, not hidden
                     # Pool-level failure (dead worker, unpicklable result):
                     # record it as a transported failure at the chunk's
                     # first item, so _collect still surfaces the first

@@ -1,0 +1,38 @@
+"""Edit distance, at the bottom of the linking layer.
+
+Levenshtein lives here — not in ``duplicates`` — because schema matching
+(``linking.schemamatch``) needs it and linking sits *below* duplicate
+detection in the layer map: attribute links feed object links feed
+duplicate detection, never the other way around.
+``repro.duplicates.similarity`` re-exports these for its callers, so the
+duplicate-detection toolbox keeps its single public surface.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[-1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """1 - normalized edit distance."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))

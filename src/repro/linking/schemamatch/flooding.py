@@ -19,7 +19,7 @@ from collections import defaultdict
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.discovery.model import AttributeRef
-from repro.duplicates.similarity import levenshtein_similarity
+from repro.linking.editdistance import levenshtein_similarity
 from repro.linking.schemamatch.model import SchemaCorrespondence
 from repro.relational.database import Database
 

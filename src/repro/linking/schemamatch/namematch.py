@@ -13,7 +13,7 @@ import re
 from typing import Dict, List, Optional
 
 from repro.discovery.model import AttributeRef
-from repro.duplicates.similarity import levenshtein_similarity
+from repro.linking.editdistance import levenshtein_similarity
 from repro.linking.schemamatch.model import SchemaCorrespondence
 from repro.relational.database import Database
 

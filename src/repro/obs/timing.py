@@ -181,6 +181,7 @@ class WorkloadCalibration:
         snapshot itself."""
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
+            # repro-lint: allow[raw-json-dumps] obs is a leaf and cannot import persist; the sidecar is advisory, not content-hashed
             json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         os.replace(tmp, path)

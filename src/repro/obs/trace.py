@@ -367,8 +367,8 @@ class Tracer:
         for sink in sinks:
             try:
                 sink(span)
-            except Exception:
-                pass  # a broken sink must not break the traced operation
+            except Exception:  # noqa: BLE001 - a broken sink must not break the traced operation
+                pass
 
     def add_sink(self, sink) -> None:
         """Register a callable invoked with every finished :class:`Span`

@@ -102,6 +102,24 @@ def canonical_loads(text: str) -> Any:
     return json.loads(text, object_hook=_decode_nonfinite_object)
 
 
+def display_json(payload: Any, indent: int = 2) -> str:
+    """Human-facing twin of :func:`canonical_json`.
+
+    Same key order and non-finite handling — so what an operator reads
+    matches what the store hashes — but indented for terminals instead
+    of packed for hashing.  Never feed this to a content hash.
+    """
+    try:
+        return json.dumps(payload, sort_keys=True, indent=indent, allow_nan=False)
+    except ValueError:
+        return json.dumps(
+            _encode_nonfinite(payload),
+            sort_keys=True,
+            indent=indent,
+            allow_nan=False,
+        )
+
+
 def decode_rows(payloads: Iterable[str]) -> Iterator[Any]:
     """Stream-decode row payloads one at a time.
 

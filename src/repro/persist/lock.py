@@ -42,6 +42,7 @@ import threading
 import time
 from typing import Any, Dict, Optional
 
+from repro.persist.codec import canonical_json
 from repro.persist.snapshot import SnapshotError
 
 try:  # POSIX: flock gives crash-safe advisory locks
@@ -313,7 +314,7 @@ class SnapshotLock:
         try:
             _overwrite_fd(
                 breaker_fd,
-                json.dumps({"pid": os.getpid(), "host": socket.gethostname()}),
+                canonical_json({"pid": os.getpid(), "host": socket.gethostname()}),
             )
             if self._holder_is_stale():  # re-check under the breaker lock
                 self._break_lock()
@@ -355,7 +356,7 @@ class SnapshotLock:
         return False
 
     def _write_holder(self, fd: int) -> None:
-        payload = json.dumps(
+        payload = canonical_json(
             {
                 "pid": os.getpid(),
                 "host": socket.gethostname(),

@@ -188,6 +188,7 @@ def _hash_memory_source(database, legacy_rows: bool = False) -> str:
         hasher.update(schema_json.encode("utf-8"))
         for tup in table.raw_rows():
             if legacy_rows:
+                # repro-lint: allow[raw-json-dumps] v1/v2 hash replay must reproduce the legacy row bytes exactly
                 data = json.dumps(list(tup), separators=(",", ":"))
             else:
                 data = _encode_row_task(None, tup)
@@ -812,10 +813,10 @@ class SnapshotStore:
                 hasher.hexdigest(),
                 raw[0] if raw else None,
                 raw[1] if raw else None,
-                json.dumps(raw[2]) if raw else None,
+                codec.canonical_json(raw[2]) if raw else None,
                 codec.canonical_json(codec.structure_to_dict(record.structure)),
                 codec.canonical_json(record.sample_rows),
-                json.dumps(record.row_counts),
+                codec.canonical_json(record.row_counts),
             ),
         )
 
@@ -913,7 +914,7 @@ class SnapshotStore:
     def _write_config(self, conn: sqlite3.Connection, aladin) -> None:
         # asdict keeps this layer ignorant of the core config classes.
         self._set_manifest(
-            conn, "config", json.dumps(dataclasses.asdict(aladin.config))
+            conn, "config", codec.canonical_json(dataclasses.asdict(aladin.config))
         )
         # The written config follows *this* build's schema, so the file is
         # now a current-version snapshot even if it was opened as an older

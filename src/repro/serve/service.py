@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import asyncio
 import copy
-import json
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
@@ -57,6 +56,7 @@ from repro.obs.events import (
     SERVE_STARTED,
 )
 from repro.persist import SnapshotError, SnapshotStore
+from repro.persist.codec import canonical_json
 from repro.serve.cache import QueryResultCache
 
 _REASONS = {
@@ -120,11 +120,13 @@ def _jsonable(value: Any) -> Any:
 
 
 def encode_body(payload: Dict[str, Any]) -> bytes:
-    """Canonical response bytes: sorted keys, tight separators, one LF."""
-    return (
-        json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
-        + "\n"
-    ).encode("utf-8")
+    """Canonical response bytes: the codec's canonical encoding + one LF.
+
+    ``_jsonable`` has already stringified anything exotic, so the
+    payload is finite and the codec emits exactly the sorted-key,
+    tight-separator bytes this function always produced.
+    """
+    return (canonical_json(_jsonable(payload)) + "\n").encode("utf-8")
 
 
 def serialize_hits(hits) -> List[Dict[str, Any]]:

@@ -1,0 +1,103 @@
+"""`repro lint` subcommand: exit codes, output formats, baseline flow."""
+
+import io
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.cli import run
+
+BAD_MODULE = """
+import json
+
+def body(payload):
+    return json.dumps(payload)
+"""
+
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    path = tmp_path / "repro" / "serve" / "mod.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(textwrap.dedent(BAD_MODULE), encoding="utf-8")
+    return tmp_path
+
+
+class TestLintCli:
+    def test_finding_exits_one(self, bad_tree):
+        out = io.StringIO()
+        code = run(["lint", str(bad_tree), "--no-baseline"], out=out)
+        assert code == 1
+        assert "raw-json-dumps" in out.getvalue()
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        path = tmp_path / "repro" / "core" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("VALUE = 1\n", encoding="utf-8")
+        out = io.StringIO()
+        assert run(["lint", str(tmp_path), "--no-baseline"], out=out) == 0
+
+    def test_json_format_is_machine_readable(self, bad_tree):
+        out = io.StringIO()
+        code = run(
+            ["lint", str(bad_tree), "--no-baseline", "--format", "json"],
+            out=out,
+        )
+        assert code == 1
+        payload = json.loads(out.getvalue())
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "raw-json-dumps"
+        assert "fingerprint" in payload["findings"][0]
+
+    def test_write_baseline_then_lint_clean(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = io.StringIO()
+        code = run(
+            [
+                "lint",
+                str(bad_tree),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert baseline.exists()
+        out = io.StringIO()
+        code = run(
+            ["lint", str(bad_tree), "--baseline", str(baseline)], out=out
+        )
+        assert code == 0
+        assert "1 baselined" in out.getvalue()
+
+    def test_baselined_finding_reappears_when_line_changes(
+        self, bad_tree, tmp_path
+    ):
+        baseline = tmp_path / "baseline.json"
+        run(
+            ["lint", str(bad_tree), "--baseline", str(baseline), "--write-baseline"],
+            out=io.StringIO(),
+        )
+        module = bad_tree / "repro" / "serve" / "mod.py"
+        module.write_text(
+            module.read_text().replace(
+                "json.dumps(payload)", "json.dumps(payload, indent=2)"
+            ),
+            encoding="utf-8",
+        )
+        out = io.StringIO()
+        code = run(
+            ["lint", str(bad_tree), "--baseline", str(baseline)], out=out
+        )
+        assert code == 1  # the edited line no longer matches its fingerprint
+        assert "stale baseline entry" in out.getvalue()
+
+    def test_default_paths_cover_installed_package(self):
+        """No paths -> lints the shipped repro source, which must be
+        clean with the repo's committed baseline (empty: clean outright)."""
+        out = io.StringIO()
+        code = run(["lint", "--no-baseline"], out=out)
+        assert code == 0, out.getvalue()

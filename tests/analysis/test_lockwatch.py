@@ -1,0 +1,167 @@
+"""Lockwatch regression tests.
+
+The inversion test is deterministic and single-threaded: the graph
+records *orders*, so acquiring A->B, releasing both, then B->A provokes
+the cycle without any race — exactly how the sanitizer catches a
+deadlock-in-waiting that never actually deadlocks during the run.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import lockwatch
+from repro.analysis.lockwatch import (
+    LockOrderInversion,
+    LockWatch,
+    WatchedLock,
+)
+
+
+def make_pair(mode="raise"):
+    watch = LockWatch(mode=mode)
+    lock_a = WatchedLock(threading.Lock(), "repro.test.A", watch)
+    lock_b = WatchedLock(threading.Lock(), "repro.test.B", watch)
+    return watch, lock_a, lock_b
+
+
+class TestInversionDetection:
+    def test_two_lock_inversion_raises(self):
+        watch, lock_a, lock_b = make_pair()
+        with lock_a:
+            with lock_b:
+                pass
+        with pytest.raises(LockOrderInversion) as excinfo:
+            with lock_b:
+                with lock_a:
+                    pass
+        message = str(excinfo.value)
+        assert "repro.test.A" in message and "repro.test.B" in message
+
+    def test_consistent_order_is_silent(self):
+        watch, lock_a, lock_b = make_pair()
+        for _ in range(3):
+            with lock_a:
+                with lock_b:
+                    pass
+        assert watch.inversions == []
+
+    def test_warn_mode_records_instead_of_raising(self):
+        watch, lock_a, lock_b = make_pair(mode="warn")
+        with lock_a:
+            with lock_b:
+                pass
+        with lock_b:
+            with lock_a:
+                pass
+        assert len(watch.inversions) == 1
+
+    def test_reentrant_rlock_is_not_an_edge(self):
+        watch = LockWatch()
+        rlock = WatchedLock(threading.RLock(), "repro.test.R", watch)
+        with rlock:
+            with rlock:
+                pass
+        assert watch.edges == {}
+        assert watch.inversions == []
+
+    def test_three_lock_cycle_is_found(self):
+        watch = LockWatch()
+        locks = {
+            name: WatchedLock(threading.Lock(), f"repro.test.{name}", watch)
+            for name in "ABC"
+        }
+        for first, second in (("A", "B"), ("B", "C")):
+            with locks[first]:
+                with locks[second]:
+                    pass
+        with pytest.raises(LockOrderInversion):
+            with locks["C"]:
+                with locks["A"]:
+                    pass
+
+
+class TestHeldTracking:
+    def test_release_pops_the_right_lock(self):
+        watch, lock_a, lock_b = make_pair()
+        lock_a.acquire()
+        lock_b.acquire()
+        lock_a.release()
+        assert watch.held_names() == ["repro.test.B"]
+        lock_b.release()
+        assert watch.held_names() == []
+
+    def test_nonblocking_failure_records_nothing(self):
+        watch, lock_a, _ = make_pair()
+        lock_a.acquire()
+        assert lock_a.acquire(False) is False  # plain Lock, already held
+        assert watch.held_names() == ["repro.test.A"]
+        lock_a.release()
+
+    def test_fork_hygiene_clears_holds(self):
+        watch, lock_a, _ = make_pair()
+        lock_a.acquire()
+        watch.reset_thread_holds()  # what the at-fork child hook does
+        assert watch.held_names() == []
+
+
+class TestInstall:
+    def test_install_wraps_only_repro_locks(self, tmp_path):
+        watch = lockwatch.install(mode="warn")
+        try:
+            # This test file lives under tests/, not under a repro/
+            # directory: locks created here must come back unwrapped.
+            plain = threading.Lock()
+            assert not isinstance(plain, WatchedLock)
+            # A lock created from repro source (by filename) is wrapped.
+            code = compile(
+                "import threading\nmade = threading.Lock()\n",
+                str(tmp_path / "repro" / "mod.py"),
+                "exec",
+            )
+            namespace = {}
+            exec(code, namespace)
+            assert isinstance(namespace["made"], WatchedLock)
+            assert lockwatch.active() is watch
+        finally:
+            lockwatch.uninstall()
+        assert lockwatch.active() is None
+        assert threading.Lock is lockwatch._REAL_LOCK
+
+    def test_install_from_env_requires_truthy(self, monkeypatch):
+        monkeypatch.setenv(lockwatch.ENV_KNOB, "0")
+        assert lockwatch.install_from_env() is None
+        monkeypatch.setenv(lockwatch.ENV_KNOB, "1")
+        try:
+            assert lockwatch.install_from_env() is not None
+        finally:
+            lockwatch.uninstall()
+
+    def test_real_pipeline_locks_stay_inversion_free(self):
+        """Drive exec.pool + persist + metadata through a watched run:
+        the spans the static checker covers, exercised dynamically."""
+        already = lockwatch.active()
+        watch = already or lockwatch.install(mode="raise")
+        try:
+            from repro.core import Aladin
+            from repro.synth import ScenarioConfig, UniverseConfig, build_scenario
+
+            scenario = build_scenario(
+                ScenarioConfig(
+                    seed=7,
+                    include=("swissprot",),
+                    universe=UniverseConfig(
+                        n_families=2, members_per_family=2, seed=7
+                    ),
+                )
+            )
+            aladin = Aladin()
+            aladin.add_source(
+                "swissprot", "flatfile", scenario.source("swissprot").text
+            )
+            aladin.search_engine().search("kinase")
+            aladin.close()
+            assert watch.inversions == []
+        finally:
+            if already is None:
+                lockwatch.uninstall()
